@@ -1,0 +1,81 @@
+// Experiment E8 (ablation): why the construction and encoding are shaped the
+// way they are.
+//
+//  (a) Hiding via insertion: fraction of steps absorbed into existing
+//      metasteps (§4's point that naive "append pi's steps at the end" would
+//      not admit an O(C)-bit encoding — insertions are what amortize cells).
+//  (b) Encoding form: compact binary bits vs ASCII bytes (Fig. 2's table
+//      format) per unit of cost.
+//  (c) Linearization policy: canonical vs randomized tie-breaking — cost and
+//      CS order must be invariant (Lemma 6.1), i.e. the partial order
+//      carries all the information.
+#include "bench/common.h"
+#include "lb/encode.h"
+#include "lb/linearize.h"
+#include "sim/simulator.h"
+
+using namespace melb;
+
+int main() {
+  benchx::print_header("E8: ablations on the construction/encoding design", "");
+
+  std::printf("-- (a) step hiding: insertions vs new metasteps --\n");
+  util::Table hiding({"algorithm", "n", "delta evals", "insertions", "creations",
+                      "hidden %"});
+  for (const char* name : {"yang-anderson", "bakery", "dijkstra", "burns"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    for (int n : {8, 24}) {
+      const auto c = lb::construct(algorithm, n, util::Permutation::reversed(n));
+      const double hidden =
+          100.0 * static_cast<double>(c.insertions) /
+          static_cast<double>(c.insertions + c.creations);
+      hiding.add_row({name, std::to_string(n), std::to_string(c.delta_evaluations),
+                      std::to_string(c.insertions), std::to_string(c.creations),
+                      util::Table::fmt(hidden, 1)});
+    }
+  }
+  std::printf("%s\n", hiding.to_string().c_str());
+
+  std::printf("-- (b) encoding form: binary vs ASCII --\n");
+  util::Table enc({"algorithm", "n", "SC cost", "binary bits", "bits/C", "ascii bytes",
+                   "bytes/C"});
+  for (const char* name : {"yang-anderson", "bakery"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    for (int n : {8, 16, 32}) {
+      const auto c = lb::construct(algorithm, n, util::Permutation::reversed(n));
+      const auto e = lb::encode(c);
+      const auto exec = sim::validate_steps(algorithm, n, c.canonical_linearization());
+      const double cost = static_cast<double>(exec.sc_cost());
+      enc.add_row({name, std::to_string(n), util::Table::fmt(cost, 0),
+                   std::to_string(e.binary_bits), util::Table::fmt(e.binary_bits / cost, 2),
+                   std::to_string(e.text.size()),
+                   util::Table::fmt(static_cast<double>(e.text.size()) / cost, 2)});
+    }
+  }
+  std::printf("%s\n", enc.to_string().c_str());
+
+  std::printf("-- (c) linearization-policy invariance (Lemma 6.1) --\n");
+  util::Table inv({"algorithm", "n", "policies tried", "all costs equal",
+                   "all CS orders equal"});
+  for (const char* name : {"yang-anderson", "bakery", "filter"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    for (int n : {8, 16}) {
+      const auto c = lb::construct(algorithm, n, util::Permutation::reversed(n));
+      const auto base = sim::validate_steps(algorithm, n, c.canonical_linearization());
+      bool cost_equal = true, order_equal = true;
+      const int policies = 8;
+      for (std::uint64_t seed = 1; seed <= policies; ++seed) {
+        lb::LinearizePolicy policy;
+        policy.random_seed = seed;
+        const auto exec =
+            sim::validate_steps(algorithm, n, lb::linearize(c.metasteps, c.order, policy));
+        cost_equal &= exec.sc_cost() == base.sc_cost();
+        order_equal &= benchx::enter_order(exec) == benchx::enter_order(base);
+      }
+      inv.add_row({name, std::to_string(n), std::to_string(policies),
+                   cost_equal ? "yes" : "NO", order_equal ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", inv.to_string().c_str());
+  return 0;
+}

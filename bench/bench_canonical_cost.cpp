@@ -1,0 +1,86 @@
+// Experiment E4 (tightness): canonical SC cost of the algorithm library.
+//
+// Yang–Anderson must track n log n (cost / (n log2 n) flat in n) while the
+// classical baselines grow quadratically, under several schedulers.
+#include "bench/common.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "util/chart.h"
+
+using namespace melb;
+
+namespace {
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n) {
+  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
+  if (name == "round-robin") return std::make_unique<sim::RoundRobinScheduler>();
+  if (name == "convoy-rev")
+    return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
+  return std::make_unique<sim::RandomScheduler>(424242);
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "E4: canonical-execution SC cost per algorithm (tightness of the bound)",
+      "Each cell: SC cost of one canonical execution (n processes, one CS each).\n"
+      "Normalized column = cost / (n log2 n).");
+
+  for (const std::string sched_name : {"sequential", "round-robin", "random", "convoy-rev"}) {
+    std::printf("-- scheduler: %s --\n", sched_name.c_str());
+    util::Table table({"algorithm", "n=4", "n=8", "n=16", "n=32", "n=64", "n=128",
+                       "cost/(n lg n) @128"});
+    for (const char* name :
+         {"yang-anderson", "dekker-tree", "kessels-tree", "bakery", "peterson-tree", "filter",
+          "dijkstra", "burns", "lamport-fast", "static-rr"}) {
+      const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+      std::vector<std::string> row{name};
+      double last_cost = 0;
+      for (int n : {4, 8, 16, 32, 64, 128}) {
+        auto scheduler = make_scheduler(sched_name, n);
+        const auto run = sim::run_canonical(algorithm, n, *scheduler,
+                                            sim::RunMode::kProductiveOnly, 200'000'000);
+        if (!run.completed) {
+          row.push_back(run.livelocked ? "livelock" : "cap");
+          last_cost = 0;
+          continue;
+        }
+        last_cost = static_cast<double>(run.sc_cost);
+        row.push_back(std::to_string(run.sc_cost));
+      }
+      row.push_back(last_cost > 0 ? util::Table::fmt(last_cost / benchx::n_log2_n(128), 2)
+                                  : "-");
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  // Growth chart (sequential scheduler): slopes on log-log axes make the
+  // complexity classes visible — Theta(n log n) just above slope 1,
+  // Theta(n^2) at slope 2.
+  std::vector<util::ChartSeries> series;
+  const char markers[] = {'y', 'b', 'f', 'd'};
+  const char* chart_algos[] = {"yang-anderson", "bakery", "filter", "dekker-tree"};
+  for (int a = 0; a < 4; ++a) {
+    util::ChartSeries s;
+    s.label = std::string(chart_algos[a]) + " (SC cost vs n, sequential)";
+    s.marker = markers[a];
+    for (int n : {4, 8, 16, 32, 64, 128}) {
+      sim::SequentialScheduler sched;
+      const auto run = sim::run_canonical(*algo::algorithm_by_name(chart_algos[a]).algorithm,
+                                          n, sched, sim::RunMode::kProductiveOnly,
+                                          500'000'000);
+      if (!run.completed) continue;
+      s.xs.push_back(n);
+      s.ys.push_back(static_cast<double>(run.sc_cost));
+    }
+    series.push_back(std::move(s));
+  }
+  std::printf("%s\n", util::render_chart(series).c_str());
+
+  std::printf(
+      "Reading: yang-anderson's normalized column is Theta(1) in every schedule —\n"
+      "the O(n log n) upper bound. Quadratic baselines grow ~n/log n. static-rr\n"
+      "beats the bound only because it is not livelock-free (see E5/tests).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment E6 (§3.3): the same canonical execution under all four cost
+// models. Shows what the SC model discounts (single-register busy-waits) and
+// what it charges that CC does not (multi-register spin alternation), and
+// the DSM view for the local-spin algorithm.
+#include "bench/common.h"
+#include "cost/cost_model.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+
+using namespace melb;
+
+int main() {
+  benchx::print_header(
+      "E6: one execution, four cost models (SC model definition, paper §3.3)",
+      "Faithful round-robin canonical run at n=16; busy-wait reads recorded.\n"
+      "total = every access; SC = Def 3.1; CC = cache-coherence misses;\n"
+      "DSM = accesses outside the process's partition.");
+
+  const int n = 16;
+  util::Table table({"algorithm", "total accesses", "SC cost", "CC cost", "DSM cost",
+                     "SC max/process", "CC max/process"});
+  for (const char* name :
+       {"yang-anderson", "bakery", "peterson-tree", "filter", "dijkstra", "burns"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    sim::RoundRobinScheduler scheduler;
+    const auto run = sim::run_canonical(algorithm, n, scheduler, sim::RunMode::kFaithful,
+                                        50'000'000);
+    if (!run.completed) {
+      table.add_row({name, "did-not-complete"});
+      continue;
+    }
+    cost::TotalAccessCost total;
+    cost::StateChangeCost sc;
+    cost::CacheCoherentCost cc(algorithm.num_registers(n));
+    cost::DsmCost dsm(algorithm, n);
+    table.add_row({name, std::to_string(total.total_cost(run.exec, n)),
+                   std::to_string(sc.total_cost(run.exec, n)),
+                   std::to_string(cc.total_cost(run.exec, n)),
+                   std::to_string(dsm.total_cost(run.exec, n)),
+                   std::to_string(sc.max_process_cost(run.exec, n)),
+                   std::to_string(cc.max_process_cost(run.exec, n))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: total >> SC for algorithms with long single-register spins (free in\n"
+      "SC); SC > CC where spins alternate registers (every read changes state: the\n"
+      "SC model charges Peterson/filter/dijkstra waits that CC caches absorb).\n"
+      "DSM is small only for yang-anderson, whose spin registers are local.\n");
+  return 0;
+}

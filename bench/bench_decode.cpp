@@ -1,0 +1,88 @@
+// Experiment E3 (Theorem 7.4): unique decodability, plus decoder timing.
+//
+// Verifies Decode(Encode(Construct(pi))) reproduces a linearization (right
+// CS order, right cost, step-identical projections) across a sweep, then
+// registers google-benchmark timings for the three pipeline phases.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "sim/simulator.h"
+
+using namespace melb;
+
+namespace {
+
+void verification_report() {
+  benchx::print_header(
+      "E3: decode round trip (Theorem 7.4)",
+      "Decode sees only E_pi and the transition function; its output must be a\n"
+      "linearization of (M, pre) — same CS order, same SC cost.");
+
+  util::Table table({"algorithm", "n", "permutations", "round trips OK", "mean decode iters"});
+  for (const char* name : {"yang-anderson", "bakery", "burns", "dijkstra"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    for (int n : {4, 8, 16, 24, 32, 48}) {
+      const auto pis = benchx::permutation_sample(n, 4);
+      int ok = 0;
+      util::RunningStats iters;
+      for (const auto& pi : pis) {
+        const auto construction = lb::construct(algorithm, n, pi);
+        const auto encoding = lb::encode(construction);
+        const auto decoded = lb::decode(algorithm, encoding.text);
+        const auto reference =
+            sim::validate_steps(algorithm, n, construction.canonical_linearization());
+        const bool good = benchx::enter_order(decoded.execution) == pi.order() &&
+                          decoded.execution.sc_cost() == reference.sc_cost();
+        ok += good ? 1 : 0;
+        iters.add(static_cast<double>(decoded.iterations));
+      }
+      table.add_row({name, std::to_string(n),
+                     std::to_string(pis.size()),
+                     std::to_string(ok) + "/" + std::to_string(pis.size()),
+                     util::Table::fmt(iters.mean(), 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void bm_construct(benchmark::State& state) {
+  const auto& algorithm = *algo::algorithm_by_name("yang-anderson").algorithm;
+  const int n = static_cast<int>(state.range(0));
+  const auto pi = util::Permutation::reversed(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::construct(algorithm, n, pi));
+  }
+}
+
+void bm_encode(benchmark::State& state) {
+  const auto& algorithm = *algo::algorithm_by_name("yang-anderson").algorithm;
+  const int n = static_cast<int>(state.range(0));
+  const auto construction = lb::construct(algorithm, n, util::Permutation::reversed(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::encode(construction));
+  }
+}
+
+void bm_decode(benchmark::State& state) {
+  const auto& algorithm = *algo::algorithm_by_name("yang-anderson").algorithm;
+  const int n = static_cast<int>(state.range(0));
+  const auto encoding = lb::encode(lb::construct(algorithm, n, util::Permutation::reversed(n)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::decode(algorithm, encoding.text));
+  }
+}
+
+BENCHMARK(bm_construct)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_encode)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_decode)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verification_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

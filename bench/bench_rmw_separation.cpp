@@ -1,0 +1,65 @@
+// Experiment E9 (§1 extension): registers vs comparison primitives.
+//
+// The Ω(n log n) bound quantifies over *register* algorithms. With RMW
+// primitives (CAS/swap/FAA) canonical executions cost Θ(n) in the SC model —
+// a real asymptotic separation, measured here side by side, plus the
+// construction's explicit rejection of RMW algorithms.
+#include "bench/common.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+
+using namespace melb;
+
+int main() {
+  benchx::print_header(
+      "E9: register vs RMW separation in the SC model (paper §1 extension)",
+      "Canonical SC cost under round-robin. Register algorithms obey the\n"
+      "Omega(n log n) bound; CAS/FAA/swap algorithms sit at Theta(n).");
+
+  util::Table table({"algorithm", "class", "n=8", "n=32", "n=128", "n=512",
+                     "cost/n @512", "cost/(n lg n) @512"});
+  struct Row {
+    const char* name;
+    const char* klass;
+  };
+  for (const Row row : {Row{"yang-anderson", "registers"}, Row{"peterson-tree", "registers"},
+                        Row{"bakery", "registers"}, Row{"ttas-rmw", "RMW"},
+                        Row{"ticket-rmw", "RMW"}, Row{"mcs-rmw", "RMW"}}) {
+    const auto& algorithm = *algo::algorithm_by_name(row.name).algorithm;
+    std::vector<std::string> cells{row.name, row.klass};
+    double last = 0;
+    for (int n : {8, 32, 128, 512}) {
+      sim::RoundRobinScheduler sched;
+      const auto run = sim::run_canonical(algorithm, n, sched,
+                                          sim::RunMode::kProductiveOnly, 500'000'000);
+      if (!run.completed) {
+        cells.push_back("cap");
+        continue;
+      }
+      last = static_cast<double>(run.sc_cost);
+      cells.push_back(std::to_string(run.sc_cost));
+    }
+    cells.push_back(util::Table::fmt(last / 512.0, 2));
+    cells.push_back(util::Table::fmt(last / benchx::n_log2_n(512), 2));
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: ticket/mcs sit at Theta(n) — below the register bound, the real\n"
+      "separation. ttas shows RMW alone is not enough: its handoff storms cost\n"
+      "Theta(n^2) even with CAS. Register algorithms obey Omega(n log n).\n\n");
+
+  std::printf(
+      "The lower-bound construction refuses RMW algorithms (hiding a write under\n"
+      "a later write is unsound when rivals can CAS):\n");
+  for (const char* name : {"ttas-rmw", "ticket-rmw", "mcs-rmw"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    try {
+      lb::construct(algorithm, 4, util::Permutation(4));
+      std::printf("  %s: UNEXPECTEDLY ACCEPTED\n", name);
+    } catch (const std::exception& e) {
+      std::printf("  %s: rejected (%s)\n", name, e.what());
+    }
+  }
+  return 0;
+}

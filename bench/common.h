@@ -1,0 +1,54 @@
+// Shared helpers for the experiment report binaries (bench/).
+//
+// Each bench regenerates one experiment from EXPERIMENTS.md as a markdown
+// table on stdout so runs are diffable. Benches that measure wall time also
+// register google-benchmark timings.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "sim/execution.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace melb::benchx {
+
+inline std::vector<sim::Pid> enter_order(const sim::Execution& exec) {
+  std::vector<sim::Pid> order;
+  for (const auto& rs : exec.steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
+      order.push_back(rs.step.pid);
+    }
+  }
+  return order;
+}
+
+// Permutation sample for adversarial sweeps: identity, reverse, plus
+// `random_count` seeded random permutations.
+inline std::vector<util::Permutation> permutation_sample(int n, int random_count,
+                                                         std::uint64_t seed = 2026) {
+  std::vector<util::Permutation> pis;
+  pis.emplace_back(n);
+  if (n > 1) pis.push_back(util::Permutation::reversed(n));
+  util::Xoshiro256StarStar rng(seed);
+  for (int i = 0; i < random_count; ++i) pis.push_back(util::Permutation::random(n, rng));
+  return pis;
+}
+
+inline double n_log2_n(int n) {
+  if (n <= 1) return 1.0;
+  return n * std::log2(static_cast<double>(n));
+}
+
+inline void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("== %s ==\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+}  // namespace melb::benchx

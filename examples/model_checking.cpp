@@ -1,0 +1,65 @@
+// Exhaustive model checking of mutex algorithms — and what it catches.
+//
+//   $ ./examples/model_checking [n]
+//
+// 1. Verifies every correct algorithm in the registry at n processes
+//    (mutual exclusion + progress over all interleavings).
+// 2. Shows the naive check-then-set lock failing, with the interleaving
+//    that breaks it replayed step by step.
+// 3. Shows why livelock-freedom matters: static-rr passes when everyone
+//    participates but deadlocks a lone contender — the reason its Θ(n) cost
+//    does not contradict the Ω(n log n) bound.
+#include <cstdio>
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+using namespace melb;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  std::printf("== exhaustive check of the algorithm library (n=%d) ==\n", n);
+  util::Table table({"algorithm", "verdict", "states explored", "transitions"});
+  for (const auto& info : algo::correct_algorithms()) {
+    check::CheckOptions options;
+    options.max_states = 4'000'000;
+    const auto result = check::check_algorithm(*info.algorithm, n, options);
+    table.add_row({info.algorithm->name(),
+                   result.ok ? "ok"
+                             : (result.exhausted_limit ? "state limit" : result.violation),
+                   std::to_string(result.states), std::to_string(result.transitions)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("== the broken lock, caught ==\n");
+  const auto& broken = algo::algorithm_by_name("naive-broken");
+  const auto bad = check::check_algorithm(*broken.algorithm, 2);
+  std::printf("verdict: %s\n", bad.violation.c_str());
+  if (bad.counterexample) {
+    std::printf("counterexample interleaving:\n");
+    for (const auto& step : *bad.counterexample) {
+      std::printf("  %s\n", to_string(step).c_str());
+    }
+    // Replay it through the simulator and confirm the validator agrees.
+    const auto exec = sim::validate_steps(*broken.algorithm, 2, *bad.counterexample);
+    std::printf("validator: %s\n", sim::check_mutual_exclusion(exec, 2).c_str());
+  }
+
+  std::printf("\n== livelock-freedom is the bound's hypothesis ==\n");
+  const auto& rr = algo::algorithm_by_name("static-rr");
+  const auto full = check::check_algorithm(*rr.algorithm, 2);
+  std::printf("static-rr, both processes: %s\n", full.ok ? "ok" : full.violation.c_str());
+  check::CheckOptions lone;
+  lone.participants = {1};
+  const auto subset = check::check_algorithm(*rr.algorithm, 2, lone);
+  std::printf("static-rr, only process 1:  %s\n",
+              subset.ok ? "ok (?!)" : subset.violation.c_str());
+  std::printf(
+      "\nThat progress failure is why static-rr's Theta(n) canonical cost does not\n"
+      "contradict Theorem 7.5 — the theorem quantifies over livelock-free\n"
+      "algorithms only, and the checker certifies membership.\n");
+  return bad.ok ? 1 : 0;
+}

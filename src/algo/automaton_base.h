@@ -1,0 +1,33 @@
+// CRTP helper for algorithm automata.
+//
+// Every algorithm automaton is a copyable value type (program counter plus
+// local variables); CloneableAutomaton supplies clone() from the copy
+// constructor. Derived classes implement propose()/advance()/done() and a
+// hash_into() describing *all* local state the transition function consults —
+// the SC cost model (Def. 3.1) detects state changes by fingerprint, so a
+// missing field would silently under-count cost (tests guard this by
+// cross-checking against exact state compares for small runs).
+#pragma once
+
+#include <memory>
+
+#include "sim/automaton.h"
+#include "util/hash.h"
+
+namespace melb::algo {
+
+template <class Derived>
+class CloneableAutomaton : public sim::Automaton {
+ public:
+  std::uint64_t fingerprint() const final {
+    util::Hasher hasher;
+    static_cast<const Derived&>(*this).hash_into(hasher);
+    return hasher.digest();
+  }
+
+  std::unique_ptr<sim::Automaton> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,150 @@
+#include "algo/bakery.h"
+
+#include <algorithm>
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+class BakeryProcess final : public CloneableAutomaton<BakeryProcess> {
+ public:
+  BakeryProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetChoosing:
+        return Step::write(pid_, choosing_reg(pid_), 1);
+      case Pc::kScanNumbers:
+        return Step::read(pid_, number_reg(j_));
+      case Pc::kWriteNumber:
+        return Step::write(pid_, number_reg(pid_), max_seen_ + 1);
+      case Pc::kClearChoosing:
+        return Step::write(pid_, choosing_reg(pid_), 0);
+      case Pc::kWaitChoosing:
+        return Step::read(pid_, choosing_reg(j_));
+      case Pc::kWaitNumber:
+        return Step::read(pid_, number_reg(j_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kClearNumber:
+        return Step::write(pid_, number_reg(pid_), 0);
+      case Pc::kRem:
+        return Step::crit_step(pid_, CritKind::kRem);
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);  // unreachable
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kSetChoosing;
+        break;
+      case Pc::kSetChoosing:
+        pc_ = Pc::kScanNumbers;
+        j_ = 0;
+        max_seen_ = 0;
+        break;
+      case Pc::kScanNumbers:
+        max_seen_ = std::max(max_seen_, read_value);
+        ++j_;
+        if (j_ == n_) {
+          pc_ = Pc::kWriteNumber;
+        }
+        break;
+      case Pc::kWriteNumber:
+        my_number_ = max_seen_ + 1;
+        pc_ = Pc::kClearChoosing;
+        break;
+      case Pc::kClearChoosing:
+        j_ = 0;
+        skip_self();
+        pc_ = (j_ == n_) ? Pc::kEnter : Pc::kWaitChoosing;
+        break;
+      case Pc::kWaitChoosing:
+        // Spin while choosing[j] != 0; same state on re-read (free busywait).
+        if (read_value == 0) pc_ = Pc::kWaitNumber;
+        break;
+      case Pc::kWaitNumber:
+        // Proceed past j when number[j]==0 or (my_number_, pid_) has priority.
+        if (read_value == 0 || std::pair(my_number_, static_cast<Value>(pid_)) <
+                                   std::pair(read_value, static_cast<Value>(j_))) {
+          ++j_;
+          skip_self();
+          pc_ = (j_ == n_) ? Pc::kEnter : Pc::kWaitChoosing;
+        }
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kClearNumber;
+        break;
+      case Pc::kClearNumber:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, j_, max_seen_, my_number_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetChoosing,
+    kScanNumbers,
+    kWriteNumber,
+    kClearChoosing,
+    kWaitChoosing,
+    kWaitNumber,
+    kEnter,
+    kExit,
+    kClearNumber,
+    kRem,
+    kDone,
+  };
+
+  Reg choosing_reg(int j) const { return j; }
+  Reg number_reg(int j) const { return n_ + j; }
+
+  void skip_self() {
+    if (j_ == pid_) ++j_;
+  }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  int j_ = 0;
+  Value max_seen_ = 0;
+  Value my_number_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> BakeryAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<BakeryProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,21 @@
+// Lamport's bakery algorithm (1974), one critical-section pass per process.
+//
+// Registers: choosing[0..n) at indexes [0, n); number[0..n) at [n, 2n).
+// SC cost profile: the doorway performs n state-changing reads (a running
+// maximum) and each wait phase spins on a single register (free until the
+// value changes), so a canonical execution costs Θ(n²) — strictly above the
+// Ω(n log n) bound, as expected for an unoptimized classic.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class BakeryAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "bakery"; }
+  int num_registers(int n) const override { return 2 * n; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

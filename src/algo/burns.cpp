@@ -1,0 +1,159 @@
+#include "algo/burns.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+// Structure (for process i):
+//   L: flag[i] := 0
+//      for j < i: if flag[j] = 1 goto L
+//      flag[i] := 1
+//      for j < i: if flag[j] = 1 goto L
+//      for j > i: await flag[j] = 0
+//   CS; flag[i] := 0
+class BurnsProcess final : public CloneableAutomaton<BurnsProcess> {
+ public:
+  BurnsProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kClearFlag:
+        return Step::write(pid_, j_reg(pid_), 0);
+      case Pc::kScanLowPre:
+      case Pc::kScanLowPost:
+        return Step::read(pid_, j_reg(j_));
+      case Pc::kSetFlag:
+        return Step::write(pid_, j_reg(pid_), 1);
+      case Pc::kAwaitHigh:
+        return Step::read(pid_, j_reg(j_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kRelease:
+        return Step::write(pid_, j_reg(pid_), 0);
+      case Pc::kAfterPostScan:
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kClearFlag;
+        break;
+      case Pc::kClearFlag:
+        start_low_scan(Pc::kScanLowPre, Pc::kSetFlag);
+        break;
+      case Pc::kScanLowPre:
+        if (read_value == 1) {
+          pc_ = Pc::kClearFlag;  // conflict with a lower pid: restart
+        } else {
+          ++j_;
+          if (j_ == pid_) pc_ = Pc::kSetFlag;
+        }
+        break;
+      case Pc::kSetFlag:
+        start_low_scan(Pc::kScanLowPost, Pc::kAfterPostScan);
+        break;
+      case Pc::kScanLowPost:
+        if (read_value == 1) {
+          pc_ = Pc::kClearFlag;  // restart
+        } else {
+          ++j_;
+          if (j_ == pid_) begin_await_high();
+        }
+        break;
+      case Pc::kAwaitHigh:
+        if (read_value == 0) {
+          ++j_;
+          if (j_ == n_) pc_ = Pc::kEnter;
+        }
+        // else: free single-register spin on flag[j_]
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kRelease;
+        break;
+      case Pc::kRelease:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+      case Pc::kAfterPostScan:
+        break;  // never a resting state
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, j_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kClearFlag,
+    kScanLowPre,
+    kScanLowPost,
+    kSetFlag,
+    kAwaitHigh,
+    kAfterPostScan,  // pseudo-target used by start_low_scan for pid 0
+    kEnter,
+    kExit,
+    kRelease,
+    kRem,
+    kDone,
+  };
+
+  Reg j_reg(int j) const { return j; }
+
+  // Begin a scan over j in [0, pid); if the range is empty jump to `on_empty`
+  // (resolved immediately so the automaton always has a concrete next step).
+  void start_low_scan(Pc scan_state, Pc on_empty) {
+    j_ = 0;
+    if (pid_ == 0) {
+      pc_ = on_empty;
+      if (pc_ == Pc::kAfterPostScan) begin_await_high();
+    } else {
+      pc_ = scan_state;
+    }
+  }
+
+  void begin_await_high() {
+    j_ = pid_ + 1;
+    pc_ = (j_ == n_) ? Pc::kEnter : Pc::kAwaitHigh;
+  }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> BurnsAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<BurnsProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,23 @@
+// Burns' one-bit mutual exclusion algorithm.
+//
+// Uses exactly one bit per process — the memory-optimal deadlock-free mutex
+// over registers (cf. Burns & Lynch [6]). Entry: clear own flag, scan lower
+// pids (restart on conflict), set own flag, re-scan lower pids, then await
+// flag[j] = 0 for every higher pid (single-register spins). Unfair but
+// livelock-free; a useful low-memory/high-time point in the cost landscape.
+//
+// Registers: flag[j] at index j.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class BurnsAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "burns"; }
+  int num_registers(int n) const override { return n; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

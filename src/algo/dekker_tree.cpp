@@ -1,0 +1,156 @@
+#include "algo/dekker_tree.h"
+
+#include "algo/automaton_base.h"
+#include "algo/tree.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+// Per node, side s:
+//   entry: flag[s] := 1
+//     L: if flag[1-s] = 0: acquired
+//        if turn != s:            // rival has priority
+//          flag[s] := 0
+//          await turn = s         // free single-register spin
+//          flag[s] := 1
+//        goto L
+//   exit: turn := 1-s; flag[s] := 0
+class DekkerProcess final : public CloneableAutomaton<DekkerProcess> {
+ public:
+  DekkerProcess(Pid pid, int n) : pid_(pid), path_(tree_path(pid, n)) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetFlag:
+      case Pc::kRaiseFlag:
+        return Step::write(pid_, flag_reg(hop(), side()), 1);
+      case Pc::kReadRival:
+        return Step::read(pid_, flag_reg(hop(), 1 - side()));
+      case Pc::kReadTurn:
+      case Pc::kAwaitTurn:
+        return Step::read(pid_, turn_reg(hop()));
+      case Pc::kLowerFlag:
+        return Step::write(pid_, flag_reg(hop(), side()), 0);
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kExitTurn:
+        return Step::write(pid_, turn_reg(hop()), 1 - side());
+      case Pc::kExitFlag:
+        return Step::write(pid_, flag_reg(hop(), side()), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        hop_ = 0;
+        pc_ = Pc::kSetFlag;
+        break;
+      case Pc::kSetFlag:
+      case Pc::kRaiseFlag:
+        pc_ = Pc::kReadRival;
+        break;
+      case Pc::kReadRival:
+        if (read_value == 0) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kReadTurn;
+        }
+        break;
+      case Pc::kReadTurn:
+        // turn == my side: I keep my flag up and re-poll (charged loop);
+        // otherwise I back off and wait for the turn on one register.
+        pc_ = (read_value == side()) ? Pc::kReadRival : Pc::kLowerFlag;
+        break;
+      case Pc::kLowerFlag:
+        pc_ = Pc::kAwaitTurn;
+        break;
+      case Pc::kAwaitTurn:
+        if (read_value == side()) pc_ = Pc::kRaiseFlag;  // else free spin
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        hop_ = static_cast<int>(path_.size()) - 1;  // release root first
+        pc_ = Pc::kExitTurn;
+        break;
+      case Pc::kExitTurn:
+        pc_ = Pc::kExitFlag;
+        break;
+      case Pc::kExitFlag:
+        --hop_;
+        pc_ = (hop_ < 0) ? Pc::kRem : Pc::kExitTurn;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, hop_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetFlag,
+    kReadRival,
+    kReadTurn,
+    kLowerFlag,
+    kAwaitTurn,
+    kRaiseFlag,
+    kEnter,
+    kExit,
+    kExitTurn,
+    kExitFlag,
+    kRem,
+    kDone,
+  };
+
+  int hop() const { return path_[static_cast<std::size_t>(hop_)].node; }
+  int side() const { return path_[static_cast<std::size_t>(hop_)].side; }
+
+  Reg flag_reg(int node, int s) const { return 3 * (node - 1) + s; }
+  Reg turn_reg(int node) const { return 3 * (node - 1) + 2; }
+
+  void node_acquired() {
+    ++hop_;
+    pc_ = (hop_ == static_cast<int>(path_.size())) ? Pc::kEnter : Pc::kSetFlag;
+  }
+
+  Pid pid_;
+  std::vector<TreeHop> path_;
+  Pc pc_ = Pc::kTry;
+  int hop_ = 0;
+};
+
+}  // namespace
+
+int DekkerTreeAlgorithm::num_registers(int n) const { return 3 * tree_internal_nodes(n); }
+
+std::unique_ptr<sim::Automaton> DekkerTreeAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<DekkerProcess>(pid, n);
+}
+
+}  // namespace melb::algo

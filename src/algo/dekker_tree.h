@@ -1,0 +1,25 @@
+// Dekker's algorithm (the first 2-process mutex, 1960s) as a tournament tree.
+//
+// Interesting SC-cost profile: Dekker's back-off phase ("if it's your turn I
+// lower my flag and wait for the turn") spins on the *single* `turn`
+// register, which the SC model does not charge — unlike Peterson's
+// two-register wait. The initial flag/turn polling alternation is still
+// charged, so contended cost sits between Yang–Anderson and Peterson.
+//
+// Register layout per internal node v: flag[v][side] at 3(v-1)+side,
+// turn[v] at 3(v-1)+2 (holds the side whose turn it is to back off last;
+// initially side 0).
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class DekkerTreeAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "dekker-tree"; }
+  int num_registers(int n) const override;
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,149 @@
+#include "algo/dijkstra.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+// Classic structure:
+//   Li: flag[i] := 1
+//   L1: if turn != i { if flag[turn] = 0 { turn := i } ; goto L1 }
+//       flag[i] := 2
+//       for j != i: if flag[j] = 2 goto Li
+//   CS; flag[i] := 0
+class DijkstraProcess final : public CloneableAutomaton<DijkstraProcess> {
+ public:
+  DijkstraProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetFlag1:
+        return Step::write(pid_, flag_reg(pid_), 1);
+      case Pc::kReadTurn:
+        return Step::read(pid_, turn_reg());
+      case Pc::kReadHolderFlag:
+        return Step::read(pid_, flag_reg(holder_));
+      case Pc::kClaimTurn:
+        return Step::write(pid_, turn_reg(), pid_);
+      case Pc::kSetFlag2:
+        return Step::write(pid_, flag_reg(pid_), 2);
+      case Pc::kScan:
+        return Step::read(pid_, flag_reg(j_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kClearFlag:
+        return Step::write(pid_, flag_reg(pid_), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kSetFlag1;
+        break;
+      case Pc::kSetFlag1:
+        pc_ = Pc::kReadTurn;
+        break;
+      case Pc::kReadTurn:
+        if (read_value == pid_) {
+          pc_ = Pc::kSetFlag2;
+        } else {
+          holder_ = static_cast<Pid>(read_value);
+          pc_ = Pc::kReadHolderFlag;
+        }
+        break;
+      case Pc::kReadHolderFlag:
+        pc_ = (read_value == 0) ? Pc::kClaimTurn : Pc::kReadTurn;
+        break;
+      case Pc::kClaimTurn:
+        pc_ = Pc::kReadTurn;
+        break;
+      case Pc::kSetFlag2:
+        j_ = 0;
+        skip_self();
+        pc_ = (j_ == n_) ? Pc::kEnter : Pc::kScan;
+        break;
+      case Pc::kScan:
+        if (read_value == 2) {
+          pc_ = Pc::kSetFlag1;  // conflict: back off and retry from the top
+        } else {
+          ++j_;
+          skip_self();
+          if (j_ == n_) pc_ = Pc::kEnter;
+        }
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kClearFlag;
+        break;
+      case Pc::kClearFlag:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, holder_, j_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetFlag1,
+    kReadTurn,
+    kReadHolderFlag,
+    kClaimTurn,
+    kSetFlag2,
+    kScan,
+    kEnter,
+    kExit,
+    kClearFlag,
+    kRem,
+    kDone,
+  };
+
+  Reg flag_reg(int j) const { return j; }
+  Reg turn_reg() const { return n_; }
+
+  void skip_self() {
+    if (j_ == pid_) ++j_;
+  }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  Pid holder_ = 0;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> DijkstraAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<DijkstraProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,22 @@
+// Dijkstra's mutual exclusion algorithm (1965), the original n-process
+// register solution. Deadlock-free (some trying process always gets in) but
+// admits starvation of individuals; livelock freedom in the paper's sense
+// holds. Its trying protocol repeatedly scans `turn` and other processes'
+// flags, so waiting changes local state on almost every read — canonical SC
+// cost is Θ(n²) and grows quickly with contention.
+//
+// Registers: flag[j] in {0,1,2} at index j; turn at index n (holds a pid).
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class DijkstraAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "dijkstra"; }
+  int num_registers(int n) const override { return n + 1; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

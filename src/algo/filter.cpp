@@ -1,0 +1,137 @@
+#include "algo/filter.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+class FilterProcess final : public CloneableAutomaton<FilterProcess> {
+ public:
+  FilterProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetLevel:
+        return Step::write(pid_, level_reg(pid_), level_);
+      case Pc::kSetVictim:
+        return Step::write(pid_, victim_reg(level_), pid_);
+      case Pc::kScanLevel:
+        return Step::read(pid_, level_reg(j_));
+      case Pc::kCheckVictim:
+        return Step::read(pid_, victim_reg(level_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kClearLevel:
+        return Step::write(pid_, level_reg(pid_), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        level_ = 1;
+        pc_ = (n_ == 1) ? Pc::kEnter : Pc::kSetLevel;
+        break;
+      case Pc::kSetLevel:
+        pc_ = Pc::kSetVictim;
+        break;
+      case Pc::kSetVictim:
+        j_ = 0;
+        skip_self();
+        pc_ = (j_ == n_) ? Pc::kEnter : Pc::kScanLevel;
+        break;
+      case Pc::kScanLevel:
+        if (read_value < level_) {
+          ++j_;
+          skip_self();
+          if (j_ == n_) level_up();
+        } else {
+          pc_ = Pc::kCheckVictim;
+        }
+        break;
+      case Pc::kCheckVictim:
+        if (read_value != pid_) {
+          // No longer the victim: the predicate fails for every k, move up.
+          level_up();
+        } else {
+          pc_ = Pc::kScanLevel;  // still blocked by level[j_]; re-poll
+        }
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kClearLevel;
+        break;
+      case Pc::kClearLevel:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, level_, j_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetLevel,
+    kSetVictim,
+    kScanLevel,
+    kCheckVictim,
+    kEnter,
+    kExit,
+    kClearLevel,
+    kRem,
+    kDone,
+  };
+
+  Reg level_reg(int j) const { return j; }
+  Reg victim_reg(Value level) const { return n_ + static_cast<int>(level) - 1; }
+
+  void skip_self() {
+    if (j_ == pid_) ++j_;
+  }
+
+  void level_up() {
+    ++level_;
+    pc_ = (level_ == n_) ? Pc::kEnter : Pc::kSetLevel;
+  }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  Value level_ = 0;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> FilterAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<FilterProcess>(pid, n);
+}
+
+}  // namespace melb::algo

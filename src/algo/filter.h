@@ -1,0 +1,24 @@
+// The filter lock (Peterson's n-process generalization).
+//
+// n-1 levels; at each level a process announces itself, becomes the level's
+// victim, and waits until no other process is at this level or higher, or it
+// is no longer the victim. The wait predicate spans many registers, so the
+// SC model charges nearly every spin read — canonical cost is Θ(n²) with a
+// large constant under contention (experiments E4/E6 quantify this).
+//
+// Registers: level[j] at index j (0 = not competing, else 1..n-1);
+// victim[L] at index n + (L-1) for L in 1..n-1 (holds a pid).
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class FilterAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "filter"; }
+  int num_registers(int n) const override { return n + (n > 1 ? n - 1 : 1); }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

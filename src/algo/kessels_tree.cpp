@@ -1,0 +1,155 @@
+#include "algo/kessels_tree.h"
+
+#include "algo/automaton_base.h"
+#include "algo/tree.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+// Per node, side s (asymmetric):
+//   entry: B[s] := 1
+//          t := read T[1-s]
+//          T[s] := (s == 0) ? t : 1 - t
+//     L:   if B[1-s] = 0: acquired
+//          v := read T[1-s]
+//          side 0 waits while v == T[0]; side 1 waits while v != T[1]
+//          (condition true -> goto L)
+//   exit:  B[s] := 0
+class KesselsProcess final : public CloneableAutomaton<KesselsProcess> {
+ public:
+  KesselsProcess(Pid pid, int n) : pid_(pid), path_(tree_path(pid, n)) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetB:
+        return Step::write(pid_, b_reg(hop(), side()), 1);
+      case Pc::kReadRivalT:
+        return Step::read(pid_, t_reg(hop(), 1 - side()));
+      case Pc::kWriteMyT:
+        return Step::write(pid_, t_reg(hop(), side()), my_t_);
+      case Pc::kReadRivalB:
+        return Step::read(pid_, b_reg(hop(), 1 - side()));
+      case Pc::kPollRivalT:
+        return Step::read(pid_, t_reg(hop(), 1 - side()));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kExitB:
+        return Step::write(pid_, b_reg(hop(), side()), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        hop_ = 0;
+        pc_ = Pc::kSetB;
+        break;
+      case Pc::kSetB:
+        pc_ = Pc::kReadRivalT;
+        break;
+      case Pc::kReadRivalT:
+        my_t_ = side() == 0 ? read_value : 1 - read_value;
+        pc_ = Pc::kWriteMyT;
+        break;
+      case Pc::kWriteMyT:
+        pc_ = Pc::kReadRivalB;
+        break;
+      case Pc::kReadRivalB:
+        if (read_value == 0) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kPollRivalT;
+        }
+        break;
+      case Pc::kPollRivalT: {
+        // side 0 waits while rival's bit equals mine; side 1 while it differs.
+        const bool waiting = side() == 0 ? read_value == my_t_ : read_value != my_t_;
+        if (waiting) {
+          pc_ = Pc::kReadRivalB;  // charged alternation, like Peterson
+        } else {
+          node_acquired();
+        }
+        break;
+      }
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        hop_ = static_cast<int>(path_.size()) - 1;
+        pc_ = Pc::kExitB;
+        break;
+      case Pc::kExitB:
+        --hop_;
+        pc_ = (hop_ < 0) ? Pc::kRem : Pc::kExitB;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, hop_, my_t_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetB,
+    kReadRivalT,
+    kWriteMyT,
+    kReadRivalB,
+    kPollRivalT,
+    kEnter,
+    kExit,
+    kExitB,
+    kRem,
+    kDone,
+  };
+
+  int hop() const { return path_[static_cast<std::size_t>(hop_)].node; }
+  int side() const { return path_[static_cast<std::size_t>(hop_)].side; }
+
+  Reg b_reg(int node, int s) const { return 4 * (node - 1) + s; }
+  Reg t_reg(int node, int s) const { return 4 * (node - 1) + 2 + s; }
+
+  void node_acquired() {
+    ++hop_;
+    pc_ = (hop_ == static_cast<int>(path_.size())) ? Pc::kEnter : Pc::kSetB;
+  }
+
+  Pid pid_;
+  std::vector<TreeHop> path_;
+  Pc pc_ = Pc::kTry;
+  int hop_ = 0;
+  Value my_t_ = 0;
+};
+
+}  // namespace
+
+int KesselsTreeAlgorithm::num_registers(int n) const { return 4 * tree_internal_nodes(n); }
+
+std::unique_ptr<sim::Automaton> KesselsTreeAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<KesselsProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,26 @@
+// Kessels' single-writer 2-process mutual exclusion as a tournament tree.
+//
+// Kessels (1982) splits Peterson's multi-writer `turn` into two
+// single-writer bits T0/T1 (side 0 publishes T0 := T1, side 1 publishes
+// T1 := 1 − T0; "equal" means side 0 came last). Every register here has
+// exactly one writer — the library's data point that the Ω(n log n) bound
+// does not rely on multi-writer registers. The wait predicate spans the
+// rival's flag and turn bit, so contended spins are SC-charged like
+// Peterson's.
+//
+// Register layout per internal node v (4 registers):
+//   B[v][side] at 4(v-1)+side, T[v][side] at 4(v-1)+2+side.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class KesselsTreeAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "kessels-tree"; }
+  int num_registers(int n) const override;
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,173 @@
+#include "algo/lamport_fast.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+class LamportFastProcess final : public CloneableAutomaton<LamportFastProcess> {
+ public:
+  LamportFastProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetB:
+        return Step::write(pid_, b_reg(pid_), 1);
+      case Pc::kSetX:
+        return Step::write(pid_, x_reg(), me());
+      case Pc::kCheckY:
+      case Pc::kAwaitYFree:
+      case Pc::kRecheckY:
+      case Pc::kAwaitYFree2:
+        return Step::read(pid_, y_reg());
+      case Pc::kClearB1:
+      case Pc::kClearB2:
+        return Step::write(pid_, b_reg(pid_), 0);
+      case Pc::kSetY:
+        return Step::write(pid_, y_reg(), me());
+      case Pc::kCheckX:
+        return Step::read(pid_, x_reg());
+      case Pc::kScanB:
+        return Step::read(pid_, b_reg(j_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kClearY:
+        return Step::write(pid_, y_reg(), 0);
+      case Pc::kClearBExit:
+        return Step::write(pid_, b_reg(pid_), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kSetB;
+        break;
+      case Pc::kSetB:
+        pc_ = Pc::kSetX;
+        break;
+      case Pc::kSetX:
+        pc_ = Pc::kCheckY;
+        break;
+      case Pc::kCheckY:
+        pc_ = (read_value == 0) ? Pc::kSetY : Pc::kClearB1;
+        break;
+      case Pc::kClearB1:
+        pc_ = Pc::kAwaitYFree;
+        break;
+      case Pc::kAwaitYFree:
+        // Single-register spin: free until y returns to ⊥.
+        if (read_value == 0) pc_ = Pc::kSetB;  // restart
+        break;
+      case Pc::kSetY:
+        pc_ = Pc::kCheckX;
+        break;
+      case Pc::kCheckX:
+        if (read_value == me()) {
+          pc_ = Pc::kEnter;  // fast path: no contention observed
+        } else {
+          pc_ = Pc::kClearB2;
+        }
+        break;
+      case Pc::kClearB2:
+        j_ = 0;
+        pc_ = Pc::kScanB;
+        break;
+      case Pc::kScanB:
+        // Await !b[j], one register at a time (free spins), then advance.
+        if (read_value == 0) {
+          ++j_;
+          if (j_ == n_) pc_ = Pc::kRecheckY;
+        }
+        break;
+      case Pc::kRecheckY:
+        if (read_value == me()) {
+          pc_ = Pc::kEnter;  // slow-path winner
+        } else {
+          pc_ = Pc::kAwaitYFree2;
+        }
+        break;
+      case Pc::kAwaitYFree2:
+        if (read_value == 0) pc_ = Pc::kSetB;  // restart
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kClearY;
+        break;
+      case Pc::kClearY:
+        pc_ = Pc::kClearBExit;
+        break;
+      case Pc::kClearBExit:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, j_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetB,
+    kSetX,
+    kCheckY,
+    kClearB1,
+    kAwaitYFree,
+    kSetY,
+    kCheckX,
+    kClearB2,
+    kScanB,
+    kRecheckY,
+    kAwaitYFree2,
+    kEnter,
+    kExit,
+    kClearY,
+    kClearBExit,
+    kRem,
+    kDone,
+  };
+
+  Value me() const { return pid_ + 1; }
+  Reg x_reg() const { return 0; }
+  Reg y_reg() const { return 1; }
+  Reg b_reg(int j) const { return 2 + j; }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> LamportFastAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<LamportFastProcess>(pid, n);
+}
+
+}  // namespace melb::algo

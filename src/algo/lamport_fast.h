@@ -1,0 +1,37 @@
+// Lamport's fast mutual exclusion algorithm (1987).
+//
+// The classic "splitter" construction: in the absence of contention a
+// process enters after O(1) accesses (7 memory operations), independent of
+// n — the fast path the paper's Ω(n log n) bound does *not* forbid, because
+// the bound is about a canonical execution where all n processes enter, and
+// under contention Lamport's slow path scans all n flag registers.
+//
+// Registers: x at 0, y at 1 (0 = ⊥, else pid+1); b[p] at 2+p.
+//
+//   start: b[i] := true; x := i
+//          if y != ⊥  { b[i] := false; await y = ⊥; goto start }
+//          y := i
+//          if x != i {
+//            b[i] := false
+//            for all j: await !b[j]
+//            if y != i { await y = ⊥; goto start }
+//          }
+//          CS
+//          y := ⊥; b[i] := false
+//
+// Deadlock-free (some contender always reaches the CS) but admits
+// starvation; livelock-freedom in the paper's sense holds.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class LamportFastAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "lamport-fast"; }
+  int num_registers(int n) const override { return 2 + n; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,135 @@
+#include "algo/peterson.h"
+
+#include "algo/automaton_base.h"
+#include "algo/tree.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+class PetersonProcess final : public CloneableAutomaton<PetersonProcess> {
+ public:
+  PetersonProcess(Pid pid, int n) : pid_(pid), path_(tree_path(pid, n)) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSetFlag:
+        return Step::write(pid_, flag_reg(hop(), side()), 1);
+      case Pc::kSetTurn:
+        return Step::write(pid_, turn_reg(hop()), side());
+      case Pc::kReadFlag:
+        return Step::read(pid_, flag_reg(hop(), 1 - side()));
+      case Pc::kReadTurn:
+        return Step::read(pid_, turn_reg(hop()));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kClearFlag:
+        return Step::write(pid_, flag_reg(hop(), side()), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        hop_ = 0;
+        pc_ = Pc::kSetFlag;
+        break;
+      case Pc::kSetFlag:
+        pc_ = Pc::kSetTurn;
+        break;
+      case Pc::kSetTurn:
+        pc_ = Pc::kReadFlag;
+        break;
+      case Pc::kReadFlag:
+        if (read_value == 0) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kReadTurn;
+        }
+        break;
+      case Pc::kReadTurn:
+        if (read_value != side()) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kReadFlag;  // alternate: every spin cycle costs 2 state changes
+        }
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        hop_ = static_cast<int>(path_.size()) - 1;  // release root first
+        pc_ = Pc::kClearFlag;
+        break;
+      case Pc::kClearFlag:
+        --hop_;
+        pc_ = (hop_ < 0) ? Pc::kRem : Pc::kClearFlag;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, hop_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kSetFlag,
+    kSetTurn,
+    kReadFlag,
+    kReadTurn,
+    kEnter,
+    kExit,
+    kClearFlag,
+    kRem,
+    kDone,
+  };
+
+  int hop() const { return path_[static_cast<std::size_t>(hop_)].node; }
+  int side() const { return path_[static_cast<std::size_t>(hop_)].side; }
+
+  Reg flag_reg(int node, int s) const { return 3 * (node - 1) + s; }
+  Reg turn_reg(int node) const { return 3 * (node - 1) + 2; }
+
+  void node_acquired() {
+    ++hop_;
+    pc_ = (hop_ == static_cast<int>(path_.size())) ? Pc::kEnter : Pc::kSetFlag;
+  }
+
+  Pid pid_;
+  std::vector<TreeHop> path_;
+  Pc pc_ = Pc::kTry;
+  int hop_ = 0;
+};
+
+}  // namespace
+
+int PetersonTreeAlgorithm::num_registers(int n) const { return 3 * tree_internal_nodes(n); }
+
+std::unique_ptr<sim::Automaton> PetersonTreeAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<PetersonProcess>(pid, n);
+}
+
+}  // namespace melb::algo

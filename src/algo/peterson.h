@@ -1,0 +1,25 @@
+// Peterson's algorithm as a tournament tree (for n = 2 this is exactly
+// Peterson's classic 2-process algorithm).
+//
+// Contrast case for the state-change cost model: Peterson's wait condition
+// `flag[other] = 1 and turn = me` spans *two* registers, so a waiting process
+// must alternate reads and changes local state on every read — the SC model
+// charges every spin iteration. Yang–Anderson's single-register spins are
+// what the model rewards; this algorithm is the control group (experiment E6).
+//
+// Register layout per internal node v: flag[v][side] at 3(v-1)+side,
+// turn[v] at 3(v-1)+2 (turn = s means side s waits).
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class PetersonTreeAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "peterson-tree"; }
+  int num_registers(int n) const override;
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,78 @@
+#include "algo/registry.h"
+
+#include <stdexcept>
+
+#include "algo/bakery.h"
+#include "algo/burns.h"
+#include "algo/dekker_tree.h"
+#include "algo/dijkstra.h"
+#include "algo/filter.h"
+#include "algo/kessels_tree.h"
+#include "algo/lamport_fast.h"
+#include "algo/peterson.h"
+#include "algo/rmw_locks.h"
+#include "algo/simple.h"
+#include "algo/yang_anderson.h"
+
+namespace melb::algo {
+
+const std::vector<AlgorithmInfo>& all_algorithms() {
+  static const std::vector<AlgorithmInfo> algorithms = [] {
+    std::vector<AlgorithmInfo> list;
+    list.push_back({std::make_shared<YangAndersonAlgorithm>(), true, true, false,
+                    "O(n log n) — tight for the SC model (paper §1)"});
+    list.push_back({std::make_shared<BakeryAlgorithm>(), true, true, false,
+                    "Theta(n^2) — doorway scan dominates"});
+    list.push_back({std::make_shared<PetersonTreeAlgorithm>(), true, true, false,
+                    "Theta(n log n) uncontended; unbounded spin charges under contention"});
+    list.push_back({std::make_shared<FilterAlgorithm>(), true, true, false,
+                    "Theta(n^2) and up — multi-register spin predicates"});
+    list.push_back({std::make_shared<DijkstraAlgorithm>(), true, true, false,
+                    "Theta(n^2) and up — turn-scan spins are charged"});
+    list.push_back({std::make_shared<BurnsAlgorithm>(), true, true, false,
+                    "one bit per process; restart scans cost Theta(n^2)"});
+    list.push_back({std::make_shared<DekkerTreeAlgorithm>(), true, true, false,
+                    "Theta(n log n)-ish; back-off waits on one register (free in SC)"});
+    list.push_back({std::make_shared<KesselsTreeAlgorithm>(), true, true, false,
+                    "single-writer registers only; Peterson-like charged spins"});
+    list.push_back({std::make_shared<LamportFastAlgorithm>(), true, true, false,
+                    "O(1) uncontended fast path; Theta(n) scan per contended entry"});
+    list.push_back({std::make_shared<TtasLockAlgorithm>(), true, true, true,
+                    "Theta(n^2) — CAS available but handoffs wake every spinner"});
+    list.push_back({std::make_shared<TicketLockAlgorithm>(), true, true, true,
+                    "Theta(n), FIFO — FAA ticket + one free spin"});
+    list.push_back({std::make_shared<McsLockAlgorithm>(), true, true, true,
+                    "Theta(n), FIFO, local spins — the O(1)-RMR queue lock"});
+    list.push_back({std::make_shared<StaticRoundRobinAlgorithm>(), false, true, false,
+                    "Theta(n) — cheaper than the bound because it is not livelock-free"});
+    list.push_back({std::make_shared<NaiveBrokenLock>(), true, false, false,
+                    "violates mutual exclusion (validator/checker test case)"});
+    return list;
+  }();
+  return algorithms;
+}
+
+std::vector<AlgorithmInfo> correct_algorithms() {
+  std::vector<AlgorithmInfo> result;
+  for (const auto& info : all_algorithms()) {
+    if (info.livelock_free && info.mutex_correct) result.push_back(info);
+  }
+  return result;
+}
+
+std::vector<AlgorithmInfo> register_algorithms() {
+  std::vector<AlgorithmInfo> result;
+  for (const auto& info : correct_algorithms()) {
+    if (!info.uses_rmw) result.push_back(info);
+  }
+  return result;
+}
+
+const AlgorithmInfo& algorithm_by_name(const std::string& name) {
+  for (const auto& info : all_algorithms()) {
+    if (info.algorithm->name() == name) return info;
+  }
+  throw std::out_of_range("unknown algorithm: " + name);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,41 @@
+// Central registry of the algorithm library.
+//
+// Tests, benches and examples iterate "all correct mutex algorithms" or look
+// one up by name; keeping the list here means a new algorithm is picked up by
+// the whole harness by adding one line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+struct AlgorithmInfo {
+  std::shared_ptr<const sim::Algorithm> algorithm;
+  bool livelock_free = true;   // satisfies the paper's livelock-freedom property
+  bool mutex_correct = true;   // satisfies mutual exclusion
+  bool uses_rmw = false;       // uses comparison primitives (CAS/swap/FAA);
+                               // outside the register-only lower bound's scope
+  // Expected canonical SC cost growth, for documentation/report labeling.
+  std::string cost_note;
+};
+
+// Every algorithm in the library, including the deliberately limited ones.
+const std::vector<AlgorithmInfo>& all_algorithms();
+
+// The algorithms that solve livelock-free mutual exclusion — correct over
+// registers or RMW primitives alike.
+std::vector<AlgorithmInfo> correct_algorithms();
+
+// The register-only subset of correct_algorithms(): the class the paper's
+// Theorem 7.5 quantifies over, and the only algorithms the lower-bound
+// construction accepts.
+std::vector<AlgorithmInfo> register_algorithms();
+
+// Lookup by Algorithm::name(); throws std::out_of_range if unknown.
+const AlgorithmInfo& algorithm_by_name(const std::string& name);
+
+}  // namespace melb::algo

@@ -1,0 +1,304 @@
+#include "algo/rmw_locks.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+// ------------------------------------------------------------------- TTAS
+
+class TtasProcess final : public CloneableAutomaton<TtasProcess> {
+ public:
+  explicit TtasProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kSpin:
+        return Step::read(pid_, 0);
+      case Pc::kCas:
+        return Step::cas(pid_, 0, 0, 1);
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kRelease:
+        return Step::write(pid_, 0, 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kSpin;
+        break;
+      case Pc::kSpin:
+        if (read_value == 0) pc_ = Pc::kCas;  // else free single-register spin
+        break;
+      case Pc::kCas:
+        pc_ = (read_value == 0) ? Pc::kEnter : Pc::kSpin;  // old value 0 = won
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kRelease;
+        break;
+      case Pc::kRelease:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t { kTry, kSpin, kCas, kEnter, kExit, kRelease, kRem, kDone };
+  Pid pid_;
+  Pc pc_ = Pc::kTry;
+};
+
+// ----------------------------------------------------------------- Ticket
+
+class TicketProcess final : public CloneableAutomaton<TicketProcess> {
+ public:
+  explicit TicketProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kTakeTicket:
+        return Step::faa(pid_, kNext, 1);
+      case Pc::kAwaitTurn:
+        return Step::read(pid_, kServing);
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kBumpServing:
+        return Step::write(pid_, kServing, ticket_ + 1);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kTakeTicket;
+        break;
+      case Pc::kTakeTicket:
+        ticket_ = read_value;  // FAA observes the old value
+        pc_ = Pc::kAwaitTurn;
+        break;
+      case Pc::kAwaitTurn:
+        if (read_value == ticket_) pc_ = Pc::kEnter;  // else free spin
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kBumpServing;
+        break;
+      case Pc::kBumpServing:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, ticket_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kTakeTicket,
+    kAwaitTurn,
+    kEnter,
+    kExit,
+    kBumpServing,
+    kRem,
+    kDone,
+  };
+  static constexpr Reg kNext = 0;
+  static constexpr Reg kServing = 1;
+  Pid pid_;
+  Pc pc_ = Pc::kTry;
+  Value ticket_ = 0;
+};
+
+// -------------------------------------------------------------------- MCS
+
+class McsProcess final : public CloneableAutomaton<McsProcess> {
+ public:
+  McsProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kResetNext:
+        return Step::write(pid_, next_reg(pid_), 0);
+      case Pc::kArm:
+        return Step::write(pid_, locked_reg(pid_), 1);
+      case Pc::kSwapTail:
+        return Step::swap(pid_, tail_reg(), me());
+      case Pc::kLinkPred:
+        return Step::write(pid_, next_reg(pred_ - 1), me());
+      case Pc::kSpin:
+        return Step::read(pid_, locked_reg(pid_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kReadNext:
+        return Step::read(pid_, next_reg(pid_));
+      case Pc::kCasTail:
+        return Step::cas(pid_, tail_reg(), me(), 0);
+      case Pc::kAwaitSuccessor:
+        return Step::read(pid_, next_reg(pid_));
+      case Pc::kGrantNext:
+        return Step::write(pid_, locked_reg(succ_ - 1), 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kResetNext;
+        break;
+      case Pc::kResetNext:
+        pc_ = Pc::kArm;
+        break;
+      case Pc::kArm:
+        pc_ = Pc::kSwapTail;
+        break;
+      case Pc::kSwapTail:
+        pred_ = static_cast<int>(read_value);
+        pc_ = (pred_ == 0) ? Pc::kEnter : Pc::kLinkPred;
+        break;
+      case Pc::kLinkPred:
+        pc_ = Pc::kSpin;
+        break;
+      case Pc::kSpin:
+        if (read_value == 0) pc_ = Pc::kEnter;  // handed the lock; free spin otherwise
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kReadNext;
+        break;
+      case Pc::kReadNext:
+        succ_ = static_cast<int>(read_value);
+        pc_ = (succ_ == 0) ? Pc::kCasTail : Pc::kGrantNext;
+        break;
+      case Pc::kCasTail:
+        // Old value == me(): queue empty behind us, CAS cleared the tail.
+        pc_ = (read_value == me()) ? Pc::kRem : Pc::kAwaitSuccessor;
+        break;
+      case Pc::kAwaitSuccessor:
+        if (read_value != 0) {
+          succ_ = static_cast<int>(read_value);
+          pc_ = Pc::kGrantNext;
+        }
+        // else free spin: the late enqueuer will link itself shortly
+        break;
+      case Pc::kGrantNext:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, pred_, succ_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kResetNext,
+    kArm,
+    kSwapTail,
+    kLinkPred,
+    kSpin,
+    kEnter,
+    kExit,
+    kReadNext,
+    kCasTail,
+    kAwaitSuccessor,
+    kGrantNext,
+    kRem,
+    kDone,
+  };
+
+  Value me() const { return pid_ + 1; }
+  Reg tail_reg() const { return 0; }
+  Reg next_reg(int p) const { return 1 + p; }
+  Reg locked_reg(int p) const { return 1 + n_ + p; }
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+  int pred_ = 0;
+  int succ_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> TtasLockAlgorithm::make_process(sim::Pid pid, int) const {
+  return std::make_unique<TtasProcess>(pid);
+}
+
+std::unique_ptr<sim::Automaton> TicketLockAlgorithm::make_process(sim::Pid pid, int) const {
+  return std::make_unique<TicketProcess>(pid);
+}
+
+std::unique_ptr<sim::Automaton> McsLockAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<McsProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,46 @@
+// Mutex algorithms over read-modify-write primitives (CAS / swap / FAA).
+//
+// These exercise the paper's §1 remark that the Ω(n log n) bound is specific
+// to registers: with comparison primitives, canonical executions cost Θ(n)
+// in the SC model (O(1) state changes per process). They are rejected by the
+// register-only lower-bound construction (lb::construct throws) — exactly
+// the separation the bound draws. Experiment E9 measures it.
+//
+// TtasLockAlgorithm — read-spin (free) + CAS acquire. Unfair; Θ(1)/process.
+// TicketLockAlgorithm — FAA ticket + single-register spin on now-serving.
+//   FIFO-fair; Θ(1)/process.
+// McsLockAlgorithm — queue lock: swap on tail, CAS on release, per-process
+//   spin cells. FIFO-fair, local spins; Θ(1)/process.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class TtasLockAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "ttas-rmw"; }
+  int num_registers(int) const override { return 1; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+class TicketLockAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "ticket-rmw"; }
+  int num_registers(int) const override { return 2; }  // next, serving
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+class McsLockAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "mcs-rmw"; }
+  // tail at 0; next[p] at 1+p (0 = none, else pid+1); locked[p] at 1+n+p.
+  int num_registers(int n) const override { return 1 + 2 * n; }
+  // The spin cell locked[p] is local to p (local-spin queue lock).
+  sim::Pid register_owner(sim::Reg reg, int n) const override {
+    return reg >= 1 + n ? reg - (1 + n) : -1;
+  }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,153 @@
+#include "algo/simple.h"
+
+#include "algo/automaton_base.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Step;
+using sim::Value;
+
+class StaticRoundRobinProcess final : public CloneableAutomaton<StaticRoundRobinProcess> {
+ public:
+  StaticRoundRobinProcess(Pid pid, int n) : pid_(pid), n_(n) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kAwaitTurn:
+        return Step::read(pid_, 0);
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kPassTurn:
+        return Step::write(pid_, 0, pid_ + 1);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kAwaitTurn;
+        break;
+      case Pc::kAwaitTurn:
+        if (read_value == pid_) pc_ = Pc::kEnter;  // otherwise free spin
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kPassTurn;
+        break;
+      case Pc::kPassTurn:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, n_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t { kTry, kAwaitTurn, kEnter, kExit, kPassTurn, kRem, kDone };
+
+  Pid pid_;
+  int n_;
+  Pc pc_ = Pc::kTry;
+};
+
+class NaiveBrokenProcess final : public CloneableAutomaton<NaiveBrokenProcess> {
+ public:
+  explicit NaiveBrokenProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kCheck:
+        return Step::read(pid_, 0);
+      case Pc::kGrab:
+        return Step::write(pid_, 0, 1);
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kRelease:
+        return Step::write(pid_, 0, 0);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        pc_ = Pc::kCheck;
+        break;
+      case Pc::kCheck:
+        if (read_value == 0) pc_ = Pc::kGrab;  // time-of-check/time-of-use race
+        break;
+      case Pc::kGrab:
+        pc_ = Pc::kEnter;
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        pc_ = Pc::kRelease;
+        break;
+      case Pc::kRelease:
+        pc_ = Pc::kRem;
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t { kTry, kCheck, kGrab, kEnter, kExit, kRelease, kRem, kDone };
+
+  Pid pid_;
+  Pc pc_ = Pc::kTry;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Automaton> StaticRoundRobinAlgorithm::make_process(sim::Pid pid,
+                                                                        int n) const {
+  return std::make_unique<StaticRoundRobinProcess>(pid, n);
+}
+
+std::unique_ptr<sim::Automaton> NaiveBrokenLock::make_process(sim::Pid pid, int) const {
+  return std::make_unique<NaiveBrokenProcess>(pid);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,33 @@
+// Small pedagogical algorithms used throughout the tests and experiments.
+//
+// StaticRoundRobinAlgorithm — a single `turn` register granted in pid order.
+//   Mutual exclusion holds and canonical executions cost only Θ(n), *below*
+//   the Ω(n log n) bound — which is consistent because the algorithm is not
+//   livelock-free: if only process 5 is trying, nobody ever advances `turn`
+//   and no process enters. It demonstrates why livelock-freedom is a
+//   necessary hypothesis of Theorem 7.5 (the checker catches the violation).
+//
+// NaiveBrokenLock — read-then-set one-register lock. Violates mutual
+//   exclusion under an adversarial interleaving; used to validate that the
+//   model checker and execution validators actually detect violations.
+#pragma once
+
+#include "sim/automaton.h"
+
+namespace melb::algo {
+
+class StaticRoundRobinAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "static-rr"; }
+  int num_registers(int) const override { return 1; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+class NaiveBrokenLock final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "naive-broken"; }
+  int num_registers(int) const override { return 1; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+};
+
+}  // namespace melb::algo

@@ -1,0 +1,23 @@
+#include "algo/tree.h"
+
+namespace melb::algo {
+
+int tree_leaf_span(int n) {
+  int span = 2;
+  while (span < n) span *= 2;
+  return span;
+}
+
+int tree_internal_nodes(int n) { return tree_leaf_span(n) - 1; }
+
+std::vector<TreeHop> tree_path(sim::Pid pid, int n) {
+  std::vector<TreeHop> path;
+  int node = tree_leaf_span(n) + pid;
+  while (node > 1) {
+    path.push_back(TreeHop{node / 2, node & 1});
+    node /= 2;
+  }
+  return path;
+}
+
+}  // namespace melb::algo

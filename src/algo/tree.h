@@ -1,0 +1,30 @@
+// Arbitration-tree plumbing shared by the tournament algorithms.
+//
+// Processes are assigned to the leaves of a complete binary tree with
+// L = 2^ceil(log2 n) leaf slots; internal nodes are heap-indexed 1..L-1.
+// A process entering the critical section acquires the 2-process lock at
+// every node on its leaf-to-root path (recording which side it came from);
+// it releases them root-to-leaf on exit.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace melb::algo {
+
+struct TreeHop {
+  int node = 0;  // heap index of the internal node (1-based; 1 is the root)
+  int side = 0;  // 0 if the process arrived from the left child, 1 from right
+};
+
+// Smallest power of two >= max(n, 2); the leaf-row width.
+int tree_leaf_span(int n);
+
+// Number of internal nodes (= leaf span - 1).
+int tree_internal_nodes(int n);
+
+// Leaf-to-root path for process pid among n processes (entry order).
+std::vector<TreeHop> tree_path(sim::Pid pid, int n);
+
+}  // namespace melb::algo

@@ -1,0 +1,212 @@
+#include "algo/yang_anderson.h"
+
+#include "algo/automaton_base.h"
+#include "algo/tree.h"
+
+namespace melb::algo {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::Value;
+
+class YangAndersonProcess final : public CloneableAutomaton<YangAndersonProcess> {
+ public:
+  YangAndersonProcess(Pid pid, int n)
+      : pid_(pid), n_(n), path_(tree_path(pid, n)), internal_(tree_internal_nodes(n)) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case Pc::kTry:
+        return Step::crit_step(pid_, CritKind::kTry);
+      case Pc::kWriteC:
+        return Step::write(pid_, c_reg(hop(), side()), me());
+      case Pc::kWriteT:
+        return Step::write(pid_, t_reg(hop()), me());
+      case Pc::kResetP:
+        return Step::write(pid_, p_reg(hop_, pid_), 0);
+      case Pc::kReadRival:
+        return Step::read(pid_, c_reg(hop(), 1 - side()));
+      case Pc::kReadT:
+      case Pc::kReadT2:
+        return Step::read(pid_, t_reg(hop()));
+      case Pc::kReadRivalP:
+        return Step::read(pid_, p_reg(hop_, rival_ - 1));
+      case Pc::kHelpRival:
+        return Step::write(pid_, p_reg(hop_, rival_ - 1), 1);
+      case Pc::kAwaitStage1:
+      case Pc::kAwaitStage2:
+        return Step::read(pid_, p_reg(hop_, pid_));
+      case Pc::kEnter:
+        return Step::crit_step(pid_, CritKind::kEnter);
+      case Pc::kExit:
+        return Step::crit_step(pid_, CritKind::kExit);
+      case Pc::kExitWriteC:
+        return Step::write(pid_, c_reg(hop(), side()), 0);
+      case Pc::kExitReadT:
+        return Step::read(pid_, t_reg(hop()));
+      case Pc::kExitSignal:
+        return Step::write(pid_, p_reg(hop_, rival_ - 1), 2);
+      case Pc::kRem:
+      case Pc::kDone:
+        break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value read_value) override {
+    switch (pc_) {
+      case Pc::kTry:
+        hop_ = 0;
+        pc_ = Pc::kWriteC;
+        break;
+      case Pc::kWriteC:
+        pc_ = Pc::kWriteT;
+        break;
+      case Pc::kWriteT:
+        pc_ = Pc::kResetP;
+        break;
+      case Pc::kResetP:
+        pc_ = Pc::kReadRival;
+        break;
+      case Pc::kReadRival:
+        rival_ = static_cast<int>(read_value);
+        if (rival_ == 0) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kReadT;
+        }
+        break;
+      case Pc::kReadT:
+        if (read_value != me()) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kReadRivalP;
+        }
+        break;
+      case Pc::kReadRivalP:
+        pc_ = (read_value == 0) ? Pc::kHelpRival : Pc::kAwaitStage1;
+        break;
+      case Pc::kHelpRival:
+        pc_ = Pc::kAwaitStage1;
+        break;
+      case Pc::kAwaitStage1:
+        if (read_value >= 1) pc_ = Pc::kReadT2;  // otherwise free spin
+        break;
+      case Pc::kReadT2:
+        if (read_value != me()) {
+          node_acquired();
+        } else {
+          pc_ = Pc::kAwaitStage2;
+        }
+        break;
+      case Pc::kAwaitStage2:
+        if (read_value == 2) node_acquired();  // otherwise free spin
+        break;
+      case Pc::kEnter:
+        pc_ = Pc::kExit;
+        break;
+      case Pc::kExit:
+        hop_ = static_cast<int>(path_.size()) - 1;  // release root first
+        pc_ = Pc::kExitWriteC;
+        break;
+      case Pc::kExitWriteC:
+        pc_ = Pc::kExitReadT;
+        break;
+      case Pc::kExitReadT:
+        rival_ = static_cast<int>(read_value);
+        if (rival_ != 0 && rival_ != me()) {
+          pc_ = Pc::kExitSignal;
+        } else {
+          node_released();
+        }
+        break;
+      case Pc::kExitSignal:
+        node_released();
+        break;
+      case Pc::kRem:
+        pc_ = Pc::kDone;
+        break;
+      case Pc::kDone:
+        break;
+    }
+  }
+
+  bool done() const override { return pc_ == Pc::kDone; }
+
+  void hash_into(util::Hasher& hasher) const {
+    hasher.add_all({static_cast<std::int64_t>(pc_), pid_, hop_, rival_});
+  }
+
+ private:
+  enum class Pc : std::uint8_t {
+    kTry,
+    kWriteC,
+    kWriteT,
+    kResetP,
+    kReadRival,
+    kReadT,
+    kReadRivalP,
+    kHelpRival,
+    kAwaitStage1,
+    kReadT2,
+    kAwaitStage2,
+    kEnter,
+    kExit,
+    kExitWriteC,
+    kExitReadT,
+    kExitSignal,
+    kRem,
+    kDone,
+  };
+
+  Value me() const { return pid_ + 1; }
+  int hop() const { return path_[static_cast<std::size_t>(hop_)].node; }
+  int side() const { return path_[static_cast<std::size_t>(hop_)].side; }
+
+  Reg c_reg(int node, int s) const { return 3 * (node - 1) + s; }
+  Reg t_reg(int node) const { return 3 * (node - 1) + 2; }
+  // Spin flag of process p at tree level `level` (hop index). Per-level
+  // slots prevent a delayed signal from one node from poisoning the same
+  // process's wait at a higher node (see header).
+  Reg p_reg(int level, Pid p) const { return 3 * internal_ + level * n_ + p; }
+
+  void node_acquired() {
+    ++hop_;
+    pc_ = (hop_ == static_cast<int>(path_.size())) ? Pc::kEnter : Pc::kWriteC;
+  }
+
+  void node_released() {
+    --hop_;
+    pc_ = (hop_ < 0) ? Pc::kRem : Pc::kExitWriteC;
+  }
+
+  Pid pid_;
+  int n_;
+  std::vector<TreeHop> path_;
+  int internal_;
+  Pc pc_ = Pc::kTry;
+  int hop_ = 0;
+  int rival_ = 0;
+};
+
+}  // namespace
+
+int YangAndersonAlgorithm::num_registers(int n) const {
+  const int levels = static_cast<int>(tree_path(0, n).size());
+  return 3 * tree_internal_nodes(n) + levels * n;
+}
+
+sim::Pid YangAndersonAlgorithm::register_owner(sim::Reg reg, int n) const {
+  const int first_spin_reg = 3 * tree_internal_nodes(n);
+  return reg >= first_spin_reg ? (reg - first_spin_reg) % n : -1;
+}
+
+std::unique_ptr<sim::Automaton> YangAndersonAlgorithm::make_process(sim::Pid pid, int n) const {
+  return std::make_unique<YangAndersonProcess>(pid, n);
+}
+
+}  // namespace melb::algo

@@ -1,0 +1,220 @@
+#include "check/model_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace melb::check {
+
+namespace {
+
+using sim::Automaton;
+using sim::CritKind;
+using sim::Pid;
+using sim::Step;
+using sim::StepType;
+using sim::Value;
+
+struct State {
+  std::vector<Value> registers;
+  std::vector<std::shared_ptr<const Automaton>> automata;  // shared across states
+  int in_cs = 0;          // processes between enter and exit
+  int done_count = 0;     // participants that performed rem
+  std::uint32_t parent = 0;
+  Step parent_step;       // step taken from parent to reach this state
+
+  std::uint64_t fingerprint() const {
+    util::Hasher hasher;
+    for (Value v : registers) hasher.add_signed(v);
+    for (const auto& automaton : automata) {
+      hasher.add(automaton ? automaton->fingerprint() : 0x5eed);
+    }
+    return hasher.digest();
+  }
+};
+
+std::vector<Step> trace_to(const std::vector<State>& states, std::uint32_t idx) {
+  std::vector<Step> steps;
+  while (idx != 0) {
+    steps.push_back(states[idx].parent_step);
+    idx = states[idx].parent;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
+
+}  // namespace
+
+CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
+                            const CheckOptions& options) {
+  CheckResult result;
+
+  std::vector<bool> participates(static_cast<std::size_t>(n), options.participants.empty());
+  int num_participants = options.participants.empty() ? n : 0;
+  for (Pid pid : options.participants) {
+    if (!participates[static_cast<std::size_t>(pid)]) {
+      participates[static_cast<std::size_t>(pid)] = true;
+      ++num_participants;
+    }
+  }
+
+  std::vector<State> states;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  std::vector<std::vector<std::uint32_t>> successors;
+
+  State initial;
+  const int regs = algorithm.num_registers(n);
+  initial.registers.resize(static_cast<std::size_t>(regs));
+  for (sim::Reg r = 0; r < regs; ++r) {
+    initial.registers[static_cast<std::size_t>(r)] = algorithm.register_init(r, n);
+  }
+  initial.automata.resize(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) {
+    if (participates[static_cast<std::size_t>(p)]) {
+      initial.automata[static_cast<std::size_t>(p)] =
+          std::shared_ptr<const Automaton>(algorithm.make_process(p, n));
+    }
+  }
+
+  states.push_back(std::move(initial));
+  successors.emplace_back();
+  index_of.emplace(states[0].fingerprint(), 0);
+
+  std::deque<std::uint32_t> frontier{0};
+  std::vector<std::uint32_t> terminals;
+
+  while (!frontier.empty()) {
+    if (states.size() > options.max_states) {
+      result.exhausted_limit = true;
+      break;
+    }
+    const std::uint32_t idx = frontier.front();
+    frontier.pop_front();
+
+    if (states[idx].done_count == num_participants) {
+      terminals.push_back(idx);
+      continue;
+    }
+
+    for (Pid pid = 0; pid < n; ++pid) {
+      // Note: states[idx] must be re-indexed inside the loop; pushing new
+      // states may reallocate the vector.
+      const auto& automaton = states[idx].automata[static_cast<std::size_t>(pid)];
+      if (!automaton || automaton->done()) continue;
+
+      const Step step = automaton->propose();
+      State next;
+      next.registers = states[idx].registers;
+      next.automata = states[idx].automata;
+      next.in_cs = states[idx].in_cs;
+      next.done_count = states[idx].done_count;
+      next.parent = idx;
+      next.parent_step = step;
+
+      Value read_value = 0;
+      if (step.type == StepType::kRead) {
+        read_value = next.registers[static_cast<std::size_t>(step.reg)];
+      } else if (step.type == StepType::kWrite) {
+        next.registers[static_cast<std::size_t>(step.reg)] = step.value;
+      } else if (step.type == StepType::kRmw) {
+        auto& cell = next.registers[static_cast<std::size_t>(step.reg)];
+        read_value = cell;
+        cell = sim::apply_rmw(step, cell);
+      } else {
+        if (step.crit == CritKind::kEnter) ++next.in_cs;
+        if (step.crit == CritKind::kExit) --next.in_cs;
+        if (step.crit == CritKind::kRem) ++next.done_count;
+      }
+      auto advanced = automaton->clone();
+      advanced->advance(read_value);
+      next.automata[static_cast<std::size_t>(pid)] = std::move(advanced);
+
+      if (options.check_mutex && next.in_cs > 1) {
+        result.violation = "mutual exclusion violated: two processes in the critical section";
+        auto steps = trace_to(states, idx);
+        steps.push_back(step);
+        result.counterexample = std::move(steps);
+        result.states = states.size();
+        return result;
+      }
+
+      const std::uint64_t fp = next.fingerprint();
+      auto [it, inserted] = index_of.try_emplace(fp, static_cast<std::uint32_t>(states.size()));
+      if (inserted) {
+        states.push_back(std::move(next));
+        successors.emplace_back();
+        frontier.push_back(it->second);
+      }
+      if (it->second != idx) {  // ignore free-spin self-loops
+        successors[idx].push_back(it->second);
+        ++result.transitions;
+      }
+    }
+  }
+
+  result.states = states.size();
+
+  if (options.check_progress && !result.exhausted_limit) {
+    // Reverse reachability from terminal states; anything unreached is a
+    // state from which termination is impossible.
+    std::vector<std::vector<std::uint32_t>> predecessors(states.size());
+    for (std::uint32_t from = 0; from < states.size(); ++from) {
+      for (std::uint32_t to : successors[from]) predecessors[to].push_back(from);
+    }
+    std::vector<bool> can_finish(states.size(), false);
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t t : terminals) {
+      can_finish[t] = true;
+      queue.push_back(t);
+    }
+    while (!queue.empty()) {
+      const std::uint32_t idx = queue.front();
+      queue.pop_front();
+      for (std::uint32_t pred : predecessors[idx]) {
+        if (!can_finish[pred]) {
+          can_finish[pred] = true;
+          queue.push_back(pred);
+        }
+      }
+    }
+    for (std::uint32_t idx = 0; idx < states.size(); ++idx) {
+      if (!can_finish[idx]) {
+        result.violation = "progress violated: state with no path to termination (livelock)";
+        result.counterexample = trace_to(states, idx);
+        return result;
+      }
+    }
+  }
+
+  result.ok = result.violation.empty();
+  return result;
+}
+
+CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,
+                              const CheckOptions& options) {
+  CheckResult last;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    CheckOptions subset_options = options;
+    subset_options.participants.clear();
+    std::string subset_desc;
+    for (Pid pid = 0; pid < n; ++pid) {
+      if (mask & (1u << pid)) {
+        subset_options.participants.push_back(pid);
+        subset_desc += (subset_desc.empty() ? "" : ",") + std::to_string(pid);
+      }
+    }
+    CheckResult result = check_algorithm(algorithm, n, subset_options);
+    if (!result.ok) {
+      result.violation += " [participants {" + subset_desc + "}]";
+      return result;
+    }
+    last = std::move(result);
+  }
+  return last;
+}
+
+}  // namespace melb::check

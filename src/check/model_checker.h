@@ -1,0 +1,62 @@
+// Explicit-state model checker for mutex algorithms at small n.
+//
+// Explores every interleaving of one canonical pass (each participating
+// process runs try → enter → exit → rem once) and checks:
+//  * Mutual exclusion — no reachable state has two processes between their
+//    enter and exit steps. Counterexample trace reported on violation.
+//  * Progress (deadlock/livelock freedom for the explored fragment) — from
+//    every reachable state, some terminal state (all participants done) is
+//    reachable. A state with no path to termination means every fair
+//    continuation spins forever: a livelock witness.
+//
+// Participation subsets matter: the paper's livelock-freedom must hold when
+// only some processes ever leave their remainder sections (a process that
+// never takes a critical step is exempt from fairness). `check_all_subsets`
+// runs the checker once per nonempty subset; the static round-robin
+// "algorithm" passes with all n participants but fails on {1}, which is
+// exactly why its Θ(n) canonical cost does not contradict Theorem 7.5.
+//
+// States are deduplicated by 64-bit fingerprint of (registers, automaton
+// states); a collision would merge two distinct states, with probability
+// ~(states²)·2⁻⁶⁴ — negligible at the ≤10⁷ states this checker is meant for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.h"
+#include "sim/types.h"
+
+namespace melb::check {
+
+struct CheckOptions {
+  std::uint64_t max_states = 2'000'000;
+  bool check_mutex = true;
+  bool check_progress = true;
+  // Which pids take part; empty = all n. Non-participants take no steps.
+  std::vector<sim::Pid> participants;
+};
+
+struct CheckResult {
+  bool ok = false;
+  bool exhausted_limit = false;   // hit max_states before full exploration
+  std::string violation;          // empty if ok
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  // For mutex violations: a step sequence from the initial state to the bad
+  // state. For progress violations: a path to a livelocked state.
+  std::optional<std::vector<sim::Step>> counterexample;
+};
+
+CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
+                            const CheckOptions& options = {});
+
+// Runs check_algorithm for every nonempty subset of [0, n). Returns the
+// first failing result (with the subset recorded in `violation`), or the
+// all-participants result if every subset passes.
+CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,
+                              const CheckOptions& options = {});
+
+}  // namespace melb::check

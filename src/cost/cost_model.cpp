@@ -1,0 +1,106 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+
+namespace melb::cost {
+
+using sim::Execution;
+using sim::Pid;
+using sim::StepType;
+
+std::uint64_t CostModel::total_cost(const Execution& exec, int n) const {
+  std::uint64_t total = 0;
+  for (auto c : per_process_cost(exec, n)) total += c;
+  return total;
+}
+
+std::uint64_t CostModel::max_process_cost(const Execution& exec, int n) const {
+  const auto costs = per_process_cost(exec, n);
+  return costs.empty() ? 0 : *std::max_element(costs.begin(), costs.end());
+}
+
+std::vector<std::uint64_t> TotalAccessCost::per_process_cost(const Execution& exec,
+                                                             int n) const {
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(n), 0);
+  for (const auto& rs : exec.steps()) {
+    if (rs.step.is_memory_access()) ++costs[static_cast<std::size_t>(rs.step.pid)];
+  }
+  return costs;
+}
+
+std::vector<std::uint64_t> StateChangeCost::per_process_cost(const Execution& exec,
+                                                             int n) const {
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(n), 0);
+  for (const auto& rs : exec.steps()) {
+    if (rs.step.is_memory_access() && rs.state_changed) {
+      ++costs[static_cast<std::size_t>(rs.step.pid)];
+    }
+  }
+  return costs;
+}
+
+std::vector<std::uint64_t> CacheCoherentCost::per_process_cost(const Execution& exec,
+                                                               int n) const {
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(n), 0);
+  // line_state[r]: which processes hold register r in cache, and whether some
+  // process holds it exclusively (the last writer).
+  struct Line {
+    std::vector<bool> sharers;
+    Pid exclusive = -1;  // holder with write permission, or -1
+  };
+  std::vector<Line> lines(static_cast<std::size_t>(num_registers_));
+  for (auto& line : lines) line.sharers.assign(static_cast<std::size_t>(n), false);
+
+  for (const auto& rs : exec.steps()) {
+    if (!rs.step.is_memory_access()) continue;
+    auto& line = lines[static_cast<std::size_t>(rs.step.reg)];
+    const auto pid = static_cast<std::size_t>(rs.step.pid);
+    if (rs.step.type == StepType::kRead) {
+      if (!line.sharers[pid]) {
+        ++costs[pid];  // coherence miss: fetch the line
+        line.sharers[pid] = true;
+      }
+      if (line.exclusive == rs.step.pid) line.exclusive = -1;  // demote to shared
+    } else {  // write
+      const bool already_exclusive =
+          line.exclusive == rs.step.pid && line.sharers[pid] &&
+          std::count(line.sharers.begin(), line.sharers.end(), true) == 1;
+      if (!already_exclusive) {
+        ++costs[pid];  // invalidation round
+        line.sharers.assign(static_cast<std::size_t>(n), false);
+        line.sharers[pid] = true;
+      }
+      line.exclusive = rs.step.pid;
+    }
+  }
+  return costs;
+}
+
+DsmCost::DsmCost(const sim::Algorithm& algorithm, int n) {
+  const int regs = algorithm.num_registers(n);
+  owner_.resize(static_cast<std::size_t>(regs));
+  for (sim::Reg r = 0; r < regs; ++r) owner_[static_cast<std::size_t>(r)] = algorithm.register_owner(r, n);
+}
+
+std::vector<std::uint64_t> DsmCost::per_process_cost(const Execution& exec, int n) const {
+  std::vector<std::uint64_t> costs(static_cast<std::size_t>(n), 0);
+  for (const auto& rs : exec.steps()) {
+    if (!rs.step.is_memory_access()) continue;
+    if (owner_[static_cast<std::size_t>(rs.step.reg)] != rs.step.pid) {
+      ++costs[static_cast<std::size_t>(rs.step.pid)];
+    }
+  }
+  return costs;
+}
+
+std::vector<std::unique_ptr<CostModel>> standard_models(const sim::Algorithm& algorithm,
+                                                        int n) {
+  std::vector<std::unique_ptr<CostModel>> models;
+  models.push_back(std::make_unique<TotalAccessCost>());
+  models.push_back(std::make_unique<StateChangeCost>());
+  models.push_back(std::make_unique<CacheCoherentCost>(algorithm.num_registers(n)));
+  models.push_back(std::make_unique<DsmCost>(algorithm, n));
+  return models;
+}
+
+}  // namespace melb::cost

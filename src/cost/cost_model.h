@@ -1,0 +1,82 @@
+// Cost models for shared-memory executions (paper §3.3 and related work §2).
+//
+// The paper's results are stated in the state change (SC) model; the related
+// work it positions against uses the distributed shared memory (DSM) and
+// cache coherent (CC) remote-memory-reference models. All four are
+// implemented here over recorded executions so experiments can compare the
+// same run under every measure:
+//
+//  * TotalAccessCost  — every shared-memory access costs 1 (Alur–Taubenfeld
+//    [1] proved this is unbounded for any mutex algorithm: busy-waiting).
+//  * StateChangeCost  — Def. 3.1: an access costs 1 iff the acting process
+//    changed local state. Single-register busy-waits are charged once.
+//  * CacheCoherentCost — write-invalidate cache simulation: a read misses if
+//    the line was invalidated since the process last held it; a write misses
+//    unless the process has the line exclusively.
+//  * DsmCost          — each register lives in one process's partition
+//    (Algorithm::register_owner); accesses to another partition cost 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.h"
+#include "sim/execution.h"
+
+namespace melb::cost {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Cost attributed to each process (index = pid).
+  virtual std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec,
+                                                      int n) const = 0;
+
+  std::uint64_t total_cost(const sim::Execution& exec, int n) const;
+
+  // The maximum over processes — the non-amortized measure of Anderson & Kim [2].
+  std::uint64_t max_process_cost(const sim::Execution& exec, int n) const;
+};
+
+class TotalAccessCost final : public CostModel {
+ public:
+  std::string name() const override { return "total-accesses"; }
+  std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+};
+
+class StateChangeCost final : public CostModel {
+ public:
+  std::string name() const override { return "state-change"; }
+  std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+};
+
+class CacheCoherentCost final : public CostModel {
+ public:
+  explicit CacheCoherentCost(int num_registers) : num_registers_(num_registers) {}
+  std::string name() const override { return "cache-coherent"; }
+  std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+
+ private:
+  int num_registers_;
+};
+
+class DsmCost final : public CostModel {
+ public:
+  // Keeps a reference: the algorithm must outlive the model.
+  DsmCost(const sim::Algorithm& algorithm, int n);
+  std::string name() const override { return "dsm"; }
+  std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+
+ private:
+  std::vector<sim::Pid> owner_;  // register -> owning pid or -1
+};
+
+// All four models instantiated for one algorithm instance.
+std::vector<std::unique_ptr<CostModel>> standard_models(const sim::Algorithm& algorithm, int n);
+
+}  // namespace melb::cost

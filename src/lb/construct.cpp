@@ -1,0 +1,246 @@
+#include "lb/construct.h"
+
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace melb::lb {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::StepType;
+
+class Builder {
+ public:
+  Builder(const sim::Algorithm& algorithm, int n, const util::Permutation& pi,
+          const ConstructOptions& options)
+      : algorithm_(algorithm), options_(options) {
+    result_.n = n;
+    result_.pi = pi;
+    result_.process_chain.resize(static_cast<std::size_t>(n));
+    const int regs = algorithm.num_registers(n);
+    result_.writes_by_reg.resize(static_cast<std::size_t>(regs));
+    result_.reads_by_reg.resize(static_cast<std::size_t>(regs));
+  }
+
+  Construction run() {
+    for (int stage = 0; stage < result_.n; ++stage) {
+      generate(result_.pi.at(stage));
+      if (options_.keep_stage_snapshots) {
+        Construction snapshot;
+        snapshot.n = result_.n;
+        snapshot.pi = result_.pi;
+        snapshot.metasteps = result_.metasteps;
+        snapshot.order = result_.order;
+        snapshot.process_chain = result_.process_chain;
+        snapshot.writes_by_reg = result_.writes_by_reg;
+        snapshot.reads_by_reg = result_.reads_by_reg;
+        result_.stages.push_back(std::move(snapshot));
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  MetastepId new_metastep(MetastepType type, Reg reg) {
+    const MetastepId id = result_.order.add_node();
+    Metastep m;
+    m.id = id;
+    m.type = type;
+    m.reg = reg;
+    result_.metasteps.push_back(std::move(m));
+    ++result_.creations;
+    return id;
+  }
+
+  Metastep& meta(MetastepId id) { return result_.metasteps[static_cast<std::size_t>(id)]; }
+
+  // min over the register's write chain (chain order = ≼ order, Lemma 5.3)
+  // of metasteps not ≼ bound, optionally filtered by `accept`.
+  template <typename Accept>
+  MetastepId min_write_not_leq(Reg reg, MetastepId bound, Accept accept) {
+    for (MetastepId id : result_.writes_by_reg[static_cast<std::size_t>(reg)]) {
+      if (result_.order.leq(id, bound)) continue;
+      if (!accept(id)) continue;
+      return id;
+    }
+    return -1;
+  }
+
+  // max≼ of read metasteps on reg not ≼ bound (the Mr of Fig. 1 line 21).
+  std::vector<MetastepId> maximal_reads_not_leq(Reg reg, MetastepId bound) {
+    std::vector<MetastepId> candidates;
+    for (MetastepId id : result_.reads_by_reg[static_cast<std::size_t>(reg)]) {
+      if (!result_.order.leq(id, bound)) candidates.push_back(id);
+    }
+    std::vector<MetastepId> maximal;
+    for (MetastepId a : candidates) {
+      bool is_max = true;
+      for (MetastepId b : candidates) {
+        if (a != b && result_.order.leq(a, b)) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) maximal.push_back(a);
+    }
+    return maximal;
+  }
+
+  // The value register `reg` holds after Plin(M, ≼, bound): the last write
+  // metastep on the register's (totally ordered, Lemma 5.3) chain that is
+  // ≼ bound determines it; with none, the initial value. This replaces the
+  // quadratic "linearize and scan" evaluation.
+  sim::Value register_value_at(Reg reg, MetastepId bound) const {
+    const auto& chain = result_.writes_by_reg[static_cast<std::size_t>(reg)];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (result_.order.leq(*it, bound)) {
+        return result_.metasteps[static_cast<std::size_t>(*it)].value();
+      }
+    }
+    return algorithm_.register_init(reg, result_.n);
+  }
+
+  // Fig. 1 evaluates δ(α, j) by re-linearizing after every insertion; since
+  // process j's observations are fully determined by the metastep its step
+  // lands in (reads observe val(msw); solo reads observe the chain value at
+  // m'), we instead keep j's automaton live and advance it as steps are
+  // placed. paranoid_replay_check cross-checks against the literal Fig. 1
+  // computation.
+  void check_against_replay(Pid j, MetastepId mprime, const sim::Automaton& automaton) {
+    const auto alpha = partial_linearize(result_.metasteps, result_.order, mprime);
+    const auto replayed = sim::replay_process(algorithm_, result_.n, alpha, j);
+    if (replayed->fingerprint() != automaton.fingerprint() ||
+        replayed->done() != automaton.done()) {
+      throw std::logic_error(
+          "construct: incremental automaton diverged from Plin+replay (fast-path bug)");
+    }
+  }
+
+  // One stage of Construct: run process j to completion, hiding it from all
+  // lower-π processes.
+  void generate(Pid j) {
+    // Fig. 1 line 8: the try metastep.
+    MetastepId mprime = new_metastep(MetastepType::kCrit, -1);
+    meta(mprime).crit = Step::crit_step(j, CritKind::kTry);
+    result_.process_chain[static_cast<std::size_t>(j)].push_back(mprime);
+
+    auto automaton = algorithm_.make_process(j, result_.n);
+    {
+      const Step try_step = automaton->propose();
+      if (try_step.type != StepType::kCrit || try_step.crit != CritKind::kTry) {
+        throw std::runtime_error("construct: process does not start with try");
+      }
+      automaton->advance(0);
+    }
+
+    std::uint64_t iterations = 0;
+    while (true) {
+      if (++iterations > options_.max_steps_per_process) {
+        throw std::runtime_error("construct: process " + std::to_string(j) +
+                                 " exceeded max steps (algorithm not livelock-free?)");
+      }
+      ++result_.delta_evaluations;
+      if (options_.paranoid_replay_check) check_against_replay(j, mprime, *automaton);
+      if (automaton->done()) break;  // performed rem_j: stage complete
+      const Step e = automaton->propose();
+
+      switch (e.type) {
+        case StepType::kWrite: {
+          const MetastepId mw = min_write_not_leq(e.reg, mprime, [](MetastepId) { return true; });
+          if (mw != -1) {
+            // Hide e: it is overwritten by mw's winning write.
+            meta(mw).writes.push_back(e);
+            result_.order.add_edge(mprime, mw);
+            ++result_.insertions;
+            mprime = mw;
+          } else {
+            const MetastepId m = new_metastep(MetastepType::kWrite, e.reg);
+            meta(m).win = e;
+            // Order after every maximal read on the register so those reads
+            // keep their observed values (they become prereads of m).
+            const auto mr = maximal_reads_not_leq(e.reg, mprime);
+            meta(m).pread = mr;
+            for (MetastepId r : mr) result_.order.add_edge(r, m);
+            result_.order.add_edge(mprime, m);
+            result_.writes_by_reg[static_cast<std::size_t>(e.reg)].push_back(m);
+            mprime = m;
+          }
+          automaton->advance(0);
+          break;
+        }
+        case StepType::kRead: {
+          const MetastepId msw = min_write_not_leq(e.reg, mprime, [&](MetastepId id) {
+            return sim::read_changes_state(*automaton, meta(id).value());
+          });
+          if (msw != -1) {
+            // j's (possibly spinning) read resolves inside msw and observes
+            // the metastep's value.
+            meta(msw).reads.push_back(e);
+            result_.order.add_edge(mprime, msw);
+            ++result_.insertions;
+            mprime = msw;
+            automaton->advance(meta(msw).value());
+          } else {
+            // Reading the current value must change j's state, else the
+            // system could never progress (livelock-freedom, §5.1).
+            const sim::Value current = register_value_at(e.reg, mprime);
+            if (!sim::read_changes_state(*automaton, current)) {
+              throw std::runtime_error(
+                  "construct: process would spin forever on the current value "
+                  "(livelock-freedom violated by the algorithm)");
+            }
+            const MetastepId m = new_metastep(MetastepType::kRead, e.reg);
+            meta(m).reads.push_back(e);
+            result_.order.add_edge(mprime, m);
+            result_.reads_by_reg[static_cast<std::size_t>(e.reg)].push_back(m);
+            mprime = m;
+            automaton->advance(current);
+          }
+          break;
+        }
+        case StepType::kCrit: {
+          const MetastepId m = new_metastep(MetastepType::kCrit, -1);
+          meta(m).crit = e;
+          result_.order.add_edge(mprime, m);
+          mprime = m;
+          automaton->advance(0);
+          break;
+        }
+        case StepType::kRmw:
+          // The Fig. 1 construction's hiding argument (a write is silently
+          // overwritten by the metastep winner) is register-specific: an RMW
+          // would observe the hidden value. The paper's comparison-primitive
+          // extension needs a different construction (§1); we reject rather
+          // than build an unsound adversary.
+          throw std::runtime_error(
+              "construct: algorithm uses read-modify-write primitives; the "
+              "register-only lower-bound construction does not apply");
+      }
+      result_.process_chain[static_cast<std::size_t>(j)].push_back(mprime);
+    }
+  }
+
+  const sim::Algorithm& algorithm_;
+  ConstructOptions options_;
+  Construction result_;
+};
+
+}  // namespace
+
+std::vector<sim::Step> Construction::canonical_linearization() const {
+  return linearize(metasteps, order);
+}
+
+Construction construct(const sim::Algorithm& algorithm, int n, const util::Permutation& pi,
+                       const ConstructOptions& options) {
+  if (pi.size() != n) throw std::invalid_argument("construct: |pi| != n");
+  Builder builder(algorithm, n, pi, options);
+  return builder.run();
+}
+
+}  // namespace melb::lb

@@ -1,0 +1,78 @@
+// The construction step (paper §5, Fig. 1).
+//
+// Construct(π) processes the permutation π stage by stage. Stage i runs
+// Generate for process p = π(i): starting from p's try step, it repeatedly
+// evaluates δ on a partial linearization to get p's next step e and then
+//  * e a write: insert e into the ≼-minimum write metastep on e's register
+//    not ≼ m' (p's write is hidden, overwritten by the winning write), or
+//    create a new write metastep won by e, ordered after the maximal read
+//    metasteps on the register (which become its prereads);
+//  * e a read: insert e into the ≼-minimum write metastep on the register
+//    not ≼ m' whose value changes p's state (p's spin resolves inside that
+//    metastep), or create a singleton read metastep;
+//  * e critical: a singleton critical metastep.
+// The result (M, ≼) linearizes to executions in which processes enter their
+// critical sections exactly in π order (Theorem 5.5) while lower-π processes
+// never observe higher-π ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/linearize.h"
+#include "lb/metastep.h"
+#include "lb/partial_order.h"
+#include "sim/automaton.h"
+#include "util/permutation.h"
+
+namespace melb::lb {
+
+struct Construction {
+  int n = 0;
+  util::Permutation pi;
+  std::vector<Metastep> metasteps;            // indexed by MetastepId
+  PartialOrder order;
+  // Process p's metasteps in its chain order (the total order of Lemma 5.4's
+  // machinery; drives the encoder's Pc(p, m) numbering).
+  std::vector<std::vector<MetastepId>> process_chain;
+  // Write / read metasteps per register in chain creation order (write
+  // metasteps on one register are totally ordered — Lemma 5.3).
+  std::vector<std::vector<MetastepId>> writes_by_reg;
+  std::vector<std::vector<MetastepId>> reads_by_reg;
+
+  // Instrumentation.
+  std::uint64_t delta_evaluations = 0;   // how many times δ was applied
+  std::uint64_t insertions = 0;          // steps hidden inside existing metasteps
+  std::uint64_t creations = 0;           // new metasteps
+
+  // (M_i, ≼_i) after each stage, if ConstructOptions::keep_stage_snapshots
+  // was set — stage i holds the structure after processes π(0..i) ran.
+  // Used to check Lemma 5.4 (earlier processes cannot distinguish stages).
+  std::vector<Construction> stages;
+
+  // The canonical linearization α_π as raw steps.
+  std::vector<sim::Step> canonical_linearization() const;
+};
+
+struct ConstructOptions {
+  // Safety valve: maximum δ evaluations per process before declaring the
+  // algorithm stuck (not livelock-free for this construction order).
+  std::uint64_t max_steps_per_process = 1'000'000;
+
+  // Record a deep copy of the construction after every stage (costly;
+  // intended for tests and small n).
+  bool keep_stage_snapshots = false;
+
+  // Cross-check the incrementally maintained automaton state against a full
+  // Plin + replay evaluation of δ(α, j) at every iteration (the literal
+  // Fig. 1 computation). Quadratic; used by tests to certify the fast path.
+  bool paranoid_replay_check = false;
+};
+
+// Runs the full n-stage construction of (M_n, ≼_n) for the given algorithm
+// and permutation. Throws std::runtime_error if the algorithm stalls (which
+// a livelock-free mutex algorithm cannot, per §5.2).
+Construction construct(const sim::Algorithm& algorithm, int n, const util::Permutation& pi,
+                       const ConstructOptions& options = {});
+
+}  // namespace melb::lb

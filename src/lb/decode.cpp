@@ -1,0 +1,151 @@
+#include "lb/decode.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "lb/encode.h"
+#include "sim/simulator.h"
+
+namespace melb::lb {
+
+namespace {
+
+using sim::Pid;
+using sim::Reg;
+using sim::Step;
+using sim::StepType;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("decode: " + message);
+}
+
+struct RegisterState {
+  std::set<Pid> writers;            // parked pending writers (W and winner cells)
+  std::set<Pid> readers;            // parked pending readers (R cells)
+  int prereads_done = 0;            // PR cells executed since the last write metastep
+  bool has_signature = false;
+  Pid winner = -1;
+  Signature signature;
+};
+
+}  // namespace
+
+DecodeResult decode(const sim::Algorithm& algorithm, const std::string& encoding) {
+  const auto columns = parse_encoding(encoding);
+  const int n = static_cast<int>(columns.size());
+  DecodeResult result;
+  if (n == 0) return result;
+
+  sim::Simulator sim(algorithm, n);
+  std::vector<std::size_t> next_cell(static_cast<std::size_t>(n), 0);
+  std::vector<bool> waiting(static_cast<std::size_t>(n), false);
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  std::map<Reg, RegisterState> regs;
+
+  int done_count = 0;
+  while (done_count < n) {
+    ++result.iterations;
+    bool progress = false;
+
+    // Phase 1 (Fig. 3 lines 6-37): discover pending steps.
+    for (Pid i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (done[idx] || waiting[idx]) continue;
+      if (next_cell[idx] == columns[idx].size()) {
+        if (!sim.process_done(i)) fail("cells exhausted but process not finished");
+        done[idx] = true;
+        ++done_count;
+        progress = true;
+        continue;
+      }
+      const std::string& cell = columns[idx][next_cell[idx]++];
+      const Step pending = sim.peek(i);
+      waiting[idx] = true;
+
+      Signature sig;
+      if (cell == "C") {
+        if (pending.type != StepType::kCrit) fail("C cell but pending step is not critical");
+        sim.step(i);
+        waiting[idx] = false;
+        progress = true;
+      } else if (cell == "SR") {
+        if (pending.type != StepType::kRead) fail("SR cell but pending step is not a read");
+        sim.step(i);
+        waiting[idx] = false;
+        progress = true;
+      } else if (cell == "PR") {
+        if (pending.type != StepType::kRead) fail("PR cell but pending step is not a read");
+        ++regs[pending.reg].prereads_done;
+        sim.step(i);
+        waiting[idx] = false;
+        progress = true;
+      } else if (cell == "R") {
+        if (pending.type != StepType::kRead) fail("R cell but pending step is not a read");
+        regs[pending.reg].readers.insert(i);
+        progress = true;
+      } else if (cell == "W") {
+        if (pending.type != StepType::kWrite) fail("W cell but pending step is not a write");
+        regs[pending.reg].writers.insert(i);
+        progress = true;
+      } else if (parse_signature_cell(cell, sig)) {
+        if (pending.type != StepType::kWrite) {
+          fail("signature cell but pending step is not a write");
+        }
+        auto& rs = regs[pending.reg];
+        if (rs.has_signature) fail("two simultaneous signatures on one register");
+        rs.writers.insert(i);
+        rs.has_signature = true;
+        rs.winner = i;
+        rs.signature = sig;
+        progress = true;
+      } else {
+        fail("unknown cell '" + cell + "'");
+      }
+    }
+
+    // Phase 2 (Fig. 3 lines 38-45): execute write metasteps whose signature
+    // is fully matched.
+    for (auto& [reg, rs] : regs) {
+      if (!rs.has_signature) continue;
+      if (static_cast<int>(rs.writers.size()) != rs.signature.writers) continue;
+      if (rs.prereads_done != rs.signature.prereads) continue;
+
+      // Readers whose state would change on the winning value belong to this
+      // metastep (Lemma 5.9); the rest are parked for a later metastep.
+      const sim::Value value = sim.peek(rs.winner).value;
+      std::vector<Pid> consumed_readers;
+      for (Pid r : rs.readers) {
+        if (sim::read_changes_state(sim.automaton(r), value)) consumed_readers.push_back(r);
+      }
+      if (static_cast<int>(consumed_readers.size()) != rs.signature.readers) continue;
+
+      for (Pid w : rs.writers) {
+        if (w != rs.winner) {
+          sim.step(w);
+          waiting[static_cast<std::size_t>(w)] = false;
+        }
+      }
+      sim.step(rs.winner);
+      waiting[static_cast<std::size_t>(rs.winner)] = false;
+      for (Pid r : consumed_readers) {
+        sim.step(r);
+        waiting[static_cast<std::size_t>(r)] = false;
+        rs.readers.erase(r);
+      }
+      rs.writers.clear();
+      rs.prereads_done = 0;
+      rs.has_signature = false;
+      rs.winner = -1;
+      progress = true;
+    }
+
+    if (!progress) fail("stalled: no executable metastep (inconsistent encoding?)");
+  }
+
+  result.execution = sim.execution();
+  return result;
+}
+
+}  // namespace melb::lb

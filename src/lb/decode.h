@@ -1,0 +1,47 @@
+// The decoding step (paper §7, Fig. 3).
+//
+// Decode(E) rebuilds a linearization of (M, ≼) from the encoding string and
+// the algorithm's transition function alone — it never sees (M, ≼) or π.
+// It maintains one live automaton per process; a process's pending step is
+// δ applied to the execution built so far. Cells are consumed one at a time
+// per process:
+//   C / SR  — singleton metasteps: execute immediately;
+//   PR      — singleton read metastep that some write metastep lists as a
+//             preread: execute immediately and count it toward the register's
+//             preread quota;
+//   R / W   — membership in a write metastep: park the process on its
+//             register until the metastep's signature is satisfied;
+//   W,PR..R..W.. — the winner's cell: publishes the signature.
+// When a register's parked writers, state-change-tested readers, and preread
+// count exactly match the published signature, the metastep is executed:
+// non-winning writes, winning write, reads (matching Seq of Fig. 1).
+//
+// Documented deviations from the printed Fig. 3 (see DESIGN.md §4): we do
+// not pre-seed α with try steps (try metasteps decode as ordinary C cells),
+// and the reader-vs-signature test runs at signature-matching time rather
+// than at discovery time (the printed order can miss readers discovered
+// before the winner).
+//
+// Theorem 7.4: the result is a linearization of (M, ≼); with Theorem 5.5
+// this makes E_π ↦ α_π injective, which is the counting heart of the bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.h"
+#include "sim/execution.h"
+
+namespace melb::lb {
+
+struct DecodeResult {
+  sim::Execution execution;        // validated, SC-annotated linearization
+  std::uint64_t iterations = 0;    // outer decode-loop iterations
+};
+
+// Throws std::runtime_error if the string is not decodable against the
+// algorithm (stall, cell/step type mismatch, malformed cells).
+DecodeResult decode(const sim::Algorithm& algorithm, const std::string& encoding);
+
+}  // namespace melb::lb

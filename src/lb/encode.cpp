@@ -1,0 +1,126 @@
+#include "lb/encode.h"
+
+#include <stdexcept>
+
+#include "util/varint.h"
+
+namespace melb::lb {
+
+namespace {
+
+// Bits for one cell in the compact binary form: a 3-bit tag, plus varint
+// counts for signature cells. This is the object Theorem 6.2 measures.
+std::uint64_t cell_bits(const std::string& cell) {
+  Signature sig;
+  if (parse_signature_cell(cell, sig)) {
+    return 3 + 8 * (util::varint_size(static_cast<std::uint64_t>(sig.prereads)) +
+                    util::varint_size(static_cast<std::uint64_t>(sig.readers)) +
+                    util::varint_size(static_cast<std::uint64_t>(sig.writers)));
+  }
+  return 3;
+}
+
+}  // namespace
+
+bool parse_signature_cell(const std::string& cell, Signature& out) {
+  // Format: W,PR<x>R<y>W<z>
+  if (cell.rfind("W,PR", 0) != 0) return false;
+  std::size_t pos = 4;
+  auto read_int = [&](char terminator) -> int {
+    int value = 0;
+    bool any = false;
+    while (pos < cell.size() && cell[pos] >= '0' && cell[pos] <= '9') {
+      value = value * 10 + (cell[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) throw std::invalid_argument("bad signature cell: " + cell);
+    if (terminator != '\0') {
+      if (pos >= cell.size() || cell[pos] != terminator) {
+        throw std::invalid_argument("bad signature cell: " + cell);
+      }
+      ++pos;
+    }
+    return value;
+  };
+  out.prereads = read_int('R');
+  out.readers = read_int('W');
+  out.writers = read_int('\0');
+  if (pos != cell.size()) throw std::invalid_argument("bad signature cell: " + cell);
+  return true;
+}
+
+Encoding encode(const Construction& construction) {
+  Encoding result;
+  result.cells.resize(static_cast<std::size_t>(construction.n));
+
+  // Which read metasteps appear in some preread set.
+  std::vector<bool> is_preread(construction.metasteps.size(), false);
+  for (const auto& m : construction.metasteps) {
+    for (MetastepId r : m.pread) is_preread[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Fill columns in chain order — this is exactly the row order Pc(p, m)
+  // assigns, since process chains are totally ordered.
+  for (sim::Pid p = 0; p < construction.n; ++p) {
+    for (MetastepId id : construction.process_chain[static_cast<std::size_t>(p)]) {
+      const Metastep& m = construction.metasteps[static_cast<std::size_t>(id)];
+      std::string cell;
+      switch (m.type) {
+        case MetastepType::kWrite: {
+          const sim::Step& step = m.step_of(p);
+          if (m.win && m.win->pid == p) {
+            cell = "W,PR" + std::to_string(m.pread.size()) + "R" +
+                   std::to_string(m.reads.size()) + "W" + std::to_string(m.writes.size() + 1);
+          } else {
+            cell = step.type == sim::StepType::kRead ? "R" : "W";
+          }
+          break;
+        }
+        case MetastepType::kRead:
+          cell = is_preread[static_cast<std::size_t>(id)] ? "PR" : "SR";
+          break;
+        case MetastepType::kCrit:
+          cell = "C";
+          break;
+      }
+      result.cells[static_cast<std::size_t>(p)].push_back(std::move(cell));
+    }
+  }
+
+  for (const auto& column : result.cells) {
+    for (const auto& cell : column) {
+      result.text += cell;
+      result.text += '#';
+      result.binary_bits += cell_bits(cell);
+    }
+    result.text += '$';
+    result.binary_bits += 3;  // column terminator tag
+  }
+  return result;
+}
+
+std::vector<std::vector<std::string>> parse_encoding(const std::string& text) {
+  std::vector<std::vector<std::string>> columns;
+  std::vector<std::string> column;
+  std::string cell;
+  for (char c : text) {
+    if (c == '#') {
+      if (cell.empty()) throw std::invalid_argument("parse_encoding: empty cell");
+      column.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '$') {
+      if (!cell.empty()) throw std::invalid_argument("parse_encoding: unterminated cell");
+      columns.push_back(std::move(column));
+      column.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (!cell.empty() || !column.empty()) {
+    throw std::invalid_argument("parse_encoding: trailing data");
+  }
+  return columns;
+}
+
+}  // namespace melb::lb

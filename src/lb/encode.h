@@ -1,0 +1,57 @@
+// The encoding step (paper §6, Fig. 2).
+//
+// Encode(M, ≼) fills a table T with one column per process and one row per
+// metastep of that process (in chain order). Cell contents:
+//   "R" / "W"            — the process's step type in a write metastep it
+//                          does not win;
+//   "W,PRxRyWz"          — the winner's cell: step type plus the metastep's
+//                          signature (|pread|, |read|, |write|+1);
+//   "PR"                 — a singleton read metastep that is a preread of
+//                          some write metastep;
+//   "SR"                 — a singleton read metastep that is not;
+//   "C"                  — a critical metastep.
+// E_π is the concatenation of the nonempty cells column by column, cells
+// separated by '#', columns by '$'.
+//
+// Theorem 6.2: |E_π| = O(C(α_π)). Besides the ASCII string we report a
+// bit-exact binary size (3-bit tags + varint signature counts) since the
+// ASCII form inflates the constant factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/construct.h"
+
+namespace melb::lb {
+
+struct Encoding {
+  // cells[i] = process i's column, in chain order.
+  std::vector<std::vector<std::string>> cells;
+
+  // The flat E_π string (cells joined with '#', columns terminated by '$').
+  std::string text;
+
+  // Size in bits of the compact binary form (for the O(C) accounting).
+  std::uint64_t binary_bits = 0;
+
+  int n() const { return static_cast<int>(cells.size()); }
+};
+
+Encoding encode(const Construction& construction);
+
+// Re-parse an E_π string into per-process cell columns (the decoder's view;
+// also exercised by round-trip tests). Throws std::invalid_argument on
+// malformed input.
+std::vector<std::vector<std::string>> parse_encoding(const std::string& text);
+
+// Signature helper shared with the decoder: unpacks "W,PRxRyWz".
+struct Signature {
+  int prereads = 0;
+  int readers = 0;
+  int writers = 0;  // including the winning write
+};
+bool parse_signature_cell(const std::string& cell, Signature& out);
+
+}  // namespace melb::lb

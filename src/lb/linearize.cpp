@@ -1,0 +1,131 @@
+#include "lb/linearize.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace melb::lb {
+
+namespace {
+
+std::vector<sim::Step> expand(const Metastep& metastep, util::Xoshiro256StarStar* rng) {
+  std::vector<sim::Step> writes = metastep.writes;
+  std::vector<sim::Step> reads = metastep.reads;
+  auto by_pid = [](const sim::Step& a, const sim::Step& b) { return a.pid < b.pid; };
+  std::sort(writes.begin(), writes.end(), by_pid);
+  std::sort(reads.begin(), reads.end(), by_pid);
+  if (rng != nullptr) {
+    for (std::size_t k = writes.size(); k > 1; --k) {
+      std::swap(writes[k - 1], writes[rng->below(k)]);
+    }
+    for (std::size_t k = reads.size(); k > 1; --k) {
+      std::swap(reads[k - 1], reads[rng->below(k)]);
+    }
+  }
+  std::vector<sim::Step> steps;
+  steps.insert(steps.end(), writes.begin(), writes.end());
+  if (metastep.win) steps.push_back(*metastep.win);
+  steps.insert(steps.end(), reads.begin(), reads.end());
+  if (metastep.crit) steps.push_back(*metastep.crit);
+  return steps;
+}
+
+}  // namespace
+
+std::vector<MetastepId> topo_order(const std::vector<Metastep>& metasteps,
+                                   const PartialOrder& order,
+                                   const std::vector<MetastepId>& include,
+                                   const LinearizePolicy& policy) {
+  std::vector<bool> in_set(metasteps.size(), include.empty());
+  if (!include.empty()) {
+    for (MetastepId id : include) in_set[static_cast<std::size_t>(id)] = true;
+  }
+
+  std::vector<int> pending(metasteps.size(), 0);
+  std::vector<MetastepId> ready;
+  std::size_t selected_total = 0;
+  for (std::size_t id = 0; id < metasteps.size(); ++id) {
+    if (!in_set[id]) continue;
+    ++selected_total;
+    int deps = 0;
+    for (int pred : order.in_edges()[id]) {
+      if (in_set[static_cast<std::size_t>(pred)]) ++deps;
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(static_cast<MetastepId>(id));
+  }
+
+  std::optional<util::Xoshiro256StarStar> rng;
+  if (policy.random_seed) rng.emplace(*policy.random_seed);
+
+  // Min-heap on id for the canonical order; random extraction otherwise.
+  std::priority_queue<MetastepId, std::vector<MetastepId>, std::greater<>> heap(
+      ready.begin(), ready.end());
+
+  std::vector<MetastepId> result;
+  result.reserve(selected_total);
+  std::vector<MetastepId> pool = ready;  // used in random mode
+
+  while (true) {
+    MetastepId next;
+    if (rng) {
+      if (pool.empty()) break;
+      const std::size_t pick = static_cast<std::size_t>(rng->below(pool.size()));
+      next = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+    } else {
+      if (heap.empty()) break;
+      next = heap.top();
+      heap.pop();
+    }
+    result.push_back(next);
+    for (int succ : order.out_edges()[static_cast<std::size_t>(next)]) {
+      if (!in_set[static_cast<std::size_t>(succ)]) continue;
+      if (--pending[static_cast<std::size_t>(succ)] == 0) {
+        if (rng) {
+          pool.push_back(succ);
+        } else {
+          heap.push(succ);
+        }
+      }
+    }
+  }
+
+  if (result.size() != selected_total) {
+    throw std::logic_error("topo_order: cycle detected in metastep order");
+  }
+  return result;
+}
+
+std::vector<sim::Step> linearize(const std::vector<Metastep>& metasteps,
+                                 const PartialOrder& order, const LinearizePolicy& policy) {
+  const auto ids = topo_order(metasteps, order, {}, policy);
+  std::optional<util::Xoshiro256StarStar> rng;
+  if (policy.random_seed) rng.emplace(*policy.random_seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<sim::Step> steps;
+  for (MetastepId id : ids) {
+    const auto seq = expand(metasteps[static_cast<std::size_t>(id)], rng ? &*rng : nullptr);
+    steps.insert(steps.end(), seq.begin(), seq.end());
+  }
+  return steps;
+}
+
+std::vector<sim::Step> partial_linearize(const std::vector<Metastep>& metasteps,
+                                         const PartialOrder& order, MetastepId m,
+                                         const LinearizePolicy& policy) {
+  const auto include = order.ancestors_of(m);
+  const auto ids = topo_order(metasteps, order, include, policy);
+  std::optional<util::Xoshiro256StarStar> rng;
+  if (policy.random_seed) rng.emplace(*policy.random_seed ^ 0x6a09e667f3bcc909ULL);
+  std::vector<sim::Step> steps;
+  for (MetastepId id : ids) {
+    const auto seq = expand(metasteps[static_cast<std::size_t>(id)], rng ? &*rng : nullptr);
+    steps.insert(steps.end(), seq.begin(), seq.end());
+  }
+  return steps;
+}
+
+}  // namespace melb::lb

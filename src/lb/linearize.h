@@ -1,0 +1,44 @@
+// Lin / Plin / Seq (paper Fig. 1): turning (M, ≼) into executions.
+//
+// A linearization totally orders the metasteps consistently with ≼ and
+// expands each via Seq (writes, winning write, reads). Lin and Seq are
+// nondeterministic in the paper; we expose a deterministic canonical policy
+// (smallest-id-first Kahn + pid-ordered groups) and a seeded random policy so
+// tests can confirm Lemma 6.1 (every linearization has the same SC cost) and
+// Theorem 5.5 (every linearization enters critical sections in π order).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lb/metastep.h"
+#include "lb/partial_order.h"
+#include "sim/types.h"
+
+namespace melb::lb {
+
+struct LinearizePolicy {
+  // If set, topological ties and within-group step orders are randomized
+  // with this seed; otherwise the canonical deterministic order is used.
+  std::optional<std::uint64_t> random_seed;
+};
+
+// Totally orders the metasteps whose ids are in `include` (all if empty)
+// consistently with ≼. Returns metastep ids.
+std::vector<MetastepId> topo_order(const std::vector<Metastep>& metasteps,
+                                   const PartialOrder& order,
+                                   const std::vector<MetastepId>& include,
+                                   const LinearizePolicy& policy = {});
+
+// Lin(M, ≼): expand a full topological order into a step sequence.
+std::vector<sim::Step> linearize(const std::vector<Metastep>& metasteps,
+                                 const PartialOrder& order,
+                                 const LinearizePolicy& policy = {});
+
+// Plin(M, ≼, m): linearization of {µ | µ ≼ m}.
+std::vector<sim::Step> partial_linearize(const std::vector<Metastep>& metasteps,
+                                         const PartialOrder& order, MetastepId m,
+                                         const LinearizePolicy& policy = {});
+
+}  // namespace melb::lb

@@ -1,0 +1,53 @@
+#include "lb/metastep.h"
+
+#include <stdexcept>
+
+namespace melb::lb {
+
+std::vector<sim::Pid> Metastep::owners() const {
+  std::vector<sim::Pid> pids;
+  for (const auto& s : writes) pids.push_back(s.pid);
+  if (win) pids.push_back(win->pid);
+  for (const auto& s : reads) pids.push_back(s.pid);
+  if (crit) pids.push_back(crit->pid);
+  return pids;
+}
+
+bool Metastep::contains(sim::Pid pid) const {
+  for (const auto& s : writes) {
+    if (s.pid == pid) return true;
+  }
+  if (win && win->pid == pid) return true;
+  for (const auto& s : reads) {
+    if (s.pid == pid) return true;
+  }
+  return crit && crit->pid == pid;
+}
+
+const sim::Step& Metastep::step_of(sim::Pid pid) const {
+  for (const auto& s : writes) {
+    if (s.pid == pid) return s;
+  }
+  if (win && win->pid == pid) return *win;
+  for (const auto& s : reads) {
+    if (s.pid == pid) return s;
+  }
+  if (crit && crit->pid == pid) return *crit;
+  throw std::out_of_range("Metastep::step_of: process not contained in metastep");
+}
+
+int Metastep::participant_count() const {
+  return static_cast<int>(writes.size() + reads.size()) + (win ? 1 : 0) + (crit ? 1 : 0);
+}
+
+std::vector<sim::Step> Metastep::sequence() const {
+  std::vector<sim::Step> steps;
+  steps.reserve(static_cast<std::size_t>(participant_count()));
+  for (const auto& s : writes) steps.push_back(s);
+  if (win) steps.push_back(*win);
+  for (const auto& s : reads) steps.push_back(s);
+  if (crit) steps.push_back(*crit);
+  return steps;
+}
+
+}  // namespace melb::lb

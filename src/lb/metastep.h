@@ -1,0 +1,53 @@
+// Metasteps (paper Def. 5.1).
+//
+// A metastep bundles steps by different processes on one register so that a
+// linearization hides every participant except (possibly) the winner: the
+// non-winning writes are immediately overwritten by the winning write, and
+// the reads all observe the winning write's value. Critical steps get
+// singleton metasteps; solo reads (reads that change the reader's state on
+// the current register value) get singleton read metasteps.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace melb::lb {
+
+using MetastepId = int;
+
+enum class MetastepType : std::uint8_t { kRead, kWrite, kCrit };
+
+struct Metastep {
+  MetastepId id = -1;
+  MetastepType type = MetastepType::kCrit;
+  sim::Reg reg = -1;                   // for read/write metasteps
+  std::vector<sim::Step> reads;        // read(m)
+  std::vector<sim::Step> writes;       // write(m): non-winning writes
+  std::optional<sim::Step> win;        // win(m): the winning write
+  std::optional<sim::Step> crit;       // crit(m)
+  std::vector<MetastepId> pread;       // pread(m): read metasteps ordered before m
+
+  // val(m): the value the metastep leaves in the register (and the value all
+  // reads in the metastep observe). Write metasteps only.
+  sim::Value value() const { return win->value; }
+
+  // own(m): pids taking a step in the metastep.
+  std::vector<sim::Pid> owners() const;
+
+  bool contains(sim::Pid pid) const;
+
+  // step(m, i); pid must be contained in m.
+  const sim::Step& step_of(sim::Pid pid) const;
+
+  // Number of processes contained (the k of Theorem 6.2's O(k)-bit argument).
+  int participant_count() const;
+
+  // Seq(m) (Fig. 1): non-winning writes, winning write, then reads. The
+  // paper leaves the order within the write/read groups arbitrary; callers
+  // pass a permutation policy via the linearizer, the default is pid order.
+  std::vector<sim::Step> sequence() const;
+};
+
+}  // namespace melb::lb

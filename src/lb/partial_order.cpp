@@ -1,0 +1,61 @@
+#include "lb/partial_order.h"
+
+#include <stdexcept>
+
+namespace melb::lb {
+
+void PartialOrder::ensure_capacity(std::size_t bits) {
+  if (bits <= capacity_) return;
+  std::size_t next = capacity_ == 0 ? 256 : capacity_;
+  while (next < bits) next *= 2;
+  capacity_ = next;
+  for (auto& b : preds_) b.resize(capacity_);
+  for (auto& b : succs_) b.resize(capacity_);
+}
+
+int PartialOrder::add_node() {
+  const int id = static_cast<int>(preds_.size());
+  ensure_capacity(static_cast<std::size_t>(id) + 1);
+  preds_.emplace_back(capacity_);
+  succs_.emplace_back(capacity_);
+  preds_.back().set(static_cast<std::size_t>(id));
+  succs_.back().set(static_cast<std::size_t>(id));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+void PartialOrder::add_edge(int from, int to) {
+  if (from == to) return;
+  if (leq(to, from)) {
+    throw std::logic_error("PartialOrder::add_edge would create a cycle");
+  }
+  if (leq(from, to)) return;  // already ordered; keep edge list minimal
+  out_edges_[static_cast<std::size_t>(from)].push_back(to);
+  in_edges_[static_cast<std::size_t>(to)].push_back(from);
+
+  // Every node above `to` (including `to`) gains every predecessor of
+  // `from`; every node below `from` (including `from`) gains every successor
+  // of `to`.
+  const auto& up = succs_[static_cast<std::size_t>(to)];
+  const auto& down = preds_[static_cast<std::size_t>(from)];
+  for (std::size_t x = 0; x < preds_.size(); ++x) {
+    if (up.test(x)) preds_[x].or_with(down);
+    if (down.test(x)) succs_[x].or_with(up);
+  }
+}
+
+bool PartialOrder::leq(int a, int b) const {
+  return preds_[static_cast<std::size_t>(b)].test(static_cast<std::size_t>(a));
+}
+
+std::vector<int> PartialOrder::ancestors_of(int m) const {
+  std::vector<int> result;
+  const auto& bits = preds_[static_cast<std::size_t>(m)];
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (bits.test(i)) result.push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+}  // namespace melb::lb

@@ -1,0 +1,48 @@
+// The partial order ≼ on metasteps, with incremental transitive closure.
+//
+// Construct (Fig. 1) interleaves edge insertions with many "µ ⋠ m'" queries
+// and min/max selections, so we maintain for every node the full bitset of
+// its ≼-predecessors and ≼-successors (reflexive). Edge insertion unions
+// closure bitsets along the affected cone; queries are O(1).
+#pragma once
+
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace melb::lb {
+
+class PartialOrder {
+ public:
+  // Adds a new node (initially incomparable to everything); returns its id.
+  int add_node();
+
+  // Records from ≺ to and closes transitively. No cycle may be created:
+  // inserting an edge with to ≼ from already is a logic error (throws).
+  void add_edge(int from, int to);
+
+  // Reflexive: leq(a, a) is true.
+  bool leq(int a, int b) const;
+
+  int size() const { return static_cast<int>(preds_.size()); }
+
+  // All µ with µ ≼ m, as ids in ascending id order.
+  std::vector<int> ancestors_of(int m) const;
+
+  // Direct (uncosed) edges, as inserted; used by the linearizer's Kahn scan.
+  const std::vector<std::vector<int>>& out_edges() const { return out_edges_; }
+  const std::vector<std::vector<int>>& in_edges() const { return in_edges_; }
+
+  const util::DynamicBitset& preds(int m) const { return preds_[static_cast<std::size_t>(m)]; }
+
+ private:
+  void ensure_capacity(std::size_t bits);
+
+  std::size_t capacity_ = 0;
+  std::vector<util::DynamicBitset> preds_;  // preds_[m] ∋ µ  <=>  µ ≼ m
+  std::vector<util::DynamicBitset> succs_;  // succs_[m] ∋ µ  <=>  m ≼ µ
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<std::vector<int>> in_edges_;
+};
+
+}  // namespace melb::lb

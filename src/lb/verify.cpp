@@ -1,0 +1,123 @@
+#include "lb/verify.h"
+
+#include <algorithm>
+#include <map>
+
+namespace melb::lb {
+
+std::string verify_linearization(const Construction& construction,
+                                 const std::vector<sim::Step>& steps) {
+  const auto& metasteps = construction.metasteps;
+  const auto& order = construction.order;
+
+  // Map each (pid, occurrence-index) to the metastep that owns that step;
+  // process chains give each process's steps in order.
+  std::vector<std::size_t> next_of_process(static_cast<std::size_t>(construction.n), 0);
+
+  std::vector<bool> executed(metasteps.size(), false);
+  // Remaining step counts per metastep, split by phase.
+  struct Progress {
+    int writes_left = 0;
+    bool win_done = false;
+    int reads_left = 0;
+    bool needs_win = false;
+    bool started = false;
+  };
+  std::vector<Progress> progress(metasteps.size());
+  for (std::size_t id = 0; id < metasteps.size(); ++id) {
+    progress[id].writes_left = static_cast<int>(metasteps[id].writes.size());
+    progress[id].reads_left = static_cast<int>(metasteps[id].reads.size());
+    progress[id].needs_win = metasteps[id].win.has_value();
+  }
+
+  MetastepId open = -1;  // metastep currently being expanded, -1 if none
+
+  auto complete = [&](MetastepId id) {
+    executed[static_cast<std::size_t>(id)] = true;
+  };
+
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const sim::Step& step = steps[i];
+    const auto pid = static_cast<std::size_t>(step.pid);
+    if (step.pid < 0 || step.pid >= construction.n) {
+      return "step " + std::to_string(i) + ": pid out of range";
+    }
+    const auto& chain = construction.process_chain[pid];
+    if (next_of_process[pid] >= chain.size()) {
+      return "step " + std::to_string(i) + ": process has more steps than its chain";
+    }
+    const MetastepId id = chain[next_of_process[pid]];
+    const Metastep& m = metasteps[static_cast<std::size_t>(id)];
+
+    // The step must match the step recorded for this process in the metastep.
+    if (!(m.step_of(step.pid) == step)) {
+      return "step " + std::to_string(i) + " (" + to_string(step) +
+             "): does not match the process's step in metastep m" + std::to_string(id);
+    }
+
+    // Block discipline: starting a new metastep requires the previous block
+    // to be complete and all ≼-predecessors executed.
+    auto& pr = progress[static_cast<std::size_t>(id)];
+    if (!pr.started) {
+      if (open != -1) {
+        return "step " + std::to_string(i) + ": metastep m" + std::to_string(id) +
+               " started while m" + std::to_string(open) + " is incomplete";
+      }
+      for (std::size_t pred = 0; pred < metasteps.size(); ++pred) {
+        if (pred != static_cast<std::size_t>(id) &&
+            order.leq(static_cast<int>(pred), id) && !executed[pred]) {
+          return "step " + std::to_string(i) + ": metastep m" + std::to_string(id) +
+                 " started before its predecessor m" + std::to_string(pred);
+        }
+      }
+      pr.started = true;
+      open = id;
+    }
+
+    // Phase discipline within the block: writes, then win, then reads.
+    const bool is_win = m.win && m.win->pid == step.pid;
+    if (step.type == sim::StepType::kWrite && !is_win) {
+      if (pr.win_done) {
+        return "step " + std::to_string(i) + ": non-winning write after the winning write";
+      }
+      --pr.writes_left;
+    } else if (is_win) {
+      if (pr.writes_left != 0) {
+        return "step " + std::to_string(i) + ": winning write before all hidden writes";
+      }
+      pr.win_done = true;
+    } else if (step.type == sim::StepType::kRead && m.type == MetastepType::kWrite) {
+      if (pr.needs_win && !pr.win_done) {
+        return "step " + std::to_string(i) + ": read before the winning write";
+      }
+      --pr.reads_left;
+    } else {
+      // Singleton read / critical metasteps have exactly one step.
+      --pr.reads_left;
+      pr.reads_left = std::max(pr.reads_left, 0);
+    }
+
+    ++next_of_process[pid];
+
+    const bool block_done =
+        pr.writes_left == 0 && (!pr.needs_win || pr.win_done) && pr.reads_left <= 0;
+    if (block_done) {
+      complete(id);
+      open = -1;
+    }
+  }
+
+  if (open != -1) return "sequence ended inside metastep m" + std::to_string(open);
+  for (std::size_t id = 0; id < metasteps.size(); ++id) {
+    if (!executed[id]) return "metastep m" + std::to_string(id) + " never executed";
+  }
+  for (int p = 0; p < construction.n; ++p) {
+    if (next_of_process[static_cast<std::size_t>(p)] !=
+        construction.process_chain[static_cast<std::size_t>(p)].size()) {
+      return "process " + std::to_string(p) + " did not complete its chain";
+    }
+  }
+  return {};
+}
+
+}  // namespace melb::lb

@@ -1,0 +1,24 @@
+// Independent verification that a step sequence is a linearization of a
+// construction's (M, ≼) — the structural half of Theorem 7.4.
+//
+// The decoder's output is already validated against the algorithm's
+// transition function (every step matches δ); this checker validates it
+// against the *metastep structure* instead, with no reference to the
+// algorithm: the sequence must partition into contiguous blocks, each block
+// a Seq-expansion of one metastep (writes, then the winning write, then
+// reads), and the block order must be a linear extension of ≼.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lb/construct.h"
+
+namespace melb::lb {
+
+// Returns "" if `steps` is a linearization of construction's (M, ≼);
+// otherwise a description of the first structural violation.
+std::string verify_linearization(const Construction& construction,
+                                 const std::vector<sim::Step>& steps);
+
+}  // namespace melb::lb

@@ -1,0 +1,54 @@
+#include "rt/harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace melb::rt {
+
+HarnessResult run_lock_harness(Lock& lock, int threads, const HarnessOptions& options) {
+  HarnessResult result;
+  std::atomic<int> occupancy{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> passes{0};
+
+  lock.counters().reset();
+
+  auto body = [&](int tid) {
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) cpu_relax();
+    for (int it = 0; it < options.iterations_per_thread; ++it) {
+      lock.lock(tid);
+      if (occupancy.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        violation.store(true, std::memory_order_release);
+      }
+      for (volatile int w = 0; w < options.cs_work; w = w + 1) {
+      }
+      occupancy.fetch_sub(1, std::memory_order_acq_rel);
+      lock.unlock(tid);
+      passes.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int tid = 0; tid < threads; ++tid) workers.emplace_back(body, tid);
+
+  while (ready.load(std::memory_order_acquire) != threads) cpu_relax();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  result.mutex_ok = !violation.load(std::memory_order_acquire);
+  result.total_rmr = lock.counters().total();
+  result.max_thread_rmr = lock.counters().max();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.cs_passes = passes.load(std::memory_order_acquire);
+  return result;
+}
+
+}  // namespace melb::rt

@@ -1,0 +1,28 @@
+// Thread harness: runs T threads through K critical-section passes on a
+// lock, verifies mutual exclusion dynamically (an occupancy word checked
+// inside the critical section), and reports RMR counts and wall time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/locks.h"
+
+namespace melb::rt {
+
+struct HarnessResult {
+  bool mutex_ok = true;            // no overlapping critical sections observed
+  std::uint64_t total_rmr = 0;     // summed over threads
+  std::uint64_t max_thread_rmr = 0;
+  double seconds = 0.0;
+  std::uint64_t cs_passes = 0;     // threads × iterations actually completed
+};
+
+struct HarnessOptions {
+  int iterations_per_thread = 1;   // canonical executions use 1
+  int cs_work = 0;                 // dummy spins inside the critical section
+};
+
+HarnessResult run_lock_harness(Lock& lock, int threads, const HarnessOptions& options = {});
+
+}  // namespace melb::rt

@@ -1,0 +1,156 @@
+#include "rt/locks.h"
+
+namespace melb::rt {
+
+// ---------------------------------------------------------------- TtasLock
+
+void TtasLock::lock(int tid) {
+  for (;;) {
+    spin_until(flag_, [](int v) { return v == 0; }, counters_, tid);
+    counters_.add(tid);  // the CAS attempt
+    int expected = 0;
+    if (flag_.compare_exchange_strong(expected, 1, std::memory_order_acquire)) return;
+  }
+}
+
+void TtasLock::unlock(int tid) {
+  counters_.add(tid);
+  flag_.store(0, std::memory_order_release);
+}
+
+// -------------------------------------------------------------- TicketLock
+
+void TicketLock::lock(int tid) {
+  counters_.add(tid);  // fetch_add
+  const std::uint64_t my = next_.fetch_add(1, std::memory_order_acq_rel);
+  spin_until(serving_, [my](std::uint64_t v) { return v == my; }, counters_, tid);
+}
+
+void TicketLock::unlock(int tid) {
+  counters_.add(tid);
+  serving_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+// ----------------------------------------------------------------- McsLock
+
+McsLock::McsLock(int threads)
+    : Lock(threads), nodes_(std::make_unique<Node[]>(static_cast<std::size_t>(threads))) {}
+
+void McsLock::lock(int tid) {
+  Node& me = nodes_[static_cast<std::size_t>(tid)];
+  me.next.store(nullptr, std::memory_order_relaxed);
+  me.locked.store(1, std::memory_order_relaxed);
+  counters_.add(tid);  // the swap
+  Node* prev = tail_.exchange(&me, std::memory_order_acq_rel);
+  if (prev != nullptr) {
+    counters_.add(tid);  // enqueue behind predecessor
+    prev->next.store(&me, std::memory_order_release);
+    spin_until(me.locked, [](int v) { return v == 0; }, counters_, tid);
+  }
+}
+
+void McsLock::unlock(int tid) {
+  Node& me = nodes_[static_cast<std::size_t>(tid)];
+  Node* successor = me.next.load(std::memory_order_acquire);
+  counters_.add(tid);
+  if (successor == nullptr) {
+    Node* expected = &me;
+    counters_.add(tid);  // the CAS
+    if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel)) return;
+    successor = spin_until(
+        me.next, [](Node* v) { return v != nullptr; }, counters_, tid);
+  }
+  counters_.add(tid);
+  successor->locked.store(0, std::memory_order_release);
+}
+
+// -------------------------------------------------------- YangAndersonLock
+
+YangAndersonLock::YangAndersonLock(int threads)
+    : Lock(threads), threads_(threads), leaf_span_(2), levels_(1) {
+  while (leaf_span_ < threads_) {
+    leaf_span_ *= 2;
+    ++levels_;
+  }
+  nodes_ = std::make_unique<NodeVars[]>(static_cast<std::size_t>(leaf_span_));  // 0 unused
+  spins_ = std::make_unique<SpinVar[]>(static_cast<std::size_t>(levels_ * threads_));
+}
+
+void YangAndersonLock::node_lock(int tid, int level, int node, int side) {
+  auto& v = nodes_[static_cast<std::size_t>(node)];
+  auto& my_spin = spin(level, tid);
+  const std::int64_t me = tid + 1;
+
+  counters_.add(tid);
+  v.c[side].store(me, std::memory_order_seq_cst);
+  counters_.add(tid);
+  v.t.store(me, std::memory_order_seq_cst);
+  counters_.add(tid);
+  my_spin.store(0, std::memory_order_seq_cst);
+
+  counters_.add(tid);
+  const std::int64_t rival = v.c[1 - side].load(std::memory_order_seq_cst);
+  if (rival == 0) return;
+  counters_.add(tid);
+  if (v.t.load(std::memory_order_seq_cst) != me) return;
+
+  auto& rival_spin = spin(level, static_cast<int>(rival) - 1);
+  counters_.add(tid);
+  if (rival_spin.load(std::memory_order_seq_cst) == 0) {
+    counters_.add(tid);
+    rival_spin.store(1, std::memory_order_seq_cst);
+  }
+  spin_until(my_spin, [](std::int64_t p) { return p >= 1; }, counters_, tid);
+  counters_.add(tid);
+  if (v.t.load(std::memory_order_seq_cst) != me) return;
+  spin_until(my_spin, [](std::int64_t p) { return p == 2; }, counters_, tid);
+}
+
+void YangAndersonLock::node_unlock(int tid, int level, int node, int side) {
+  auto& v = nodes_[static_cast<std::size_t>(node)];
+  const std::int64_t me = tid + 1;
+  (void)side;
+  counters_.add(tid);
+  v.c[side].store(0, std::memory_order_seq_cst);
+  counters_.add(tid);
+  const std::int64_t rival = v.t.load(std::memory_order_seq_cst);
+  if (rival != 0 && rival != me) {
+    counters_.add(tid);
+    spin(level, static_cast<int>(rival) - 1).store(2, std::memory_order_seq_cst);
+  }
+}
+
+void YangAndersonLock::lock(int tid) {
+  int node = leaf_span_ + tid;
+  int level = 0;
+  while (node > 1) {
+    node_lock(tid, level, node / 2, node & 1);
+    node /= 2;
+    ++level;
+  }
+}
+
+void YangAndersonLock::unlock(int tid) {
+  // Release root-to-leaf: the reverse of the acquisition path.
+  int path[64];
+  int depth = 0;
+  int node = leaf_span_ + tid;
+  while (node > 1) {
+    path[depth++] = node;
+    node /= 2;
+  }
+  for (int i = depth - 1; i >= 0; --i) {
+    node_unlock(tid, i, path[i] / 2, path[i] & 1);
+  }
+}
+
+std::vector<std::unique_ptr<Lock>> all_locks(int threads) {
+  std::vector<std::unique_ptr<Lock>> locks;
+  locks.push_back(std::make_unique<YangAndersonLock>(threads));
+  locks.push_back(std::make_unique<McsLock>(threads));
+  locks.push_back(std::make_unique<TicketLock>(threads));
+  locks.push_back(std::make_unique<TtasLock>(threads));
+  return locks;
+}
+
+}  // namespace melb::rt

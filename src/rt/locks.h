@@ -1,0 +1,119 @@
+// Threaded lock implementations with RMR instrumentation.
+//
+// Register-only algorithms (Yang–Anderson) mirror their simulator automata;
+// RMW-based locks (TTAS, ticket, MCS) exercise the paper's §1 remark that
+// the technique extends to comparison-based primitives — MCS is the
+// O(1)-RMR point the register lower bound proves unattainable without RMW.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/rmr.h"
+
+namespace melb::rt {
+
+class Lock {
+ public:
+  explicit Lock(int threads) : counters_(threads) {}
+  virtual ~Lock() = default;
+
+  virtual std::string name() const = 0;
+  virtual void lock(int tid) = 0;
+  virtual void unlock(int tid) = 0;
+
+  RmrCounters& counters() { return counters_; }
+  const RmrCounters& counters() const { return counters_; }
+
+ protected:
+  RmrCounters counters_;
+};
+
+// Test-and-test-and-set: the contention strawman; Θ(n) coherence traffic per
+// handoff under load.
+class TtasLock final : public Lock {
+ public:
+  explicit TtasLock(int threads) : Lock(threads) {}
+  std::string name() const override { return "ttas"; }
+  void lock(int tid) override;
+  void unlock(int tid) override;
+
+ private:
+  std::atomic<int> flag_{0};
+};
+
+// Ticket lock: FIFO, but all waiters spin on one word — Θ(n) invalidations
+// per handoff.
+class TicketLock final : public Lock {
+ public:
+  explicit TicketLock(int threads) : Lock(threads) {}
+  std::string name() const override { return "ticket"; }
+  void lock(int tid) override;
+  void unlock(int tid) override;
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> serving_{0};
+};
+
+// MCS queue lock: O(1) RMR per acquisition via RMW (swap/CAS) — the
+// comparison-primitive escape hatch from the register lower bound.
+class McsLock final : public Lock {
+ public:
+  explicit McsLock(int threads);
+  std::string name() const override { return "mcs"; }
+  void lock(int tid) override;
+  void unlock(int tid) override;
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<int> locked{0};
+  };
+  std::atomic<Node*> tail_{nullptr};
+  std::unique_ptr<Node[]> nodes_;
+};
+
+// Yang–Anderson arbitration tree over plain atomic loads/stores (no RMW):
+// the O(log n)-RMR register algorithm the paper cites as the tight upper
+// bound. Mirrors algo::YangAndersonAlgorithm.
+class YangAndersonLock final : public Lock {
+ public:
+  explicit YangAndersonLock(int threads);
+  std::string name() const override { return "yang-anderson"; }
+  void lock(int tid) override;
+  void unlock(int tid) override;
+
+ private:
+  struct alignas(64) NodeVars {
+    std::atomic<std::int64_t> c[2]{0, 0};
+    std::atomic<std::int64_t> t{0};
+  };
+  struct alignas(64) SpinVar {
+    std::atomic<std::int64_t> p{0};
+  };
+
+  void node_lock(int tid, int level, int node, int side);
+  void node_unlock(int tid, int level, int node, int side);
+
+  // Spin flags are per (thread, tree level) — a stale delayed signal from a
+  // lower node must not wake the thread's wait at a higher node (mirrors
+  // algo::YangAndersonAlgorithm; see that header for the failure trace).
+  std::atomic<std::int64_t>& spin(int level, int tid) {
+    return spins_[static_cast<std::size_t>(level * threads_ + tid)].p;
+  }
+
+  int threads_;
+  int leaf_span_;
+  int levels_;
+  std::unique_ptr<NodeVars[]> nodes_;  // heap-indexed, [1, leaf_span_)
+  std::unique_ptr<SpinVar[]> spins_;
+};
+
+// All instrumented locks for a given thread count.
+std::vector<std::unique_ptr<Lock>> all_locks(int threads);
+
+}  // namespace melb::rt

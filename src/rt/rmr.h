@@ -1,0 +1,83 @@
+// RMR (remote memory reference) accounting for the threaded runtime.
+//
+// The paper's motivation is cache-coherent hardware, which we do not control
+// cycle-accurately; instead we count coherence-relevant events in software
+// (the substitution documented in DESIGN.md §5):
+//   * every store and every RMW counts 1 (it invalidates other caches);
+//   * a one-shot load counts 1 (potential miss);
+//   * a spin loop counts 1 for the initial load and 1 per *observed value
+//     change* — re-reads of an unchanged value hit the local cache for free,
+//     exactly the accounting of the CC model (and the SC model's free
+//     busy-waits).
+// Counters are per-thread and cache-line padded so the instrumentation does
+// not itself create coherence traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace melb::rt {
+
+struct alignas(64) PaddedCounter {
+  std::uint64_t value = 0;
+};
+
+class RmrCounters {
+ public:
+  explicit RmrCounters(int threads) : counters_(static_cast<std::size_t>(threads)) {}
+
+  void add(int tid, std::uint64_t amount = 1) {
+    counters_[static_cast<std::size_t>(tid)].value += amount;
+  }
+
+  std::uint64_t of(int tid) const { return counters_[static_cast<std::size_t>(tid)].value; }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : counters_) sum += c.value;
+    return sum;
+  }
+
+  std::uint64_t max() const {
+    std::uint64_t best = 0;
+    for (const auto& c : counters_) best = best > c.value ? best : c.value;
+    return best;
+  }
+
+  void reset() {
+    for (auto& c : counters_) c.value = 0;
+  }
+
+  int threads() const { return static_cast<int>(counters_.size()); }
+
+ private:
+  std::vector<PaddedCounter> counters_;
+};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Spin until pred(value) holds on `var`, charging `counters` per the RMR
+// accounting above. Returns the satisfying value.
+template <typename T, typename Pred>
+T spin_until(const std::atomic<T>& var, Pred pred, RmrCounters& counters, int tid) {
+  T last = var.load(std::memory_order_acquire);
+  counters.add(tid);
+  while (!pred(last)) {
+    cpu_relax();
+    const T current = var.load(std::memory_order_acquire);
+    if (current != last) {
+      counters.add(tid);
+      last = current;
+    }
+  }
+  return last;
+}
+
+}  // namespace melb::rt

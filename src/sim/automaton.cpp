@@ -1,0 +1,16 @@
+#include "sim/automaton.h"
+
+namespace melb::sim {
+
+bool read_changes_state(const Automaton& automaton, Value value) {
+  const auto before = automaton.fingerprint();
+  auto copy = automaton.clone();
+  copy->advance(value);
+  return copy->fingerprint() != before;
+}
+
+Value Algorithm::register_init(Reg, int) const { return 0; }
+
+Pid Algorithm::register_owner(Reg, int) const { return -1; }
+
+}  // namespace melb::sim

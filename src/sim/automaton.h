@@ -1,0 +1,71 @@
+// Deterministic process automata and algorithm factories (paper §3.1).
+//
+// Each process is a deterministic automaton with a transition function δ: the
+// next step is a pure function of local state (`propose`), and `advance`
+// applies the local transition after the step executes (reads observe the
+// register value). Automata are clonable and fingerprintable so the
+// simulator can implement the state-change cost model (Def. 3.1) and the
+// lower-bound pipeline can evaluate δ(α, j) by replaying prefixes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/types.h"
+
+namespace melb::sim {
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  // The automaton's next step. Precondition: !done().
+  // Deterministic: repeated calls without an intervening advance() return the
+  // same step (this is the paper's δ(s, i)).
+  virtual Step propose() const = 0;
+
+  // Apply the local transition for the step returned by propose().
+  // For reads, `read_value` is the value observed; it is ignored otherwise.
+  virtual void advance(Value read_value) = 0;
+
+  // True once the automaton has performed its rem step (one full
+  // try/critical/exit/remainder cycle; canonical executions need one cycle).
+  virtual bool done() const = 0;
+
+  // Hash of the complete local state. Two automata for the same process with
+  // equal local state must agree; states differing in any variable the
+  // transition function consults must (w.h.p.) differ.
+  virtual std::uint64_t fingerprint() const = 0;
+
+  virtual std::unique_ptr<Automaton> clone() const = 0;
+};
+
+// Would this automaton change local state if its proposed step — which must
+// be a read — observed `value`? This is the paper's SC(α, m, i) predicate
+// (Fig. 1) evaluated on a replayed automaton.
+bool read_changes_state(const Automaton& automaton, Value value);
+
+// An Algorithm manufactures the n process automata and describes the shared
+// register file (count and initial values). Implementations must be
+// deterministic: every automaton for (pid, n) behaves identically.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  // Number of shared registers the n-process instance uses.
+  virtual int num_registers(int n) const = 0;
+
+  // Initial value of register `reg` (default 0).
+  virtual Value register_init(Reg reg, int n) const;
+
+  // For the DSM cost model: the process in whose memory partition `reg`
+  // lives, or -1 if the register is remote to everyone (default). Local-spin
+  // algorithms (Yang–Anderson) override this for their spin registers.
+  virtual Pid register_owner(Reg reg, int n) const;
+
+  virtual std::unique_ptr<Automaton> make_process(Pid pid, int n) const = 0;
+};
+
+}  // namespace melb::sim

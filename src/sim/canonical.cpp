@@ -1,0 +1,77 @@
+#include "sim/canonical.h"
+
+namespace melb::sim {
+
+CanonicalRun run_canonical(const Algorithm& algorithm, int n, Scheduler& scheduler,
+                           RunMode mode, std::uint64_t max_steps) {
+  Simulator sim(algorithm, n);
+  CanonicalRun result;
+
+  // Event-driven productivity tracking: a spinning process only needs to be
+  // re-examined when someone writes the register it watches. This keeps the
+  // per-step work O(contenders-on-one-register) instead of O(n).
+  std::vector<bool> productive(static_cast<std::size_t>(n), false);
+  std::vector<Reg> watching(static_cast<std::size_t>(n), -1);  // spun-on register or -1
+  int done_count = 0;
+
+  auto refresh = [&](Pid pid) {
+    if (sim.process_done(pid)) {
+      productive[static_cast<std::size_t>(pid)] = false;
+      watching[static_cast<std::size_t>(pid)] = -1;
+      return;
+    }
+    const Step step = sim.peek(pid);
+    const bool is_productive = sim.next_step_productive(pid);
+    productive[static_cast<std::size_t>(pid)] = is_productive;
+    // Unproductive steps are reads or failing RMWs: wake them when their
+    // register is written.
+    watching[static_cast<std::size_t>(pid)] = is_productive ? -1 : step.reg;
+  };
+  for (Pid pid = 0; pid < n; ++pid) refresh(pid);
+
+  std::vector<Pid> eligible;
+  eligible.reserve(static_cast<std::size_t>(n));
+
+  while (result.steps < max_steps) {
+    if (done_count == n) {
+      result.completed = true;
+      break;
+    }
+    eligible.clear();
+    for (Pid pid = 0; pid < n; ++pid) {
+      if (sim.process_done(pid)) continue;
+      if (mode == RunMode::kProductiveOnly && !productive[static_cast<std::size_t>(pid)]) {
+        continue;
+      }
+      eligible.push_back(pid);
+    }
+    if (eligible.empty()) {
+      // Every unfinished process is spinning on a register no one will ever
+      // change (there are no other steps left in the system): livelock.
+      result.livelocked = true;
+      break;
+    }
+    const Pid pid = scheduler.pick(eligible);
+    const RecordedStep rs = sim.step(pid);
+    ++result.steps;
+    if (sim.process_done(pid)) ++done_count;
+    refresh(pid);
+    const bool wrote =
+        rs.step.type == StepType::kWrite ||
+        (rs.step.type == StepType::kRmw &&
+         apply_rmw(rs.step, rs.read_value) != rs.read_value);
+    if (wrote) {
+      for (Pid other = 0; other < n; ++other) {
+        if (other != pid && watching[static_cast<std::size_t>(other)] == rs.step.reg) {
+          refresh(other);
+        }
+      }
+    }
+  }
+
+  result.exec = sim.execution();
+  result.sc_cost = result.exec.sc_cost();
+  return result;
+}
+
+}  // namespace melb::sim

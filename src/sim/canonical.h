@@ -1,0 +1,43 @@
+// Canonical executions: every process completes one critical-section cycle.
+//
+// The paper's cost statements quantify over canonical executions — n
+// processes, each entering the critical section exactly once. This runner
+// produces them under a pluggable scheduler.
+//
+// Scheduling modes:
+//  * kProductiveOnly (default): only processes whose next step changes their
+//    local state are eligible. Under the SC cost model a non-changing read is
+//    free and leaves the whole system state unchanged, so skipping it yields
+//    an equivalent execution while making the run length O(cost) instead of
+//    O(cost × spin time). If no process can take a productive step and some
+//    are unfinished, the system is livelocked (no future step can unblock a
+//    spinner) and the run reports it.
+//  * kFaithful: every enabled process is eligible, free busy-wait reads are
+//    recorded. Step count is capped; use for demonstrations and validation.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/execution.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace melb::sim {
+
+enum class RunMode { kProductiveOnly, kFaithful };
+
+struct CanonicalRun {
+  Execution exec;
+  bool completed = false;      // all n processes reached their rem step
+  bool livelocked = false;     // productive mode proved no progress is possible
+  std::uint64_t steps = 0;     // steps actually executed (incl. free reads)
+  std::uint64_t sc_cost = 0;   // Def. 3.1 cost of exec
+};
+
+// Runs the algorithm with n processes until all complete one cycle, the step
+// cap is hit, or livelock is detected. The scheduler sees only eligible pids.
+CanonicalRun run_canonical(const Algorithm& algorithm, int n, Scheduler& scheduler,
+                           RunMode mode = RunMode::kProductiveOnly,
+                           std::uint64_t max_steps = 50'000'000);
+
+}  // namespace melb::sim

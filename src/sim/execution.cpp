@@ -1,0 +1,124 @@
+#include "sim/execution.h"
+
+#include <sstream>
+
+namespace melb::sim {
+
+std::uint64_t Execution::sc_cost() const {
+  std::uint64_t cost = 0;
+  for (const auto& rs : steps_) {
+    if (rs.step.is_memory_access() && rs.state_changed) ++cost;
+  }
+  return cost;
+}
+
+std::uint64_t Execution::total_accesses() const {
+  std::uint64_t count = 0;
+  for (const auto& rs : steps_) {
+    if (rs.step.is_memory_access()) ++count;
+  }
+  return count;
+}
+
+std::vector<RecordedStep> Execution::projection(Pid pid) const {
+  std::vector<RecordedStep> result;
+  for (const auto& rs : steps_) {
+    if (rs.step.pid == pid) result.push_back(rs);
+  }
+  return result;
+}
+
+std::vector<Section> Execution::sections(int n) const {
+  std::vector<Section> sections(static_cast<std::size_t>(n), Section::kRemainder);
+  for (const auto& rs : steps_) {
+    if (rs.step.type != StepType::kCrit) continue;
+    auto& section = sections[static_cast<std::size_t>(rs.step.pid)];
+    switch (rs.step.crit) {
+      case CritKind::kTry:
+        section = Section::kTrying;
+        break;
+      case CritKind::kEnter:
+        section = Section::kCritical;
+        break;
+      case CritKind::kExit:
+        section = Section::kExit;
+        break;
+      case CritKind::kRem:
+        section = Section::kRemainder;
+        break;
+    }
+  }
+  return sections;
+}
+
+std::string Execution::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const auto& rs = steps_[i];
+    out << i << ": " << sim::to_string(rs.step);
+    if (rs.step.type == StepType::kRead) out << " -> " << rs.read_value;
+    if (rs.step.is_memory_access()) out << (rs.state_changed ? "  [sc]" : "  [free]");
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string check_well_formed(const Execution& exec, int n) {
+  // Expected next critical step per process, cycling try -> enter -> exit -> rem.
+  std::vector<CritKind> expected(static_cast<std::size_t>(n), CritKind::kTry);
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const Step& step = exec.at(i).step;
+    if (step.type != StepType::kCrit) continue;
+    if (step.pid < 0 || step.pid >= n) {
+      return "step " + std::to_string(i) + ": pid out of range";
+    }
+    auto& want = expected[static_cast<std::size_t>(step.pid)];
+    if (step.crit != want) {
+      return "step " + std::to_string(i) + " (" + to_string(step) +
+             "): expected critical step " + to_string(want);
+    }
+    switch (want) {
+      case CritKind::kTry:
+        want = CritKind::kEnter;
+        break;
+      case CritKind::kEnter:
+        want = CritKind::kExit;
+        break;
+      case CritKind::kExit:
+        want = CritKind::kRem;
+        break;
+      case CritKind::kRem:
+        want = CritKind::kTry;
+        break;
+    }
+  }
+  return {};
+}
+
+std::string check_mutual_exclusion(const Execution& exec, int n) {
+  std::vector<bool> in_cs(static_cast<std::size_t>(n), false);
+  int occupants = 0;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    const Step& step = exec.at(i).step;
+    if (step.type != StepType::kCrit) continue;
+    auto idx = static_cast<std::size_t>(step.pid);
+    if (step.crit == CritKind::kEnter) {
+      if (!in_cs[idx]) {
+        in_cs[idx] = true;
+        ++occupants;
+        if (occupants > 1) {
+          return "step " + std::to_string(i) + " (" + to_string(step) +
+                 "): two processes in the critical section";
+        }
+      }
+    } else if (step.crit == CritKind::kExit) {
+      if (in_cs[idx]) {
+        in_cs[idx] = false;
+        --occupants;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace melb::sim

@@ -1,0 +1,65 @@
+// Executions: recorded step sequences with observations and SC-cost marks.
+//
+// An Execution is the paper's α. Each recorded step carries the value a read
+// observed and whether the actor's local state changed (the sc(α, i, j)
+// indicator of Def. 3.1). Executions can be built live by the Simulator, or
+// validated/reconstructed from a bare step sequence (used by the lower-bound
+// pipeline, whose linearizations are step sequences that must be checked
+// against the algorithm's transition function).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace melb::sim {
+
+struct RecordedStep {
+  Step step;
+  Value read_value = 0;       // for reads: the value observed
+  bool state_changed = false; // did the actor's local state change?
+};
+
+class Execution {
+ public:
+  void append(RecordedStep rs) { steps_.push_back(rs); }
+
+  std::size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  const RecordedStep& at(std::size_t i) const { return steps_[i]; }
+  const std::vector<RecordedStep>& steps() const { return steps_; }
+
+  // SC cost (Def. 3.1): number of shared-memory steps after which the acting
+  // process changed local state, summed over all processes.
+  std::uint64_t sc_cost() const;
+
+  // Total number of shared-memory accesses (the pre-[1] "count everything"
+  // measure; unbounded for busy-waiting algorithms).
+  std::uint64_t total_accesses() const;
+
+  // The paper's α|i: the subsequence of process pid's steps.
+  std::vector<RecordedStep> projection(Pid pid) const;
+
+  // The section each of the n processes is in after the execution.
+  std::vector<Section> sections(int n) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<RecordedStep> steps_;
+};
+
+// Validators. Each returns an empty string when the property holds, otherwise
+// a human-readable description of the first violation.
+
+// Well-formedness (§3.2): every process's critical steps form a prefix of
+// (try enter exit rem)*.
+std::string check_well_formed(const Execution& exec, int n);
+
+// Mutual exclusion (§3.2): no two processes are simultaneously in their
+// critical sections at any point of the execution.
+std::string check_mutual_exclusion(const Execution& exec, int n);
+
+}  // namespace melb::sim

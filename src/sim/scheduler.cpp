@@ -1,0 +1,31 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+namespace melb::sim {
+
+Pid RoundRobinScheduler::pick(const std::vector<Pid>& enabled) {
+  // First enabled pid strictly greater than last_, else wrap to the smallest.
+  for (Pid pid : enabled) {
+    if (pid > last_) {
+      last_ = pid;
+      return pid;
+    }
+  }
+  last_ = enabled.front();
+  return last_;
+}
+
+Pid RandomScheduler::pick(const std::vector<Pid>& enabled) {
+  return enabled[static_cast<std::size_t>(rng_.below(enabled.size()))];
+}
+
+Pid SequentialScheduler::pick(const std::vector<Pid>& enabled) { return enabled.front(); }
+
+Pid ConvoyScheduler::pick(const std::vector<Pid>& enabled) {
+  return *std::min_element(enabled.begin(), enabled.end(), [this](Pid a, Pid b) {
+    return order_.rank(a) < order_.rank(b);
+  });
+}
+
+}  // namespace melb::sim

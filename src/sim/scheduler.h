@@ -1,0 +1,74 @@
+// Schedulers: adversaries that pick which enabled process moves next.
+//
+// Canonical executions (each process completes one critical-section cycle)
+// are produced by running an algorithm under a scheduler. Different
+// schedulers stress different cost behaviour: round-robin is the fair
+// baseline, the random scheduler samples the execution space, sequential
+// admits no contention, and the convoy scheduler releases processes in a
+// prescribed permutation order to approximate the adversarial arrival
+// patterns the lower-bound construction formalizes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+
+namespace melb::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Choose one of `enabled` (nonempty, ascending pids) to move next.
+  virtual Pid pick(const std::vector<Pid>& enabled) = 0;
+};
+
+// Cycles through processes in pid order, skipping disabled ones.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  Pid last_ = -1;
+};
+
+// Uniformly random among enabled processes; deterministic given the seed.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  util::Xoshiro256StarStar rng_;
+};
+
+// Runs the lowest enabled pid until it blocks or finishes: contention-free
+// when the algorithm lets a solo process through.
+class SequentialScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "sequential"; }
+  Pid pick(const std::vector<Pid>& enabled) override;
+};
+
+// Prefers processes by their position in a permutation: the adversary admits
+// pi(0) first, then pi(1), etc. — the arrival order of the paper's
+// construction, approximated for live runs.
+class ConvoyScheduler final : public Scheduler {
+ public:
+  explicit ConvoyScheduler(util::Permutation order) : order_(std::move(order)) {}
+  std::string name() const override { return "convoy"; }
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  util::Permutation order_;
+};
+
+}  // namespace melb::sim

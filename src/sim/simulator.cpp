@@ -1,0 +1,141 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+
+namespace melb::sim {
+
+namespace {
+
+std::string mismatch_message(const Step& forced, const Step& proposed) {
+  std::ostringstream out;
+  out << "forced step " << to_string(forced) << " does not match proposed step "
+      << to_string(proposed);
+  return out.str();
+}
+
+}  // namespace
+
+Simulator::Simulator(const Algorithm& algorithm, int n) : algorithm_(algorithm), n_(n) {
+  const int regs = algorithm.num_registers(n);
+  registers_.resize(static_cast<std::size_t>(regs));
+  for (Reg r = 0; r < regs; ++r) {
+    registers_[static_cast<std::size_t>(r)] = algorithm.register_init(r, n);
+  }
+  automata_.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) automata_.push_back(algorithm.make_process(p, n));
+}
+
+RecordedStep Simulator::execute(Pid pid, const Step& step) {
+  auto& automaton = *automata_[static_cast<std::size_t>(pid)];
+  RecordedStep rs;
+  rs.step = step;
+  const std::uint64_t before = automaton.fingerprint();
+  Value read_value = 0;
+  switch (step.type) {
+    case StepType::kRead:
+      read_value = registers_[static_cast<std::size_t>(step.reg)];
+      rs.read_value = read_value;
+      break;
+    case StepType::kWrite:
+      registers_[static_cast<std::size_t>(step.reg)] = step.value;
+      break;
+    case StepType::kRmw: {
+      auto& cell = registers_[static_cast<std::size_t>(step.reg)];
+      read_value = cell;  // the RMW observes the old value
+      rs.read_value = read_value;
+      cell = apply_rmw(step, cell);
+      break;
+    }
+    case StepType::kCrit:
+      break;
+  }
+  automaton.advance(read_value);
+  rs.state_changed = automaton.fingerprint() != before;
+  execution_.append(rs);
+  return rs;
+}
+
+RecordedStep Simulator::step(Pid pid) {
+  auto& automaton = *automata_[static_cast<std::size_t>(pid)];
+  return execute(pid, automaton.propose());
+}
+
+RecordedStep Simulator::force_step(const Step& forced) {
+  const Pid pid = forced.pid;
+  if (pid < 0 || pid >= n_) throw InvalidStepError("forced step has invalid pid");
+  auto& automaton = *automata_[static_cast<std::size_t>(pid)];
+  if (automaton.done()) throw InvalidStepError("forced step for a process that is done");
+  const Step proposed = automaton.propose();
+  if (proposed != forced) throw InvalidStepError(mismatch_message(forced, proposed));
+  return execute(pid, proposed);
+}
+
+Step Simulator::peek(Pid pid) const {
+  return automata_[static_cast<std::size_t>(pid)]->propose();
+}
+
+bool Simulator::next_step_productive(Pid pid) const {
+  const auto& automaton = *automata_[static_cast<std::size_t>(pid)];
+  const Step step = automaton.propose();
+  if (step.type == StepType::kRead) {
+    return read_changes_state(automaton, registers_[static_cast<std::size_t>(step.reg)]);
+  }
+  if (step.type == StepType::kRmw) {
+    // A spinning RMW (e.g. a failing CAS) is unproductive only if it changes
+    // neither the register nor the process's local state.
+    const Value old_value = registers_[static_cast<std::size_t>(step.reg)];
+    if (apply_rmw(step, old_value) != old_value) return true;
+    return read_changes_state(automaton, old_value);
+  }
+  return true;
+}
+
+bool Simulator::process_done(Pid pid) const {
+  return automata_[static_cast<std::size_t>(pid)]->done();
+}
+
+bool Simulator::all_done() const {
+  for (const auto& automaton : automata_) {
+    if (!automaton->done()) return false;
+  }
+  return true;
+}
+
+Execution validate_steps(const Algorithm& algorithm, int n, const std::vector<Step>& steps) {
+  Simulator sim(algorithm, n);
+  for (const Step& step : steps) sim.force_step(step);
+  return sim.execution();
+}
+
+std::unique_ptr<Automaton> replay_process(const Algorithm& algorithm, int n,
+                                          const std::vector<Step>& steps, Pid pid) {
+  const int regs = algorithm.num_registers(n);
+  std::vector<Value> registers(static_cast<std::size_t>(regs));
+  for (Reg r = 0; r < regs; ++r) {
+    registers[static_cast<std::size_t>(r)] = algorithm.register_init(r, n);
+  }
+  auto automaton = algorithm.make_process(pid, n);
+  for (const Step& step : steps) {
+    Value read_value = 0;
+    if (step.type == StepType::kRead) {
+      read_value = registers[static_cast<std::size_t>(step.reg)];
+    } else if (step.type == StepType::kWrite) {
+      registers[static_cast<std::size_t>(step.reg)] = step.value;
+    } else if (step.type == StepType::kRmw) {
+      auto& cell = registers[static_cast<std::size_t>(step.reg)];
+      read_value = cell;
+      cell = apply_rmw(step, cell);
+    }
+    if (step.pid == pid) {
+      if (automaton->done()) {
+        throw InvalidStepError("replay_process: step after process finished");
+      }
+      const Step proposed = automaton->propose();
+      if (proposed != step) throw InvalidStepError(mismatch_message(step, proposed));
+      automaton->advance(read_value);
+    }
+  }
+  return automaton;
+}
+
+}  // namespace melb::sim

@@ -1,0 +1,83 @@
+// The live simulated system: n automata plus the shared register file.
+//
+// Three modes of use:
+//  * interactive: callers pick which process moves next (schedulers do this);
+//  * forced replay: execute a prescribed step sequence, validating each step
+//    against the acting automaton's δ (the lower-bound pipeline checks its
+//    linearizations are real executions this way);
+//  * prefix replay: recompute a process's automaton state after an execution
+//    prefix — the δ(α, j) evaluations of Fig. 1 and Fig. 3.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/automaton.h"
+#include "sim/execution.h"
+
+namespace melb::sim {
+
+// Thrown when a forced step does not match what the acting automaton's
+// transition function proposes — i.e. the step sequence is not an execution.
+class InvalidStepError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+ public:
+  Simulator(const Algorithm& algorithm, int n);
+
+  int n() const { return n_; }
+
+  // Execute process pid's next step. Returns the recorded step.
+  // Precondition: !process_done(pid).
+  RecordedStep step(Pid pid);
+
+  // Execute `forced`, which must equal the acting automaton's proposed step
+  // (value compared for writes, kind for critical steps). Throws
+  // InvalidStepError otherwise.
+  RecordedStep force_step(const Step& forced);
+
+  // The step process pid would take next (δ applied to its current state).
+  Step peek(Pid pid) const;
+
+  // Would process pid's pending read change its state if it observed the
+  // current register contents? (Writes and critical steps always change
+  // state for well-formed automata; this returns true for them.)
+  bool next_step_productive(Pid pid) const;
+
+  bool process_done(Pid pid) const;
+  bool all_done() const;
+
+  Value register_value(Reg reg) const { return registers_[static_cast<std::size_t>(reg)]; }
+  const Automaton& automaton(Pid pid) const { return *automata_[static_cast<std::size_t>(pid)]; }
+
+  const Execution& execution() const { return execution_; }
+  std::uint64_t sc_cost() const { return execution_.sc_cost(); }
+
+ private:
+  RecordedStep execute(Pid pid, const Step& step);
+
+  const Algorithm& algorithm_;
+  int n_;
+  std::vector<Value> registers_;
+  std::vector<std::unique_ptr<Automaton>> automata_;
+  Execution execution_;
+};
+
+// Run the bare step sequence through a fresh system, validating every step.
+// Returns the fully annotated execution (read values, SC marks).
+Execution validate_steps(const Algorithm& algorithm, int n, const std::vector<Step>& steps);
+
+// Recompute process pid's automaton state after the prefix `steps` (which
+// need not include annotations; register contents are tracked internally).
+// Faster than validate_steps when only one process's state is needed: only
+// pid's automaton is replayed, but all writes are applied to the registers.
+//
+// Returns the automaton (done() possible) — the paper's st(α, i).
+std::unique_ptr<Automaton> replay_process(const Algorithm& algorithm, int n,
+                                          const std::vector<Step>& steps, Pid pid);
+
+}  // namespace melb::sim

@@ -1,0 +1,89 @@
+#include "sim/types.h"
+
+#include <sstream>
+
+namespace melb::sim {
+
+std::string to_string(StepType type) {
+  switch (type) {
+    case StepType::kRead:
+      return "R";
+    case StepType::kWrite:
+      return "W";
+    case StepType::kCrit:
+      return "C";
+  }
+  return "?";
+}
+
+std::string to_string(CritKind kind) {
+  switch (kind) {
+    case CritKind::kTry:
+      return "try";
+    case CritKind::kEnter:
+      return "enter";
+    case CritKind::kExit:
+      return "exit";
+    case CritKind::kRem:
+      return "rem";
+  }
+  return "?";
+}
+
+Value apply_rmw(const Step& step, Value old_value) {
+  switch (step.rmw) {
+    case RmwKind::kCas:
+      return old_value == step.expected ? step.value : old_value;
+    case RmwKind::kSwap:
+      return step.value;
+    case RmwKind::kFaa:
+      return old_value + step.value;
+  }
+  return old_value;
+}
+
+std::string to_string(const Step& step) {
+  std::ostringstream out;
+  switch (step.type) {
+    case StepType::kRead:
+      out << "read_" << step.pid << "(r" << step.reg << ")";
+      break;
+    case StepType::kWrite:
+      out << "write_" << step.pid << "(r" << step.reg << ", " << step.value << ")";
+      break;
+    case StepType::kRmw:
+      switch (step.rmw) {
+        case RmwKind::kCas:
+          out << "cas_" << step.pid << "(r" << step.reg << ", " << step.expected << "->"
+              << step.value << ")";
+          break;
+        case RmwKind::kSwap:
+          out << "swap_" << step.pid << "(r" << step.reg << ", " << step.value << ")";
+          break;
+        case RmwKind::kFaa:
+          out << "faa_" << step.pid << "(r" << step.reg << ", " << step.value << ")";
+          break;
+      }
+      break;
+    case StepType::kCrit:
+      out << to_string(step.crit) << "_" << step.pid;
+      break;
+  }
+  return out.str();
+}
+
+std::string to_string(Section section) {
+  switch (section) {
+    case Section::kRemainder:
+      return "remainder";
+    case Section::kTrying:
+      return "trying";
+    case Section::kCritical:
+      return "critical";
+    case Section::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+}  // namespace melb::sim

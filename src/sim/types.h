@@ -1,0 +1,85 @@
+// Core vocabulary of the shared-memory model (paper §3.1–§3.2).
+//
+// A system is n deterministic process automata plus a collection of
+// multi-reader multi-writer registers. Processes take read, write, and
+// critical steps; executions are alternating sequences of system states and
+// steps, which we represent as step sequences (the paper notes the two
+// representations are equivalent for deterministic systems).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace melb::sim {
+
+using Pid = int;                 // process id, 0-based ([n] in the paper)
+using Reg = int;                 // register index into the algorithm's register file
+using Value = std::int64_t;      // register contents (the paper's arbitrary set V)
+
+enum class StepType : std::uint8_t {
+  kRead,   // read_i(l)
+  kWrite,  // write_i(l, v)
+  kRmw,    // atomic read-modify-write on l (the paper's §1 comparison-
+           // primitive extension; not allowed in the register-only
+           // lower-bound construction)
+  kCrit,   // try_i / enter_i / exit_i / rem_i
+};
+
+enum class CritKind : std::uint8_t { kTry, kEnter, kExit, kRem };
+
+enum class RmwKind : std::uint8_t {
+  kCas,   // if *l == expected then *l := value; observes old value
+  kSwap,  // *l := value; observes old value
+  kFaa,   // *l := *l + value; observes old value
+};
+
+// A process step. For kRead, `reg` is the register read; for kWrite, `reg`
+// and `value` are the target and payload; for kRmw, `rmw`/`value`/`expected`
+// describe the primitive; for kCrit, `crit` is the kind.
+struct Step {
+  StepType type = StepType::kCrit;
+  Pid pid = -1;
+  Reg reg = -1;
+  Value value = 0;
+  CritKind crit = CritKind::kTry;
+  RmwKind rmw = RmwKind::kCas;
+  Value expected = 0;  // kCas only
+
+  static Step read(Pid pid, Reg reg) {
+    return Step{StepType::kRead, pid, reg, 0, CritKind::kTry, RmwKind::kCas, 0};
+  }
+  static Step write(Pid pid, Reg reg, Value value) {
+    return Step{StepType::kWrite, pid, reg, value, CritKind::kTry, RmwKind::kCas, 0};
+  }
+  static Step crit_step(Pid pid, CritKind kind) {
+    return Step{StepType::kCrit, pid, -1, 0, kind, RmwKind::kCas, 0};
+  }
+  static Step cas(Pid pid, Reg reg, Value expected, Value desired) {
+    return Step{StepType::kRmw, pid, reg, desired, CritKind::kTry, RmwKind::kCas, expected};
+  }
+  static Step swap(Pid pid, Reg reg, Value value) {
+    return Step{StepType::kRmw, pid, reg, value, CritKind::kTry, RmwKind::kSwap, 0};
+  }
+  static Step faa(Pid pid, Reg reg, Value addend) {
+    return Step{StepType::kRmw, pid, reg, addend, CritKind::kTry, RmwKind::kFaa, 0};
+  }
+
+  bool is_memory_access() const { return type != StepType::kCrit; }
+
+  bool operator==(const Step& other) const = default;
+};
+
+// The register value after applying an RMW step to `old_value`.
+Value apply_rmw(const Step& step, Value old_value);
+
+std::string to_string(StepType type);
+std::string to_string(CritKind kind);
+std::string to_string(const Step& step);
+
+// Which protocol section a process is in, derived from its last critical step
+// (paper §3.2). A process with no critical steps is in its remainder section.
+enum class Section : std::uint8_t { kRemainder, kTrying, kCritical, kExit };
+
+std::string to_string(Section section);
+
+}  // namespace melb::sim

@@ -1,0 +1,249 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace melb::trace {
+
+namespace {
+
+using sim::CritKind;
+using sim::RecordedStep;
+using sim::RmwKind;
+using sim::Step;
+using sim::StepType;
+
+const char* crit_name(CritKind kind) {
+  switch (kind) {
+    case CritKind::kTry:
+      return "try";
+    case CritKind::kEnter:
+      return "enter";
+    case CritKind::kExit:
+      return "exit";
+    case CritKind::kRem:
+      return "rem";
+  }
+  return "?";
+}
+
+std::optional<CritKind> crit_from_name(const std::string& name) {
+  if (name == "try") return CritKind::kTry;
+  if (name == "enter") return CritKind::kEnter;
+  if (name == "exit") return CritKind::kExit;
+  if (name == "rem") return CritKind::kRem;
+  return std::nullopt;
+}
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& line) {
+  throw std::invalid_argument("trace: malformed line " + std::to_string(line_no) + ": " +
+                              line);
+}
+
+}  // namespace
+
+std::string to_text(const TraceHeader& header, const sim::Execution& exec) {
+  std::ostringstream out;
+  out << "# melb-trace v1\n";
+  out << "# algorithm: " << header.algorithm << "\n";
+  out << "# n: " << header.n << "\n";
+  for (const auto& rs : exec.steps()) {
+    const Step& s = rs.step;
+    switch (s.type) {
+      case StepType::kRead:
+        out << "R " << s.pid << ' ' << s.reg << " = " << rs.read_value << ' '
+            << (rs.state_changed ? "sc" : "free");
+        break;
+      case StepType::kWrite:
+        out << "W " << s.pid << ' ' << s.reg << ' ' << s.value << ' '
+            << (rs.state_changed ? "sc" : "free");
+        break;
+      case StepType::kRmw:
+        switch (s.rmw) {
+          case RmwKind::kCas:
+            out << "CAS " << s.pid << ' ' << s.reg << ' ' << s.expected << ' ' << s.value;
+            break;
+          case RmwKind::kSwap:
+            out << "SWP " << s.pid << ' ' << s.reg << ' ' << s.value;
+            break;
+          case RmwKind::kFaa:
+            out << "FAA " << s.pid << ' ' << s.reg << ' ' << s.value;
+            break;
+        }
+        out << " = " << rs.read_value << ' ' << (rs.state_changed ? "sc" : "free");
+        break;
+      case StepType::kCrit:
+        out << "C " << s.pid << ' ' << crit_name(s.crit);
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Step> ParsedTrace::raw_steps() const {
+  std::vector<Step> steps;
+  steps.reserve(exec.size());
+  for (const auto& rs : exec.steps()) steps.push_back(rs.step);
+  return steps;
+}
+
+ParsedTrace from_text(const std::string& text) {
+  ParsedTrace result;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_magic = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# melb-trace", 0) == 0) saw_magic = true;
+      const auto algo_pos = line.find("algorithm: ");
+      if (algo_pos != std::string::npos) result.header.algorithm = line.substr(algo_pos + 11);
+      const auto n_pos = line.find("n: ");
+      if (n_pos != std::string::npos && line.find("algorithm") == std::string::npos) {
+        result.header.n = std::stoi(line.substr(n_pos + 3));
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    RecordedStep rs;
+    auto read_annotations = [&]() {
+      std::string eq, mark;
+      long long observed = 0;
+      if (!(fields >> eq >> observed >> mark) || eq != "=") bad_line(line_no, line);
+      rs.read_value = observed;
+      rs.state_changed = (mark == "sc");
+      if (mark != "sc" && mark != "free") bad_line(line_no, line);
+    };
+    if (tag == "R") {
+      int pid = 0, reg = 0;
+      if (!(fields >> pid >> reg)) bad_line(line_no, line);
+      rs.step = Step::read(pid, reg);
+      read_annotations();
+    } else if (tag == "W") {
+      int pid = 0, reg = 0;
+      long long value = 0;
+      std::string mark;
+      if (!(fields >> pid >> reg >> value >> mark)) bad_line(line_no, line);
+      rs.step = Step::write(pid, reg, value);
+      rs.state_changed = (mark == "sc");
+      if (mark != "sc" && mark != "free") bad_line(line_no, line);
+    } else if (tag == "CAS") {
+      int pid = 0, reg = 0;
+      long long expected = 0, desired = 0;
+      if (!(fields >> pid >> reg >> expected >> desired)) bad_line(line_no, line);
+      rs.step = Step::cas(pid, reg, expected, desired);
+      read_annotations();
+    } else if (tag == "SWP") {
+      int pid = 0, reg = 0;
+      long long value = 0;
+      if (!(fields >> pid >> reg >> value)) bad_line(line_no, line);
+      rs.step = Step::swap(pid, reg, value);
+      read_annotations();
+    } else if (tag == "FAA") {
+      int pid = 0, reg = 0;
+      long long addend = 0;
+      if (!(fields >> pid >> reg >> addend)) bad_line(line_no, line);
+      rs.step = Step::faa(pid, reg, addend);
+      read_annotations();
+    } else if (tag == "C") {
+      int pid = 0;
+      std::string kind;
+      if (!(fields >> pid >> kind)) bad_line(line_no, line);
+      const auto crit = crit_from_name(kind);
+      if (!crit) bad_line(line_no, line);
+      rs.step = Step::crit_step(pid, *crit);
+      rs.state_changed = true;
+    } else {
+      bad_line(line_no, line);
+    }
+    result.exec.append(rs);
+  }
+  if (!saw_magic) throw std::invalid_argument("trace: missing '# melb-trace' header");
+  return result;
+}
+
+std::optional<std::size_t> first_divergence(const sim::Execution& a, const sim::Execution& b,
+                                            std::string* detail) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& ra = a.at(i);
+    const auto& rb = b.at(i);
+    if (!(ra.step == rb.step) || ra.read_value != rb.read_value ||
+        ra.state_changed != rb.state_changed) {
+      if (detail != nullptr) {
+        *detail = "step " + std::to_string(i) + ": " + to_string(ra.step) + " vs " +
+                  to_string(rb.step);
+      }
+      return i;
+    }
+  }
+  if (a.size() != b.size()) {
+    if (detail != nullptr) {
+      *detail = "length mismatch: " + std::to_string(a.size()) + " vs " +
+                std::to_string(b.size());
+    }
+    return limit;
+  }
+  return std::nullopt;
+}
+
+TraceStats compute_stats(const sim::Execution& exec, int n, int num_registers) {
+  TraceStats stats;
+  stats.per_process_cost.assign(static_cast<std::size_t>(n), 0);
+  stats.per_register_accesses.assign(static_cast<std::size_t>(num_registers), 0);
+  for (const auto& rs : exec.steps()) {
+    ++stats.steps;
+    switch (rs.step.type) {
+      case StepType::kRead:
+        ++stats.reads;
+        if (!rs.state_changed) ++stats.free_reads;
+        break;
+      case StepType::kWrite:
+        ++stats.writes;
+        break;
+      case StepType::kRmw:
+        ++stats.rmws;
+        break;
+      case StepType::kCrit:
+        ++stats.crits;
+        break;
+    }
+    if (rs.step.is_memory_access()) {
+      ++stats.memory_accesses;
+      ++stats.per_register_accesses[static_cast<std::size_t>(rs.step.reg)];
+      if (rs.state_changed) {
+        ++stats.sc_cost;
+        ++stats.per_process_cost[static_cast<std::size_t>(rs.step.pid)];
+      }
+    }
+  }
+  if (!stats.per_register_accesses.empty()) {
+    stats.hottest_register = static_cast<int>(
+        std::max_element(stats.per_register_accesses.begin(),
+                         stats.per_register_accesses.end()) -
+        stats.per_register_accesses.begin());
+  }
+  return stats;
+}
+
+std::string stats_to_string(const TraceStats& stats) {
+  std::ostringstream out;
+  out << "steps " << stats.steps << ", memory " << stats.memory_accesses << " (R "
+      << stats.reads << " / W " << stats.writes << " / RMW " << stats.rmws << " / C "
+      << stats.crits << "), SC cost " << stats.sc_cost << ", free reads "
+      << stats.free_reads;
+  if (stats.hottest_register >= 0) {
+    out << ", hottest register r" << stats.hottest_register << " ("
+        << stats.per_register_accesses[static_cast<std::size_t>(stats.hottest_register)]
+        << " accesses)";
+  }
+  return out.str();
+}
+
+}  // namespace melb::trace

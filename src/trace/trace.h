@@ -1,0 +1,69 @@
+// Execution trace serialization, parsing, diffing and statistics.
+//
+// Traces are line-based text so they can be diffed, archived, and replayed:
+//
+//   # melb-trace v1
+//   # algorithm: bakery
+//   # n: 4
+//   W 0 3 17          (write by pid 0 to register 3, value 17)
+//   R 1 3 = 17 sc     (read by pid 1 of register 3, observed 17, charged)
+//   R 1 4 = 0 free    (uncharged busy-wait read)
+//   CAS 2 0 0 1 = 0 sc / SWP 2 0 5 = 1 sc / FAA 2 0 1 = 7 sc
+//   C 0 try           (critical step)
+//
+// Parsing recomputes nothing: a parsed trace can be re-validated against the
+// algorithm with sim::validate_steps (the annotations must then match).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/execution.h"
+
+namespace melb::trace {
+
+struct TraceHeader {
+  std::string algorithm;
+  int n = 0;
+};
+
+// Serialize with annotations (read values, SC marks).
+std::string to_text(const TraceHeader& header, const sim::Execution& exec);
+
+struct ParsedTrace {
+  TraceHeader header;
+  sim::Execution exec;
+
+  std::vector<sim::Step> raw_steps() const;
+};
+
+// Throws std::invalid_argument on malformed input.
+ParsedTrace from_text(const std::string& text);
+
+// First index at which the two executions differ (step, read value, or SC
+// mark), or nullopt if identical. `detail` receives a description.
+std::optional<std::size_t> first_divergence(const sim::Execution& a, const sim::Execution& b,
+                                            std::string* detail = nullptr);
+
+// Aggregate statistics for reports.
+struct TraceStats {
+  std::uint64_t steps = 0;
+  std::uint64_t memory_accesses = 0;
+  std::uint64_t sc_cost = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t crits = 0;
+  std::uint64_t free_reads = 0;                   // uncharged busy-wait reads
+  std::vector<std::uint64_t> per_process_cost;    // SC cost by pid
+  std::vector<std::uint64_t> per_register_accesses;
+  int hottest_register = -1;                      // most-accessed register
+};
+
+TraceStats compute_stats(const sim::Execution& exec, int n, int num_registers);
+
+std::string stats_to_string(const TraceStats& stats);
+
+}  // namespace melb::trace

@@ -1,0 +1,76 @@
+// Dynamic bitset used for incremental transitive closure over metastep DAGs.
+//
+// The lower-bound Construct procedure (paper Fig. 1) issues many reachability
+// queries of the form "µ ⋠ m'". We keep, for every metastep, the bitset of
+// its ≼-predecessors; edge insertion unions bitsets. This file provides the
+// minimal bitset with the operations that workload needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace melb::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+    trim();
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool test(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // this |= other. The two bitsets must have the same size.
+  void or_with(const DynamicBitset& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  bool any() const {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // Index of the lowest set bit, or size() if none.
+  std::size_t find_first() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return (w << 6) + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return bits_;
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+ private:
+  void trim() {
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) words_.back() &= (1ULL << tail) - 1;
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace melb::util

@@ -1,0 +1,73 @@
+#include "util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace melb::util {
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log2(std::max(v, 1e-12));
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series, const ChartOptions& options) {
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity(), max_y = -min_y;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < std::min(s.xs.size(), s.ys.size()); ++i) {
+      const double x = transform(s.xs[i], options.log_x);
+      const double y = transform(s.ys[i], options.log_y);
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      any = true;
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  if (max_x - min_x < 1e-9) max_x = min_x + 1;
+  if (max_y - min_y < 1e-9) max_y = min_y + 1;
+
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < std::min(s.xs.size(), s.ys.size()); ++i) {
+      const double x = transform(s.xs[i], options.log_x);
+      const double y = transform(s.ys[i], options.log_y);
+      const int col = static_cast<int>(std::lround((x - min_x) / (max_x - min_x) * (w - 1)));
+      const int row = static_cast<int>(std::lround((y - min_y) / (max_y - min_y) * (h - 1)));
+      auto& cell = grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)];
+      cell = (cell == ' ' || cell == s.marker) ? s.marker : '+';  // '+' = overlap
+    }
+  }
+
+  std::ostringstream out;
+  char buf[64];
+  const double top = options.log_y ? std::exp2(max_y) : max_y;
+  const double bottom = options.log_y ? std::exp2(min_y) : min_y;
+  std::snprintf(buf, sizeof(buf), "%.3g", top);
+  out << "  y max " << buf << (options.log_y ? " (log2 scale)" : "") << '\n';
+  for (const auto& row : grid) out << "  |" << row << '\n';
+  out << "  +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  std::snprintf(buf, sizeof(buf), "%.3g", bottom);
+  out << "  y min " << buf << "; x ";
+  std::snprintf(buf, sizeof(buf), "%.3g", options.log_x ? std::exp2(min_x) : min_x);
+  out << buf << " .. ";
+  std::snprintf(buf, sizeof(buf), "%.3g", options.log_x ? std::exp2(max_x) : max_x);
+  out << buf << (options.log_x ? " (log2 scale)" : "") << '\n';
+  for (const auto& s : series) out << "  " << s.marker << " = " << s.label << '\n';
+  return out.str();
+}
+
+}  // namespace melb::util

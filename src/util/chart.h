@@ -1,0 +1,32 @@
+// ASCII growth charts for the experiment reports.
+//
+// Renders one or more (x, y) series on log₂-log₂ axes so asymptotic slopes
+// read directly off the picture: a Θ(n) series has slope 1, Θ(n log n)
+// slightly above 1, Θ(n²) slope 2. Benches append these below their tables
+// to make "who wins and how the gap grows" visible in plain terminals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace melb::util {
+
+struct ChartSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ChartOptions {
+  int width = 72;    // plot columns
+  int height = 20;   // plot rows
+  bool log_x = true;
+  bool log_y = true;
+};
+
+// Renders the series to a multi-line string (legend included).
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options = {});
+
+}  // namespace melb::util

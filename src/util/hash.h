@@ -1,0 +1,41 @@
+// Hashing helpers used for automaton state fingerprints and model-checker
+// state deduplication. FNV-1a over 64-bit lanes with a final mix; not
+// cryptographic, but stable across platforms and good enough for the
+// fingerprint-equality checks the SC cost model needs (exact-state compares
+// are also available via Automaton::clone for the paranoid paths).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace melb::util {
+
+class Hasher {
+ public:
+  Hasher& add(std::uint64_t value) noexcept {
+    state_ ^= mix(value + 0x9e3779b97f4a7c15ULL + (state_ << 6) + (state_ >> 2));
+    return *this;
+  }
+
+  Hasher& add_signed(std::int64_t value) noexcept {
+    return add(static_cast<std::uint64_t>(value));
+  }
+
+  Hasher& add_all(std::initializer_list<std::int64_t> values) noexcept {
+    for (auto v : values) add_signed(v);
+    return *this;
+  }
+
+  std::uint64_t digest() const noexcept { return mix(state_); }
+
+ private:
+  static std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+    z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+    return z ^ (z >> 33);
+  }
+
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace melb::util

@@ -1,0 +1,59 @@
+#include "util/permutation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace melb::util {
+
+Permutation::Permutation(int n) : order_(static_cast<std::size_t>(n)) {
+  std::iota(order_.begin(), order_.end(), 0);
+  rebuild_rank();
+}
+
+Permutation::Permutation(std::vector<int> order) : order_(std::move(order)) {
+  const int n = static_cast<int>(order_.size());
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (int v : order_) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) {
+      throw std::invalid_argument("Permutation: order is not a permutation of [0,n)");
+    }
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  rebuild_rank();
+}
+
+void Permutation::rebuild_rank() {
+  rank_.assign(order_.size(), 0);
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    rank_[static_cast<std::size_t>(order_[k])] = static_cast<int>(k);
+  }
+}
+
+Permutation Permutation::random(int n, Xoshiro256StarStar& rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int k = n - 1; k > 0; --k) {
+    const auto j = static_cast<int>(rng.below(static_cast<std::uint64_t>(k) + 1));
+    std::swap(order[static_cast<std::size_t>(k)], order[static_cast<std::size_t>(j)]);
+  }
+  return Permutation(std::move(order));
+}
+
+Permutation Permutation::reversed(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) order[static_cast<std::size_t>(k)] = n - 1 - k;
+  return Permutation(std::move(order));
+}
+
+std::vector<Permutation> Permutation::all(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Permutation> result;
+  do {
+    result.emplace_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return result;
+}
+
+}  // namespace melb::util

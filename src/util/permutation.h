@@ -1,0 +1,58 @@
+// Permutations of [0, n) and the ≤π order the paper builds executions around.
+//
+// The paper writes π = (π1, ..., πn) ∈ Sn and says process p_{πi} is "ordered
+// lower" than p_{πj} when i < j. We store a permutation as the sequence
+// order[k] = id of the process in position k, and keep the inverse array so
+// rank queries (π⁻¹) are O(1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace melb::util {
+
+class Permutation {
+ public:
+  Permutation() = default;
+
+  // Identity permutation on [0, n).
+  explicit Permutation(int n);
+
+  // From an explicit ordering: order[k] is the element in position k.
+  // Precondition (checked): order is a permutation of 0..n-1.
+  explicit Permutation(std::vector<int> order);
+
+  int size() const { return static_cast<int>(order_.size()); }
+
+  // Element in position k (the paper's π_{k+1}).
+  int at(int k) const { return order_[static_cast<std::size_t>(k)]; }
+
+  // Position of element v (the paper's π⁻¹(v), 0-based).
+  int rank(int v) const { return rank_[static_cast<std::size_t>(v)]; }
+
+  // The paper's i ≤π j: i equals j or i comes before j in π.
+  bool leq(int i, int j) const { return rank(i) <= rank(j); }
+
+  const std::vector<int>& order() const { return order_; }
+
+  bool operator==(const Permutation& other) const = default;
+
+  // Uniformly random permutation (Fisher–Yates driven by the given PRNG).
+  static Permutation random(int n, Xoshiro256StarStar& rng);
+
+  // Reverse of identity: (n-1, n-2, ..., 0).
+  static Permutation reversed(int n);
+
+  // All n! permutations in lexicographic order. Intended for n ≤ 8.
+  static std::vector<Permutation> all(int n);
+
+ private:
+  void rebuild_rank();
+
+  std::vector<int> order_;
+  std::vector<int> rank_;
+};
+
+}  // namespace melb::util

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace melb::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' || c == '+' ||
+          c == 'e' || c == 'E' || c == 'x' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    out << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : headers_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      out << ' ';
+      if (align_numeric && looks_numeric(cell)) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_, false);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+}  // namespace melb::util

@@ -1,0 +1,28 @@
+// ASCII table printer for the benchmark report binaries.
+//
+// Each bench prints the rows/series the corresponding EXPERIMENTS.md entry
+// records; this formatter keeps those reports aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace melb::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column alignment; numeric-looking cells are right-aligned.
+  std::string to_string() const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace melb::util

@@ -1,0 +1,47 @@
+// LEB128 variable-length integers.
+//
+// The paper's encoding-length theorem (Thm 6.2) charges O(log k) bits for a
+// metastep signature with k participants. The ASCII table format of Fig. 2 is
+// convenient for debugging but inflates constants, so the encoder also emits a
+// binary form whose signature counts are varints; the benches report both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace melb::util {
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+// Reads a varint at `pos`, advancing it. Returns nullopt on truncated input.
+inline std::optional<std::uint64_t> get_varint(const std::vector<std::uint8_t>& in,
+                                               std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+inline std::size_t varint_size(std::uint64_t value) {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+}  // namespace melb::util

@@ -1,0 +1,176 @@
+// Integration tests for the mutex algorithm library: every correct algorithm
+// completes canonical executions under every scheduler with valid traces,
+// and cost profiles match the documented growth classes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "algo/registry.h"
+#include "algo/tree.h"
+#include "sim/canonical.h"
+#include "sim/execution.h"
+#include "sim/scheduler.h"
+
+namespace melb {
+namespace {
+
+struct Case {
+  std::string algorithm;
+  std::string scheduler;
+  int n;
+};
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n) {
+  if (name == "round-robin") return std::make_unique<sim::RoundRobinScheduler>();
+  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
+  if (name == "random") return std::make_unique<sim::RandomScheduler>(12345);
+  return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
+}
+
+class CanonicalRunTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CanonicalRunTest, CompletesWithValidTrace) {
+  const Case c = GetParam();
+  const auto& info = algo::algorithm_by_name(c.algorithm);
+  auto scheduler = make_scheduler(c.scheduler, c.n);
+  const auto run = sim::run_canonical(*info.algorithm, c.n, *scheduler);
+  ASSERT_TRUE(run.completed) << c.algorithm << " n=" << c.n << " under " << c.scheduler;
+  EXPECT_FALSE(run.livelocked);
+  EXPECT_EQ(sim::check_well_formed(run.exec, c.n), "");
+  EXPECT_EQ(sim::check_mutual_exclusion(run.exec, c.n), "");
+  // Every process entered exactly once: count enter steps.
+  int enters = 0;
+  for (const auto& rs : run.exec.steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
+      ++enters;
+    }
+  }
+  EXPECT_EQ(enters, c.n);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const char* algorithm :
+       {"yang-anderson", "bakery", "peterson-tree", "filter", "dijkstra", "burns",
+        "lamport-fast", "dekker-tree", "kessels-tree"}) {
+    for (const char* scheduler : {"round-robin", "sequential", "random", "convoy"}) {
+      for (int n : {1, 2, 3, 5, 8, 13}) {
+        cases.push_back({algorithm, scheduler, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CanonicalRunTest, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           std::string name = info.param.algorithm + "_" +
+                                              info.param.scheduler + "_n" +
+                                              std::to_string(info.param.n);
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Registry, LookupAndContents) {
+  EXPECT_GE(algo::all_algorithms().size(), 9u);
+  EXPECT_EQ(algo::algorithm_by_name("bakery").algorithm->name(), "bakery");
+  EXPECT_THROW(algo::algorithm_by_name("nope"), std::out_of_range);
+  // Correct set excludes the broken and non-livelock-free entries.
+  for (const auto& info : algo::correct_algorithms()) {
+    EXPECT_TRUE(info.livelock_free);
+    EXPECT_TRUE(info.mutex_correct);
+  }
+}
+
+TEST(Tree, PathShapes) {
+  EXPECT_EQ(algo::tree_leaf_span(2), 2);
+  EXPECT_EQ(algo::tree_leaf_span(3), 4);
+  EXPECT_EQ(algo::tree_leaf_span(8), 8);
+  EXPECT_EQ(algo::tree_internal_nodes(8), 7);
+
+  const auto path = algo::tree_path(0, 8);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.back().node, 1);  // root last
+  for (const auto& hop : path) {
+    EXPECT_GE(hop.node, 1);
+    EXPECT_LE(hop.node, 7);
+  }
+  // Siblings meet at the same node from different sides.
+  const auto p0 = algo::tree_path(0, 4);
+  const auto p1 = algo::tree_path(1, 4);
+  EXPECT_EQ(p0[0].node, p1[0].node);
+  EXPECT_NE(p0[0].side, p1[0].side);
+}
+
+TEST(Tree, AllPathsReachRoot) {
+  for (int n : {2, 3, 5, 8, 11}) {
+    for (int p = 0; p < n; ++p) {
+      const auto path = algo::tree_path(p, n);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back().node, 1);
+    }
+  }
+}
+
+TEST(CostProfile, StaticRrIsLinear) {
+  // The non-livelock-free turn-passing scheme costs exactly 2n: one
+  // state-changing read and one write per process.
+  const auto& info = algo::algorithm_by_name("static-rr");
+  for (int n : {2, 8, 32}) {
+    sim::RoundRobinScheduler sched;
+    const auto run = sim::run_canonical(*info.algorithm, n, sched);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.sc_cost, 2u * static_cast<unsigned>(n));
+  }
+}
+
+TEST(CostProfile, YangAndersonIsNLogN) {
+  // Uncontended sequential passes: O(log n) state changes per process.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  for (int n : {4, 8, 16, 32}) {
+    sim::SequentialScheduler sched;
+    const auto run = sim::run_canonical(*info.algorithm, n, sched);
+    ASSERT_TRUE(run.completed);
+    const double per_process = static_cast<double>(run.sc_cost) / n;
+    // Entry+exit at each of ceil(log2 n) nodes with constant work each.
+    const double levels = std::ceil(std::log2(n));
+    EXPECT_LE(per_process, 8.0 * levels + 8.0)
+        << "n=" << n << " cost=" << run.sc_cost;
+  }
+}
+
+TEST(CostProfile, BakeryIsQuadratic) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  std::vector<double> ns, costs;
+  for (int n : {4, 8, 16, 32}) {
+    sim::SequentialScheduler sched;
+    const auto run = sim::run_canonical(*info.algorithm, n, sched);
+    ASSERT_TRUE(run.completed);
+    ns.push_back(n);
+    costs.push_back(static_cast<double>(run.sc_cost));
+  }
+  // cost(32)/cost(16) should approach 4 for a quadratic.
+  EXPECT_GT(costs[3] / costs[2], 3.0);
+  EXPECT_LT(costs[3] / costs[2], 5.0);
+}
+
+TEST(BrokenLock, ViolatesMutexUnderAdversary) {
+  // Interleave the two check-then-grab windows manually.
+  const auto& info = algo::algorithm_by_name("naive-broken");
+  sim::Simulator s(*info.algorithm, 2);
+  s.step(0);  // try_0
+  s.step(1);  // try_1
+  s.step(0);  // read lock == 0
+  s.step(1);  // read lock == 0
+  s.step(0);  // write lock = 1
+  s.step(1);  // write lock = 1
+  s.step(0);  // enter_0
+  s.step(1);  // enter_1  — both inside
+  EXPECT_NE(sim::check_mutual_exclusion(s.execution(), 2), "");
+}
+
+}  // namespace
+}  // namespace melb

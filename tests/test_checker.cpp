@@ -1,0 +1,115 @@
+// Model checker tests: exhaustive verification of the algorithm library at
+// small n, violation detection for the deliberately broken/limited entries,
+// and counterexample replay.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "sim/execution.h"
+#include "sim/simulator.h"
+
+namespace melb {
+namespace {
+
+class CheckerOnCorrect : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckerOnCorrect, ExhaustiveN2) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  const auto result = check::check_algorithm(*info.algorithm, 2);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.exhausted_limit);
+  EXPECT_GT(result.states, 10u);
+}
+
+TEST_P(CheckerOnCorrect, ExhaustiveN3) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto result = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.exhausted_limit) << "state space larger than expected";
+}
+
+TEST_P(CheckerOnCorrect, AllParticipantSubsetsN3) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto result = check::check_all_subsets(*info.algorithm, 3, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, CheckerOnCorrect,
+                         ::testing::Values("yang-anderson", "bakery", "peterson-tree",
+                                           "filter", "dijkstra", "burns", "lamport-fast",
+                                           "dekker-tree", "kessels-tree"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Checker, BrokenLockCaught) {
+  const auto& info = algo::algorithm_by_name("naive-broken");
+  const auto result = check::check_algorithm(*info.algorithm, 2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("mutual exclusion"), std::string::npos);
+  ASSERT_TRUE(result.counterexample.has_value());
+
+  // The counterexample replays to a real mutual exclusion violation.
+  const auto exec = sim::validate_steps(*info.algorithm, 2, *result.counterexample);
+  EXPECT_NE(sim::check_mutual_exclusion(exec, 2), "");
+}
+
+TEST(Checker, StaticRrLivelockOnSubset) {
+  // All-participants run is fine (turn passes through everyone)…
+  const auto& info = algo::algorithm_by_name("static-rr");
+  const auto full = check::check_algorithm(*info.algorithm, 2);
+  EXPECT_TRUE(full.ok) << full.violation;
+
+  // …but with only process 1 participating, no terminal state is reachable.
+  check::CheckOptions options;
+  options.participants = {1};
+  const auto subset = check::check_algorithm(*info.algorithm, 2, options);
+  EXPECT_FALSE(subset.ok);
+  EXPECT_NE(subset.violation.find("progress"), std::string::npos);
+
+  // And check_all_subsets finds it automatically.
+  const auto all = check::check_all_subsets(*info.algorithm, 2);
+  EXPECT_FALSE(all.ok);
+}
+
+TEST(Checker, StateLimitReported) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  check::CheckOptions options;
+  options.max_states = 50;
+  const auto result = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_TRUE(result.exhausted_limit);
+}
+
+TEST(Checker, SingleProcessTrivial) {
+  for (const auto& info : algo::correct_algorithms()) {
+    const auto result = check::check_algorithm(*info.algorithm, 1);
+    EXPECT_TRUE(result.ok) << info.algorithm->name() << ": " << result.violation;
+  }
+}
+
+TEST(Checker, YangAndersonN4Subsets) {
+  // Two-level tree with partial participation — the regression surface for
+  // the per-level spin fix. Pairs that meet only at the root, only at a
+  // leaf node, plus a three-of-four subset.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  for (std::vector<sim::Pid> subset :
+       {std::vector<sim::Pid>{0, 2}, {0, 1}, {2, 3}, {0, 1, 2}, {1, 2, 3}}) {
+    check::CheckOptions options;
+    options.participants = subset;
+    options.max_states = 4'000'000;
+    const auto result = check::check_algorithm(*info.algorithm, 4, options);
+    EXPECT_TRUE(result.ok) << result.violation;
+    EXPECT_FALSE(result.exhausted_limit);
+  }
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,134 @@
+// Cost model tests: Def. 3.1 semantics, model orderings (total ≥ CC/SC),
+// DSM locality, and per-process attribution.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "cost/cost_model.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace melb {
+namespace {
+
+using sim::CritKind;
+using sim::RecordedStep;
+using sim::Step;
+
+sim::Execution handmade_execution() {
+  sim::Execution e;
+  e.append({Step::write(0, 0, 1), 0, true});
+  e.append({Step::read(1, 0), 1, false});   // free busy-wait (same value re-read)
+  e.append({Step::read(1, 0), 1, false});
+  e.append({Step::read(1, 0), 1, true});    // finally observes a change
+  e.append({Step::crit_step(0, CritKind::kTry), 0, true});
+  e.append({Step::write(0, 1, 5), 0, true});
+  return e;
+}
+
+TEST(StateChange, ChargesOnlyChangingAccesses) {
+  cost::StateChangeCost model;
+  const auto costs = model.per_process_cost(handmade_execution(), 2);
+  EXPECT_EQ(costs[0], 2u);  // two writes; the critical step is free
+  EXPECT_EQ(costs[1], 1u);  // one charged read out of three
+  EXPECT_EQ(model.total_cost(handmade_execution(), 2), 3u);
+  EXPECT_EQ(model.max_process_cost(handmade_execution(), 2), 2u);
+}
+
+TEST(TotalAccess, CountsEverything) {
+  cost::TotalAccessCost model;
+  EXPECT_EQ(model.total_cost(handmade_execution(), 2), 5u);
+}
+
+TEST(CacheCoherent, ReReadsHitCache) {
+  cost::CacheCoherentCost model(2);
+  const auto costs = model.per_process_cost(handmade_execution(), 2);
+  // p1: first read misses; re-reads hit (no intervening write); total 1.
+  EXPECT_EQ(costs[1], 1u);
+  // p0: write r0 (miss), write r1 (miss).
+  EXPECT_EQ(costs[0], 2u);
+}
+
+TEST(CacheCoherent, InvalidationChargesNextReader) {
+  sim::Execution e;
+  e.append({Step::read(1, 0), 0, true});     // p1 caches r0
+  e.append({Step::write(0, 0, 7), 0, true}); // p0 invalidates
+  e.append({Step::read(1, 0), 7, true});     // p1 misses again
+  e.append({Step::read(1, 0), 7, false});    // hit
+  cost::CacheCoherentCost model(1);
+  const auto costs = model.per_process_cost(e, 2);
+  EXPECT_EQ(costs[1], 2u);
+  EXPECT_EQ(costs[0], 1u);
+}
+
+TEST(CacheCoherent, ExclusiveWriterWritesFree) {
+  sim::Execution e;
+  e.append({Step::write(0, 0, 1), 0, true});
+  e.append({Step::write(0, 0, 2), 0, true});  // still exclusive: free
+  e.append({Step::read(1, 0), 2, true});      // p1 shares the line
+  e.append({Step::write(0, 0, 3), 0, true});  // must invalidate p1: charged
+  cost::CacheCoherentCost model(1);
+  const auto costs = model.per_process_cost(e, 2);
+  EXPECT_EQ(costs[0], 2u);
+}
+
+TEST(Dsm, LocalAccessesFree) {
+  // Yang–Anderson declares spin registers local to their process.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  const int n = 4;
+  const auto dsm = cost::DsmCost(*info.algorithm, n);
+  sim::Execution e;
+  const int first_spin = 3 * 3;  // 3 internal nodes at n=4
+  e.append({Step::read(0, first_spin + 0), 0, true});   // own spin: local
+  e.append({Step::read(0, first_spin + 1), 0, true});   // p1's spin: remote
+  e.append({Step::write(0, 0, 1), 0, true});            // node register: remote
+  const auto costs = dsm.per_process_cost(e, n);
+  EXPECT_EQ(costs[0], 2u);
+}
+
+TEST(Dsm, DefaultOwnerIsRemote) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  EXPECT_EQ(info.algorithm->register_owner(0, 4), -1);
+  const auto dsm = cost::DsmCost(*info.algorithm, 4);
+  sim::Execution e;
+  e.append({Step::read(0, 0), 0, true});
+  EXPECT_EQ(dsm.total_cost(e, 4), 1u);
+}
+
+TEST(Models, StandardModelsFactory) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  const auto models = cost::standard_models(*info.algorithm, 4);
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0]->name(), "total-accesses");
+  EXPECT_EQ(models[1]->name(), "state-change");
+}
+
+TEST(Models, OrderingOnRealRuns) {
+  // On any canonical run: total accesses ≥ SC cost, and total ≥ CC cost.
+  for (const char* name : {"yang-anderson", "bakery", "burns"}) {
+    const auto& info = algo::algorithm_by_name(name);
+    const int n = 6;
+    sim::RoundRobinScheduler sched;
+    const auto run = sim::run_canonical(*info.algorithm, n, sched, sim::RunMode::kFaithful,
+                                        1'000'000);
+    ASSERT_TRUE(run.completed) << name;
+    cost::TotalAccessCost total;
+    cost::StateChangeCost sc;
+    cost::CacheCoherentCost cc(info.algorithm->num_registers(n));
+    EXPECT_GE(total.total_cost(run.exec, n), sc.total_cost(run.exec, n)) << name;
+    EXPECT_GE(total.total_cost(run.exec, n), cc.total_cost(run.exec, n)) << name;
+    EXPECT_GT(sc.total_cost(run.exec, n), 0u);
+  }
+}
+
+TEST(Models, ScCostMatchesExecutionHelper) {
+  const auto& info = algo::algorithm_by_name("filter");
+  sim::RandomScheduler sched(5);
+  const auto run = sim::run_canonical(*info.algorithm, 5, sched);
+  ASSERT_TRUE(run.completed);
+  cost::StateChangeCost sc;
+  EXPECT_EQ(sc.total_cost(run.exec, 5), run.exec.sc_cost());
+}
+
+}  // namespace
+}  // namespace melb

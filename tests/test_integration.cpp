@@ -1,0 +1,130 @@
+// Cross-cutting integration sweeps: the full proof pipeline exhaustively
+// over S₄ for every register algorithm, trace round trips through the
+// pipeline, and simulator/RMW interactions that the per-module suites touch
+// only individually.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/linearize.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/permutation.h"
+
+namespace melb {
+namespace {
+
+TEST(ExhaustiveS4, EveryRegisterAlgorithmEveryPermutation) {
+  // 24 permutations × every register algorithm: the complete Theorem 5.5 +
+  // 7.4 + 7.5 chain, exhaustively at n = 4.
+  for (const auto& info : algo::register_algorithms()) {
+    const auto& algorithm = *info.algorithm;
+    std::set<std::string> encodings;
+    for (const auto& pi : util::Permutation::all(4)) {
+      const auto c = lb::construct(algorithm, 4, pi);
+      const auto encoding = lb::encode(c);
+      encodings.insert(encoding.text);
+      const auto decoded = lb::decode(algorithm, encoding.text);
+      std::vector<sim::Pid> order;
+      for (const auto& rs : decoded.execution.steps()) {
+        if (rs.step.type == sim::StepType::kCrit &&
+            rs.step.crit == sim::CritKind::kEnter) {
+          order.push_back(rs.step.pid);
+        }
+      }
+      EXPECT_EQ(order, pi.order()) << algorithm.name();
+    }
+    EXPECT_EQ(encodings.size(), 24u) << algorithm.name();
+  }
+}
+
+TEST(TracePipeline, ConstructedExecutionSurvivesSerialization) {
+  // construct -> linearize -> trace text -> parse -> revalidate: annotations
+  // must be bit-identical end to end.
+  for (const char* name : {"yang-anderson", "bakery", "kessels-tree"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const int n = 6;
+    const auto c = lb::construct(algorithm, n, util::Permutation::reversed(n));
+    const auto exec = sim::validate_steps(algorithm, n, c.canonical_linearization());
+    const auto parsed = trace::from_text(trace::to_text({name, n}, exec));
+    EXPECT_EQ(trace::first_divergence(exec, parsed.exec), std::nullopt) << name;
+    const auto revalidated = sim::validate_steps(algorithm, n, parsed.raw_steps());
+    EXPECT_EQ(trace::first_divergence(exec, revalidated), std::nullopt) << name;
+  }
+}
+
+TEST(SchedulerMatrix, RmwLocksUnderConvoy) {
+  // Convoy admission order must not break the RMW locks, and ticket must
+  // still serve in ticket order (which convoy-reversed makes reversed).
+  for (const char* name : {"ttas-rmw", "ticket-rmw", "mcs-rmw"}) {
+    const auto& info = algo::algorithm_by_name(name);
+    const int n = 6;
+    sim::ConvoyScheduler sched(util::Permutation::reversed(n));
+    const auto run = sim::run_canonical(*info.algorithm, n, sched);
+    ASSERT_TRUE(run.completed) << name;
+    EXPECT_EQ(sim::check_mutual_exclusion(run.exec, n), "") << name;
+  }
+}
+
+TEST(PartialLinearize, PrefixOfFullLinearization) {
+  // Plin(M, ≼, m) must itself be a valid execution for any m, and its
+  // metastep set must be downward closed.
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  const int n = 4;
+  const auto c = lb::construct(algorithm, n, util::Permutation::reversed(n));
+  for (std::size_t id = 0; id < c.metasteps.size(); id += 7) {
+    const auto steps = lb::partial_linearize(c.metasteps, c.order,
+                                             static_cast<lb::MetastepId>(id));
+    EXPECT_NO_THROW(sim::validate_steps(algorithm, n, steps)) << "m" << id;
+  }
+}
+
+TEST(CanonicalModes, ProductiveRunIsSubsequenceOfBehaviour) {
+  // In productive-only mode every recorded memory step is charged (free
+  // steps are skipped by construction, except transient wakeup races).
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  sim::SequentialScheduler sched;
+  const auto run = sim::run_canonical(algorithm, 8, sched);
+  ASSERT_TRUE(run.completed);
+  std::uint64_t free_steps = 0;
+  for (const auto& rs : run.exec.steps()) {
+    if (rs.step.is_memory_access() && !rs.state_changed) ++free_steps;
+  }
+  EXPECT_EQ(free_steps, 0u);  // sequential: no wakeup races at all
+}
+
+TEST(RegistryInvariants, NamesUniqueAndFactoriesDeterministic) {
+  std::set<std::string> names;
+  for (const auto& info : algo::all_algorithms()) {
+    EXPECT_TRUE(names.insert(info.algorithm->name()).second)
+        << "duplicate name " << info.algorithm->name();
+    // Factory determinism: two fresh automata have identical fingerprints.
+    const auto a = info.algorithm->make_process(0, 4);
+    const auto b = info.algorithm->make_process(0, 4);
+    EXPECT_EQ(a->fingerprint(), b->fingerprint()) << info.algorithm->name();
+    EXPECT_FALSE(a->done());
+  }
+}
+
+TEST(RegistryInvariants, RegisterInitsConsistent) {
+  for (const auto& info : algo::all_algorithms()) {
+    const int n = 5;
+    const int regs = info.algorithm->num_registers(n);
+    EXPECT_GT(regs, 0) << info.algorithm->name();
+    for (int r = 0; r < regs; ++r) {
+      // Owner, if any, must be a valid pid.
+      const auto owner = info.algorithm->register_owner(r, n);
+      EXPECT_GE(owner, -1);
+      EXPECT_LT(owner, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,236 @@
+// Integration & property tests for the lower-bound pipeline:
+//   Theorem 5.5 — Construct(π)'s linearizations enter critical sections in π
+//                 order (and are valid executions of the algorithm);
+//   Lemma 6.1   — every linearization of (M, ≼) has the same SC cost;
+//   Theorem 6.2 — |E_π| = O(C(α_π));
+//   Theorem 7.4 — Decode(Encode(M, ≼)) is a linearization of (M, ≼);
+//   Theorem 7.5 — α_π ≠ α_π' for π ≠ π' (injectivity / counting argument).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/linearize.h"
+#include "sim/execution.h"
+#include "sim/simulator.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+
+namespace melb {
+namespace {
+
+using util::Permutation;
+
+std::vector<sim::Pid> enter_order(const sim::Execution& exec) {
+  std::vector<sim::Pid> order;
+  for (const auto& rs : exec.steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
+      order.push_back(rs.step.pid);
+    }
+  }
+  return order;
+}
+
+struct PipelineCase {
+  std::string algorithm;
+  int n;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  std::vector<Permutation> sample_permutations(int n) const {
+    std::vector<Permutation> pis;
+    pis.emplace_back(n);                       // identity
+    pis.push_back(Permutation::reversed(n));   // reverse
+    util::Xoshiro256StarStar rng(0xABCDEF);
+    for (int i = 0; i < 4; ++i) pis.push_back(Permutation::random(n, rng));
+    return pis;
+  }
+};
+
+TEST_P(PipelineTest, ConstructLinearizationIsValidAndOrdered) {
+  const auto [name, n] = GetParam();
+  const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+  for (const auto& pi : sample_permutations(n)) {
+    const auto construction = lb::construct(algorithm, n, pi);
+    const auto steps = construction.canonical_linearization();
+    // Valid execution of the algorithm (validate_steps throws otherwise).
+    const auto exec = sim::validate_steps(algorithm, n, steps);
+    EXPECT_EQ(sim::check_well_formed(exec, n), "");
+    EXPECT_EQ(sim::check_mutual_exclusion(exec, n), "");
+    // Theorem 5.5: critical sections in π order.
+    EXPECT_EQ(enter_order(exec), pi.order()) << name << " n=" << n;
+  }
+}
+
+TEST_P(PipelineTest, AllLinearizationsSameCostAndOrder) {
+  const auto [name, n] = GetParam();
+  const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+  util::Xoshiro256StarStar rng(7);
+  const Permutation pi = Permutation::random(n, rng);
+  const auto construction = lb::construct(algorithm, n, pi);
+
+  const auto canonical = sim::validate_steps(algorithm, n, construction.canonical_linearization());
+  const auto cost = canonical.sc_cost();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 42ULL, 99ULL}) {
+    lb::LinearizePolicy policy;
+    policy.random_seed = seed;
+    const auto steps = lb::linearize(construction.metasteps, construction.order, policy);
+    const auto exec = sim::validate_steps(algorithm, n, steps);
+    EXPECT_EQ(exec.sc_cost(), cost);                    // Lemma 6.1
+    EXPECT_EQ(enter_order(exec), pi.order());           // Theorem 5.5
+  }
+}
+
+TEST_P(PipelineTest, EncodeDecodeRoundTrip) {
+  const auto [name, n] = GetParam();
+  const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+  for (const auto& pi : sample_permutations(n)) {
+    const auto construction = lb::construct(algorithm, n, pi);
+    const auto encoding = lb::encode(construction);
+    const auto decoded = lb::decode(algorithm, encoding.text);
+
+    // The decoder's output must be a valid execution with the right CS order
+    // and the cost of (every) linearization.
+    EXPECT_EQ(sim::check_mutual_exclusion(decoded.execution, n), "");
+    EXPECT_EQ(enter_order(decoded.execution), pi.order());
+    const auto canonical =
+        sim::validate_steps(algorithm, n, construction.canonical_linearization());
+    EXPECT_EQ(decoded.execution.sc_cost(), canonical.sc_cost());
+
+    // Stronger: the decoded step multiset per process matches the
+    // construction (same steps, possibly different interleaving).
+    for (sim::Pid p = 0; p < n; ++p) {
+      const auto a = decoded.execution.projection(p);
+      const auto b = canonical.projection(p);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k].step, b[k].step);
+    }
+  }
+}
+
+TEST_P(PipelineTest, EncodingLengthLinearInCost) {
+  const auto [name, n] = GetParam();
+  const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+  util::Xoshiro256StarStar rng(13);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Permutation pi = Permutation::random(n, rng);
+    const auto construction = lb::construct(algorithm, n, pi);
+    const auto encoding = lb::encode(construction);
+    const auto exec =
+        sim::validate_steps(algorithm, n, construction.canonical_linearization());
+    const double cost = static_cast<double>(exec.sc_cost());
+    // Theorem 6.2 with an explicit constant: each unit of SC cost contributes
+    // O(1) amortized cells/bits. Crit metasteps add ~4 cells per process.
+    const double cells = static_cast<double>(encoding.binary_bits) / 3.0;
+    EXPECT_LE(cells, 8.0 * cost + 16.0 * n + 64.0) << name << " n=" << n;
+  }
+}
+
+std::vector<PipelineCase> pipeline_cases() {
+  std::vector<PipelineCase> cases;
+  for (const char* a : {"yang-anderson", "bakery", "peterson-tree", "filter", "dijkstra",
+                        "burns", "lamport-fast", "dekker-tree", "kessels-tree"}) {
+    for (int n : {1, 2, 3, 5, 8}) cases.push_back({a, n});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, PipelineTest, ::testing::ValuesIn(pipeline_cases()),
+                         [](const ::testing::TestParamInfo<PipelineCase>& info) {
+                           std::string s = info.param.algorithm + "_n" +
+                                           std::to_string(info.param.n);
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Injectivity, AllPermutationsDistinctExecutions) {
+  // Theorem 7.5's counting step: for every π the pipeline yields a distinct
+  // execution — n! distinct decodings at n = 4 (24 permutations).
+  const auto& algorithm = *algo::algorithm_by_name("yang-anderson").algorithm;
+  const int n = 4;
+  std::set<std::string> encodings;
+  std::set<std::vector<sim::Pid>> orders;
+  for (const auto& pi : Permutation::all(n)) {
+    const auto construction = lb::construct(algorithm, n, pi);
+    const auto encoding = lb::encode(construction);
+    encodings.insert(encoding.text);
+    const auto decoded = lb::decode(algorithm, encoding.text);
+    orders.insert(enter_order(decoded.execution));
+  }
+  EXPECT_EQ(encodings.size(), 24u);
+  EXPECT_EQ(orders.size(), 24u);
+}
+
+TEST(Injectivity, BakeryAllPermutationsN3) {
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  std::set<std::string> encodings;
+  for (const auto& pi : Permutation::all(3)) {
+    encodings.insert(lb::encode(lb::construct(algorithm, 3, pi)).text);
+  }
+  EXPECT_EQ(encodings.size(), 6u);
+}
+
+TEST(Construct, StaticRrFailsLivelockFreedom) {
+  // static-rr is not livelock-free; the construction must detect the stall
+  // instead of spinning (processes later in π than pid 0 wait on `turn`
+  // which nobody will advance... unless π = identity, where it happens to
+  // work out). Reverse order stalls immediately.
+  const auto& algorithm = *algo::algorithm_by_name("static-rr").algorithm;
+  EXPECT_THROW(lb::construct(algorithm, 3, Permutation::reversed(3)), std::runtime_error);
+}
+
+TEST(Construct, InstrumentationPopulated) {
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  const auto construction = lb::construct(algorithm, 4, Permutation(4));
+  EXPECT_GT(construction.delta_evaluations, 0u);
+  EXPECT_GT(construction.creations, 0u);
+  EXPECT_EQ(construction.metasteps.size(),
+            static_cast<std::size_t>(construction.order.size()));
+  // Process chains are nonempty and start with the try metastep.
+  for (int p = 0; p < 4; ++p) {
+    const auto& chain = construction.process_chain[static_cast<std::size_t>(p)];
+    ASSERT_FALSE(chain.empty());
+    const auto& first = construction.metasteps[static_cast<std::size_t>(chain.front())];
+    ASSERT_TRUE(first.crit.has_value());
+    EXPECT_EQ(first.crit->crit, sim::CritKind::kTry);
+  }
+}
+
+TEST(Encoding, CellGrammarParses) {
+  lb::Signature sig;
+  EXPECT_TRUE(lb::parse_signature_cell("W,PR2R3W4", sig));
+  EXPECT_EQ(sig.prereads, 2);
+  EXPECT_EQ(sig.readers, 3);
+  EXPECT_EQ(sig.writers, 4);
+  EXPECT_FALSE(lb::parse_signature_cell("W", sig));
+  EXPECT_FALSE(lb::parse_signature_cell("R", sig));
+  EXPECT_THROW(lb::parse_signature_cell("W,PRxR1W1", sig), std::invalid_argument);
+}
+
+TEST(Encoding, ParseRoundTrip) {
+  const std::string text = "C#W,PR0R1W1#C#$C#R#C#$";
+  const auto cols = lb::parse_encoding(text);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], (std::vector<std::string>{"C", "W,PR0R1W1", "C"}));
+  EXPECT_EQ(cols[1], (std::vector<std::string>{"C", "R", "C"}));
+  EXPECT_THROW(lb::parse_encoding("##"), std::invalid_argument);
+  EXPECT_THROW(lb::parse_encoding("C#unterminated"), std::invalid_argument);
+}
+
+TEST(Decode, RejectsGarbage) {
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  EXPECT_THROW(lb::decode(algorithm, "Z#$"), std::runtime_error);
+  // A syntactically fine but semantically wrong encoding stalls or
+  // mismatches types.
+  EXPECT_THROW(lb::decode(algorithm, "R#$"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace melb

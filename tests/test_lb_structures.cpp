@@ -1,0 +1,237 @@
+// Unit tests for the lower-bound pipeline's data structures: the partial
+// order with incremental transitive closure, metasteps, topological
+// linearization, and the independent linearization verifier.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/linearize.h"
+#include "lb/metastep.h"
+#include "lb/partial_order.h"
+#include "lb/verify.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+
+namespace melb {
+namespace {
+
+TEST(PartialOrder, ReflexiveAndEmpty) {
+  lb::PartialOrder po;
+  const int a = po.add_node();
+  const int b = po.add_node();
+  EXPECT_TRUE(po.leq(a, a));
+  EXPECT_TRUE(po.leq(b, b));
+  EXPECT_FALSE(po.leq(a, b));
+  EXPECT_FALSE(po.leq(b, a));
+}
+
+TEST(PartialOrder, TransitiveClosureOnInsert) {
+  lb::PartialOrder po;
+  const int a = po.add_node(), b = po.add_node(), c = po.add_node(), d = po.add_node();
+  po.add_edge(a, b);
+  po.add_edge(c, d);
+  EXPECT_FALSE(po.leq(a, d));
+  po.add_edge(b, c);  // a < b < c < d
+  EXPECT_TRUE(po.leq(a, c));
+  EXPECT_TRUE(po.leq(a, d));
+  EXPECT_TRUE(po.leq(b, d));
+  EXPECT_FALSE(po.leq(d, a));
+}
+
+TEST(PartialOrder, ClosurePropagatesToExistingCones) {
+  // Diamond: x < y1, x < y2, y1 < z, y2 < z; then hook w under x.
+  lb::PartialOrder po;
+  const int x = po.add_node(), y1 = po.add_node(), y2 = po.add_node(), z = po.add_node();
+  po.add_edge(x, y1);
+  po.add_edge(x, y2);
+  po.add_edge(y1, z);
+  po.add_edge(y2, z);
+  const int w = po.add_node();
+  po.add_edge(w, x);
+  EXPECT_TRUE(po.leq(w, z));
+  EXPECT_TRUE(po.leq(w, y1));
+  EXPECT_TRUE(po.leq(w, y2));
+}
+
+TEST(PartialOrder, CycleRejected) {
+  lb::PartialOrder po;
+  const int a = po.add_node(), b = po.add_node(), c = po.add_node();
+  po.add_edge(a, b);
+  po.add_edge(b, c);
+  EXPECT_THROW(po.add_edge(c, a), std::logic_error);
+  EXPECT_THROW(po.add_edge(b, a), std::logic_error);
+}
+
+TEST(PartialOrder, RedundantEdgeIgnored) {
+  lb::PartialOrder po;
+  const int a = po.add_node(), b = po.add_node(), c = po.add_node();
+  po.add_edge(a, b);
+  po.add_edge(b, c);
+  po.add_edge(a, c);  // already implied; edge list must stay minimal
+  EXPECT_EQ(po.out_edges()[static_cast<std::size_t>(a)].size(), 1u);
+}
+
+TEST(PartialOrder, AncestorsSorted) {
+  lb::PartialOrder po;
+  const int a = po.add_node(), b = po.add_node(), c = po.add_node();
+  po.add_edge(a, c);
+  po.add_edge(b, c);
+  const auto anc = po.ancestors_of(c);
+  EXPECT_EQ(anc, (std::vector<int>{a, b, c}));
+  EXPECT_EQ(po.ancestors_of(a), (std::vector<int>{a}));
+}
+
+TEST(PartialOrder, GrowsPastInitialCapacity) {
+  lb::PartialOrder po;
+  std::vector<int> nodes;
+  for (int i = 0; i < 1000; ++i) nodes.push_back(po.add_node());
+  for (int i = 0; i + 1 < 1000; ++i) po.add_edge(nodes[i], nodes[i + 1]);
+  EXPECT_TRUE(po.leq(nodes[0], nodes[999]));
+  EXPECT_FALSE(po.leq(nodes[999], nodes[0]));
+  EXPECT_EQ(po.ancestors_of(nodes[999]).size(), 1000u);
+}
+
+TEST(Metastep, OwnersAndSteps) {
+  lb::Metastep m;
+  m.type = lb::MetastepType::kWrite;
+  m.reg = 3;
+  m.writes.push_back(sim::Step::write(1, 3, 10));
+  m.win = sim::Step::write(0, 3, 20);
+  m.reads.push_back(sim::Step::read(2, 3));
+  EXPECT_EQ(m.value(), 20);
+  EXPECT_EQ(m.participant_count(), 3);
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.step_of(1), sim::Step::write(1, 3, 10));
+  EXPECT_THROW(m.step_of(9), std::out_of_range);
+
+  const auto seq = m.sequence();
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0], *m.writes.begin());  // hidden write first
+  EXPECT_EQ(seq[1], *m.win);             // winner overwrites
+  EXPECT_EQ(seq[2], m.reads[0]);         // readers see the winner's value
+}
+
+TEST(TopoOrder, RespectsOrderAndIncludeSet) {
+  std::vector<lb::Metastep> ms(4);
+  lb::PartialOrder po;
+  for (int i = 0; i < 4; ++i) {
+    ms[static_cast<std::size_t>(i)].id = po.add_node();
+    ms[static_cast<std::size_t>(i)].type = lb::MetastepType::kCrit;
+    ms[static_cast<std::size_t>(i)].crit = sim::Step::crit_step(0, sim::CritKind::kTry);
+  }
+  po.add_edge(2, 0);  // 2 before 0
+  po.add_edge(3, 1);
+
+  const auto full = lb::topo_order(ms, po, {});
+  ASSERT_EQ(full.size(), 4u);
+  auto pos = [&](int id) {
+    return std::find(full.begin(), full.end(), id) - full.begin();
+  };
+  EXPECT_LT(pos(2), pos(0));
+  EXPECT_LT(pos(3), pos(1));
+
+  const auto subset = lb::topo_order(ms, po, {0, 2});
+  EXPECT_EQ(subset, (std::vector<lb::MetastepId>{2, 0}));
+}
+
+TEST(TopoOrder, RandomPolicyStillTopological) {
+  std::vector<lb::Metastep> ms(12);
+  lb::PartialOrder po;
+  for (auto& m : ms) {
+    m.id = po.add_node();
+    m.type = lb::MetastepType::kCrit;
+    m.crit = sim::Step::crit_step(0, sim::CritKind::kTry);
+  }
+  util::Xoshiro256StarStar rng(3);
+  for (int e = 0; e < 16; ++e) {
+    const int a = static_cast<int>(rng.below(12)), b = static_cast<int>(rng.below(12));
+    if (a != b && !po.leq(b, a)) po.add_edge(a, b);
+  }
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    lb::LinearizePolicy policy;
+    policy.random_seed = seed;
+    const auto order = lb::topo_order(ms, po, {}, policy);
+    ASSERT_EQ(order.size(), 12u);
+    std::vector<int> position(12);
+    for (int i = 0; i < 12; ++i) position[static_cast<std::size_t>(order[i])] = i;
+    for (int a = 0; a < 12; ++a) {
+      for (int b = 0; b < 12; ++b) {
+        if (a != b && po.leq(a, b)) {
+          EXPECT_LT(position[static_cast<std::size_t>(a)],
+                    position[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Verify, AcceptsCanonicalAndRandomLinearizations) {
+  for (const char* name : {"yang-anderson", "bakery", "burns"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const auto c = lb::construct(algorithm, 5, util::Permutation::reversed(5));
+    EXPECT_EQ(lb::verify_linearization(c, c.canonical_linearization()), "") << name;
+    for (std::uint64_t seed : {4ULL, 11ULL}) {
+      lb::LinearizePolicy policy;
+      policy.random_seed = seed;
+      EXPECT_EQ(lb::verify_linearization(c, lb::linearize(c.metasteps, c.order, policy)), "")
+          << name;
+    }
+  }
+}
+
+TEST(Verify, AcceptsDecodedExecution) {
+  // The structural half of Theorem 7.4: Decode's output is a linearization
+  // of (M, ≼) — checked without reference to the algorithm's semantics.
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  const auto c = lb::construct(algorithm, 6, util::Permutation::reversed(6));
+  const auto decoded = lb::decode(algorithm, lb::encode(c).text);
+  std::vector<sim::Step> steps;
+  for (const auto& rs : decoded.execution.steps()) steps.push_back(rs.step);
+  EXPECT_EQ(lb::verify_linearization(c, steps), "");
+}
+
+TEST(Verify, RejectsReorderings) {
+  const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;
+  const auto c = lb::construct(algorithm, 4, util::Permutation(4));
+  auto steps = c.canonical_linearization();
+
+  // Dropping the last step leaves a metastep unexecuted.
+  auto truncated = steps;
+  truncated.pop_back();
+  EXPECT_NE(lb::verify_linearization(c, truncated), "");
+
+  // Swapping two adjacent distinct steps of the same process violates its
+  // chain order (the steps no longer match their metasteps).
+  auto swapped = steps;
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < swapped.size(); ++i) {
+    if (swapped[i].pid == swapped[i + 1].pid && !(swapped[i] == swapped[i + 1])) {
+      std::swap(swapped[i], swapped[i + 1]);
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_NE(lb::verify_linearization(c, swapped), "");
+
+  // Reversing the whole thing is certainly not a linear extension.
+  auto reversed = steps;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NE(lb::verify_linearization(c, reversed), "");
+}
+
+TEST(Verify, RejectsForeignSteps) {
+  const auto& algorithm = *algo::algorithm_by_name("burns").algorithm;
+  const auto c = lb::construct(algorithm, 3, util::Permutation(3));
+  auto steps = c.canonical_linearization();
+  steps.push_back(sim::Step::write(0, 0, 42));
+  EXPECT_NE(lb::verify_linearization(c, steps), "");
+}
+
+}  // namespace
+}  // namespace melb

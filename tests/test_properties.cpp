@@ -1,0 +1,175 @@
+// Randomized property sweeps across the whole library. Each property is a
+// cross-module invariant checked over many seeded random configurations —
+// cheap fuzzing with deterministic reproducibility (the failing seed is in
+// the test name / message).
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/verify.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+
+namespace melb {
+namespace {
+
+// Property: under any seeded random scheduler, every correct algorithm
+// completes canonical executions with valid traces, and the productive-only
+// and faithful modes agree on SC cost.
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, TraceValidityAcrossAlgorithms) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256StarStar rng(seed);
+  for (const auto& info : algo::correct_algorithms()) {
+    const int n = 2 + static_cast<int>(rng.below(9));  // 2..10
+    sim::RandomScheduler scheduler(seed ^ 0x1234);
+    const auto run = sim::run_canonical(*info.algorithm, n, scheduler);
+    ASSERT_TRUE(run.completed) << info.algorithm->name() << " n=" << n << " seed=" << seed;
+    EXPECT_EQ(sim::check_well_formed(run.exec, n), "") << info.algorithm->name();
+    EXPECT_EQ(sim::check_mutual_exclusion(run.exec, n), "") << info.algorithm->name();
+  }
+}
+
+TEST_P(SchedulerFuzz, ProductiveAndFaithfulModesAgreeOnCost) {
+  const std::uint64_t seed = GetParam();
+  // Same scheduler decisions are not guaranteed across modes (eligible sets
+  // differ), so compare against schedulers that ignore history: sequential.
+  for (const char* name : {"yang-anderson", "bakery", "lamport-fast"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const int n = 2 + static_cast<int>(seed % 7);
+    sim::SequentialScheduler s1, s2;
+    const auto productive = sim::run_canonical(algorithm, n, s1);
+    const auto faithful =
+        sim::run_canonical(algorithm, n, s2, sim::RunMode::kFaithful, 10'000'000);
+    ASSERT_TRUE(productive.completed && faithful.completed) << name;
+    EXPECT_EQ(productive.sc_cost, faithful.sc_cost) << name << " n=" << n;
+    EXPECT_LE(productive.steps, faithful.steps) << name;
+  }
+}
+
+// Property: replaying any execution's raw steps through validate_steps
+// reproduces identical annotations (read values, SC marks).
+TEST_P(SchedulerFuzz, ReplayReproducesAnnotations) {
+  const std::uint64_t seed = GetParam();
+  for (const char* name : {"burns", "filter", "dijkstra"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const int n = 2 + static_cast<int>(seed % 5);
+    sim::RandomScheduler scheduler(seed);
+    const auto run = sim::run_canonical(algorithm, n, scheduler);
+    ASSERT_TRUE(run.completed);
+    std::vector<sim::Step> raw;
+    for (const auto& rs : run.exec.steps()) raw.push_back(rs.step);
+    const auto replayed = sim::validate_steps(algorithm, n, raw);
+    ASSERT_EQ(replayed.size(), run.exec.size());
+    for (std::size_t i = 0; i < replayed.size(); ++i) {
+      EXPECT_EQ(replayed.at(i).read_value, run.exec.at(i).read_value);
+      EXPECT_EQ(replayed.at(i).state_changed, run.exec.at(i).state_changed);
+    }
+  }
+}
+
+// Property: the full pipeline round-trips for random permutations, and the
+// decoded execution is a structural linearization (verify_linearization).
+TEST_P(SchedulerFuzz, PipelineRoundTripRandomPi) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256StarStar rng(seed * 2654435761ULL + 17);
+  for (const char* name : {"yang-anderson", "bakery", "burns", "lamport-fast"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const int n = 2 + static_cast<int>(rng.below(7));  // 2..8
+    const auto pi = util::Permutation::random(n, rng);
+    const auto c = lb::construct(algorithm, n, pi);
+    const auto decoded = lb::decode(algorithm, lb::encode(c).text);
+    std::vector<sim::Step> steps;
+    for (const auto& rs : decoded.execution.steps()) steps.push_back(rs.step);
+    EXPECT_EQ(lb::verify_linearization(c, steps), "")
+        << name << " n=" << n << " seed=" << seed;
+    // Visibility: no lower-π process ever reads a higher-π process's value.
+    std::vector<sim::Pid> last_writer(
+        static_cast<std::size_t>(algorithm.num_registers(n)), -1);
+    for (const auto& rs : decoded.execution.steps()) {
+      if (rs.step.type == sim::StepType::kWrite) {
+        last_writer[static_cast<std::size_t>(rs.step.reg)] = rs.step.pid;
+      } else if (rs.step.type == sim::StepType::kRead) {
+        const sim::Pid w = last_writer[static_cast<std::size_t>(rs.step.reg)];
+        if (w >= 0) {
+          EXPECT_LE(pi.rank(w), pi.rank(rs.step.pid))
+              << name << ": lower-pi process read a higher-pi value";
+        }
+      }
+    }
+  }
+}
+
+// Property: SC cost is schedule-sensitive but mutual exclusion never is.
+TEST_P(SchedulerFuzz, ConvoySchedulesStayValid) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256StarStar rng(seed + 5);
+  for (const char* name : {"yang-anderson", "peterson-tree"}) {
+    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    const int n = 3 + static_cast<int>(rng.below(6));
+    sim::ConvoyScheduler scheduler(util::Permutation::random(n, rng));
+    const auto run = sim::run_canonical(algorithm, n, scheduler);
+    ASSERT_TRUE(run.completed) << name;
+    EXPECT_EQ(sim::check_mutual_exclusion(run.exec, n), "") << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+// Fingerprint completeness: advancing an automaton must change its
+// fingerprint for every write/critical step, and cloned automata must track
+// the original exactly.
+TEST(Fingerprints, CloneTracksOriginal) {
+  util::Xoshiro256StarStar rng(77);
+  for (const auto& info : algo::correct_algorithms()) {
+    const int n = 4;
+    sim::Simulator sim_a(*info.algorithm, n);
+    auto clone = info.algorithm->make_process(1, n);
+    // Drive process 1 through the simulator; mirror every advance on the
+    // clone and compare fingerprints at every step.
+    int guard = 0;
+    while (!sim_a.process_done(1) && guard++ < 500) {
+      const sim::Step step = sim_a.peek(1);
+      const auto rs = sim_a.step(1);
+      clone->advance(rs.read_value);
+      EXPECT_EQ(clone->fingerprint(), sim_a.automaton(1).fingerprint())
+          << info.algorithm->name() << " diverged at " << to_string(step);
+      EXPECT_EQ(clone->done(), sim_a.process_done(1));
+    }
+  }
+}
+
+TEST(Fingerprints, WritesAlwaysChangeState) {
+  // Footnote 6 of the paper: a process that does not change state after a
+  // write would stay put forever. Our automata must advance their pc on
+  // every write and critical step.
+  for (const auto& info : algo::correct_algorithms()) {
+    const int n = 5;
+    sim::Simulator sim(*info.algorithm, n);
+    sim::RoundRobinScheduler sched;
+    int guard = 0;
+    while (!sim.all_done() && guard++ < 20000) {
+      std::vector<sim::Pid> enabled;
+      for (sim::Pid p = 0; p < n; ++p) {
+        if (!sim.process_done(p) && sim.next_step_productive(p)) enabled.push_back(p);
+      }
+      ASSERT_FALSE(enabled.empty()) << info.algorithm->name();
+      const sim::Pid p = sched.pick(enabled);
+      const auto rs = sim.step(p);
+      if (rs.step.type != sim::StepType::kRead) {
+        EXPECT_TRUE(rs.state_changed)
+            << info.algorithm->name() << ": " << to_string(rs.step);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,195 @@
+// Tests for the read-modify-write extension: primitive semantics, the three
+// RMW lock automata (TTAS, ticket, MCS) under simulation and exhaustive
+// checking, the Θ(n) SC-cost separation from register algorithms, and the
+// register-only construction's rejection of RMW steps.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "lb/construct.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace melb {
+namespace {
+
+using sim::Step;
+
+TEST(RmwSemantics, CasSwapFaa) {
+  EXPECT_EQ(sim::apply_rmw(Step::cas(0, 0, 5, 9), 5), 9);   // expected matches
+  EXPECT_EQ(sim::apply_rmw(Step::cas(0, 0, 5, 9), 4), 4);   // expected mismatch
+  EXPECT_EQ(sim::apply_rmw(Step::swap(0, 0, 7), 123), 7);
+  EXPECT_EQ(sim::apply_rmw(Step::faa(0, 0, 3), 10), 13);
+  EXPECT_EQ(sim::apply_rmw(Step::faa(0, 0, -2), 10), 8);
+}
+
+TEST(RmwSemantics, StepFactoriesAndToString) {
+  const Step c = Step::cas(1, 2, 0, 5);
+  EXPECT_EQ(c.type, sim::StepType::kRmw);
+  EXPECT_TRUE(c.is_memory_access());
+  EXPECT_EQ(to_string(c), "cas_1(r2, 0->5)");
+  EXPECT_EQ(to_string(Step::swap(0, 1, 9)), "swap_0(r1, 9)");
+  EXPECT_EQ(to_string(Step::faa(2, 0, 1)), "faa_2(r0, 1)");
+  EXPECT_NE(Step::cas(0, 0, 0, 1), Step::cas(0, 0, 1, 1));
+}
+
+TEST(RmwSemantics, SimulatorAppliesAndObservesOldValue) {
+  // Drive a ttas automaton manually: the winning CAS observes 0, writes 1.
+  const auto& info = algo::algorithm_by_name("ttas-rmw");
+  sim::Simulator s(*info.algorithm, 2);
+  s.step(0);  // try
+  s.step(0);  // read lock = 0
+  const auto rs = s.step(0);  // CAS 0 -> 1
+  EXPECT_EQ(rs.step.type, sim::StepType::kRmw);
+  EXPECT_EQ(rs.read_value, 0);
+  EXPECT_EQ(s.register_value(0), 1);
+  EXPECT_TRUE(rs.state_changed);
+}
+
+TEST(RmwSemantics, FailingCasSpinIsUnproductive) {
+  const auto& info = algo::algorithm_by_name("ttas-rmw");
+  sim::Simulator s(*info.algorithm, 2);
+  // p0 takes the lock.
+  s.step(0);
+  s.step(0);
+  s.step(0);
+  // p1 reaches its read-spin; the lock is held: unproductive (free).
+  s.step(1);  // try
+  EXPECT_FALSE(s.next_step_productive(1));
+  s.step(1);  // free read of 1
+  EXPECT_EQ(s.execution().at(s.execution().size() - 1).state_changed, false);
+}
+
+class RmwLockTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RmwLockTest, CanonicalRunsAllSchedulers) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  for (int n : {1, 2, 3, 6, 12}) {
+    sim::RoundRobinScheduler rr;
+    sim::RandomScheduler rnd(17);
+    sim::SequentialScheduler seq;
+    for (sim::Scheduler* sched : {(sim::Scheduler*)&rr, (sim::Scheduler*)&rnd,
+                                  (sim::Scheduler*)&seq}) {
+      const auto run = sim::run_canonical(*info.algorithm, n, *sched);
+      ASSERT_TRUE(run.completed) << GetParam() << " n=" << n << " " << sched->name();
+      EXPECT_EQ(sim::check_well_formed(run.exec, n), "");
+      EXPECT_EQ(sim::check_mutual_exclusion(run.exec, n), "");
+    }
+  }
+}
+
+TEST_P(RmwLockTest, ExhaustivelyCheckedSmallN) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  for (int n : {2, 3}) {
+    const auto result = check::check_all_subsets(*info.algorithm, n, options);
+    EXPECT_TRUE(result.ok) << GetParam() << " n=" << n << ": " << result.violation;
+  }
+}
+
+TEST_P(RmwLockTest, ScCostProfile) {
+  // The separation from the register bound: the queue-structured RMW locks
+  // (ticket, MCS) cost Θ(1) state changes per process — Θ(n) per canonical
+  // run, strictly below Ω(n log n). TTAS is the anti-example *within* the
+  // RMW class: every handoff wakes all spinners and fails their CASes, so
+  // its SC cost is Θ(n²) — the SC model charges the same invalidation storm
+  // cache-coherent hardware suffers.
+  const auto& info = algo::algorithm_by_name(GetParam());
+  const bool queue_structured = info.algorithm->name() != "ttas-rmw";
+  for (int n : {8, 32, 128}) {
+    sim::RoundRobinScheduler sched;
+    const auto run = sim::run_canonical(*info.algorithm, n, sched);
+    ASSERT_TRUE(run.completed);
+    if (queue_structured) {
+      EXPECT_LE(run.sc_cost, 12u * static_cast<unsigned>(n)) << GetParam() << " n=" << n;
+    } else {
+      const auto quadratic_cap = 4u * static_cast<unsigned>(n) +
+                                 2u * static_cast<unsigned>(n) * static_cast<unsigned>(n);
+      EXPECT_LE(run.sc_cost, quadratic_cap) << GetParam() << " n=" << n;
+      EXPECT_GE(run.sc_cost, static_cast<unsigned>(n * n) / 2u) << "expected the storm";
+    }
+    EXPECT_GE(run.sc_cost, static_cast<unsigned>(n));
+  }
+}
+
+TEST_P(RmwLockTest, ConstructionRejectsRmw) {
+  // The Fig. 1 hiding argument is register-specific; the pipeline must
+  // refuse rather than build an unsound adversary.
+  const auto& info = algo::algorithm_by_name(GetParam());
+  EXPECT_THROW(lb::construct(*info.algorithm, 3, util::Permutation(3)), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Locks, RmwLockTest,
+                         ::testing::Values("ttas-rmw", "ticket-rmw", "mcs-rmw"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Registry, RegisterSubsetExcludesRmw) {
+  bool saw_rmw_in_correct = false;
+  for (const auto& info : algo::correct_algorithms()) {
+    if (info.uses_rmw) saw_rmw_in_correct = true;
+  }
+  EXPECT_TRUE(saw_rmw_in_correct);
+  for (const auto& info : algo::register_algorithms()) {
+    EXPECT_FALSE(info.uses_rmw) << info.algorithm->name();
+  }
+  EXPECT_GE(algo::register_algorithms().size(), 7u);
+}
+
+TEST(TicketLock, FifoOrderUnderRoundRobin) {
+  // Round-robin lets p0..p5 take tickets in pid order; entries must follow.
+  const auto& info = algo::algorithm_by_name("ticket-rmw");
+  sim::RoundRobinScheduler sched;
+  const auto run = sim::run_canonical(*info.algorithm, 6, sched);
+  ASSERT_TRUE(run.completed);
+  std::vector<sim::Pid> enters;
+  for (const auto& rs : run.exec.steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
+      enters.push_back(rs.step.pid);
+    }
+  }
+  EXPECT_EQ(enters, (std::vector<sim::Pid>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(McsLock, HandoffChainsUnderContention) {
+  // All processes enqueue before anyone exits (convoy by pid); entries must
+  // then follow queue order exactly.
+  const auto& info = algo::algorithm_by_name("mcs-rmw");
+  const int n = 5;
+  sim::Simulator s(*info.algorithm, n);
+  // Each process: try, reset next, arm, swap tail, [link pred].
+  for (sim::Pid p = 0; p < n; ++p) {
+    for (int k = 0; k < 4; ++k) s.step(p);
+    if (p > 0) s.step(p);  // link behind predecessor
+  }
+  // Now let everyone run round-robin to completion.
+  sim::RoundRobinScheduler sched;
+  int guard = 0;
+  while (!s.all_done() && guard++ < 10000) {
+    std::vector<sim::Pid> enabled;
+    for (sim::Pid p = 0; p < n; ++p) {
+      if (!s.process_done(p) && s.next_step_productive(p)) enabled.push_back(p);
+    }
+    ASSERT_FALSE(enabled.empty());
+    s.step(sched.pick(enabled));
+  }
+  ASSERT_TRUE(s.all_done());
+  EXPECT_EQ(sim::check_mutual_exclusion(s.execution(), n), "");
+  std::vector<sim::Pid> enters;
+  for (const auto& rs : s.execution().steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
+      enters.push_back(rs.step.pid);
+    }
+  }
+  EXPECT_EQ(enters, (std::vector<sim::Pid>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,130 @@
+// Threaded runtime tests: every lock preserves mutual exclusion under real
+// concurrency, RMR counters behave per the accounting rules, and the
+// asymptotic ordering (MCS O(1) < YA O(log n) per pass) shows up uncontended.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rt/harness.h"
+#include "rt/locks.h"
+
+namespace melb {
+namespace {
+
+class LockTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<rt::Lock> make(int threads) const {
+    const std::string name = GetParam();
+    for (auto& lock : rt::all_locks(threads)) {
+      if (lock->name() == name) return std::move(lock);
+    }
+    ADD_FAILURE() << "unknown lock " << name;
+    return nullptr;
+  }
+};
+
+TEST_P(LockTest, MutualExclusionUnderContention) {
+  const int threads = std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  auto lock = make(threads);
+  rt::HarnessOptions options;
+  options.iterations_per_thread = 200;
+  options.cs_work = 10;
+  const auto result = rt::run_lock_harness(*lock, threads, options);
+  EXPECT_TRUE(result.mutex_ok);
+  EXPECT_EQ(result.cs_passes, static_cast<std::uint64_t>(threads) * 200u);
+  EXPECT_GT(result.total_rmr, 0u);
+}
+
+TEST_P(LockTest, SingleThreadCheapAndCorrect) {
+  auto lock = make(1);
+  const auto result = rt::run_lock_harness(*lock, 1, {});
+  EXPECT_TRUE(result.mutex_ok);
+  EXPECT_EQ(result.cs_passes, 1u);
+  // One uncontended pass costs O(log n) = O(1) at n=1.
+  EXPECT_LE(result.total_rmr, 32u);
+}
+
+TEST_P(LockTest, SequentialReacquisition) {
+  auto lock = make(2);
+  for (int i = 0; i < 50; ++i) {
+    lock->lock(0);
+    lock->unlock(0);
+    lock->lock(1);
+    lock->unlock(1);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, LockTest,
+                         ::testing::Values("yang-anderson", "mcs", "ticket", "ttas"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Rmr, CountersPerThreadAndTotal) {
+  rt::RmrCounters counters(3);
+  counters.add(0);
+  counters.add(0);
+  counters.add(2, 5);
+  EXPECT_EQ(counters.of(0), 2u);
+  EXPECT_EQ(counters.of(1), 0u);
+  EXPECT_EQ(counters.of(2), 5u);
+  EXPECT_EQ(counters.total(), 7u);
+  EXPECT_EQ(counters.max(), 5u);
+  counters.reset();
+  EXPECT_EQ(counters.total(), 0u);
+}
+
+TEST(Rmr, SpinUntilChargesPerChangeOnly) {
+  rt::RmrCounters counters(1);
+  std::atomic<int> var{0};
+  std::thread writer([&] {
+    for (int v = 1; v <= 3; ++v) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      var.store(v, std::memory_order_release);
+    }
+  });
+  const int got = rt::spin_until(var, [](int v) { return v == 3; }, counters, 0);
+  writer.join();
+  EXPECT_EQ(got, 3);
+  // 1 initial + at most one per observed change (some may be skipped if the
+  // spinner misses intermediate values).
+  EXPECT_GE(counters.of(0), 2u);
+  EXPECT_LE(counters.of(0), 4u);
+}
+
+TEST(Rmr, UncontendedMcsCheaperThanYangAndersonAtScale) {
+  // Sequential (uncontended) acquisition: MCS is O(1) RMR per pass, the YA
+  // tree is Θ(log n) — at 32 threads the tree must cost more per pass.
+  const int threads = 32;
+  rt::McsLock mcs(threads);
+  rt::YangAndersonLock ya(threads);
+  for (int t = 0; t < threads; ++t) {
+    mcs.lock(t);
+    mcs.unlock(t);
+    ya.lock(t);
+    ya.unlock(t);
+  }
+  const double mcs_per_pass = static_cast<double>(mcs.counters().total()) / threads;
+  const double ya_per_pass = static_cast<double>(ya.counters().total()) / threads;
+  EXPECT_LT(mcs_per_pass, ya_per_pass);
+  EXPECT_LE(mcs_per_pass, 8.0);
+  EXPECT_GE(ya_per_pass, 10.0);  // 5 levels × (entry+exit) × O(1)
+}
+
+TEST(Harness, ReportsTiming) {
+  rt::TtasLock lock(2);
+  rt::HarnessOptions options;
+  options.iterations_per_thread = 10;
+  const auto result = rt::run_lock_harness(lock, 2, options);
+  EXPECT_TRUE(result.mutex_ok);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace melb

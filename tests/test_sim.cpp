@@ -1,0 +1,203 @@
+// Unit tests for the simulator core: steps, executions, validators, the
+// simulator itself (SC accounting, forced replay), and schedulers.
+#include <gtest/gtest.h>
+
+#include "algo/simple.h"
+#include "sim/canonical.h"
+#include "sim/execution.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace melb {
+namespace {
+
+using sim::CritKind;
+using sim::RecordedStep;
+using sim::Step;
+using sim::StepType;
+
+TEST(Step, FactoryAndEquality) {
+  const Step r = Step::read(1, 3);
+  EXPECT_EQ(r.type, StepType::kRead);
+  EXPECT_EQ(r.pid, 1);
+  EXPECT_EQ(r.reg, 3);
+  EXPECT_TRUE(r.is_memory_access());
+
+  const Step w = Step::write(0, 2, 7);
+  EXPECT_EQ(w.value, 7);
+  EXPECT_NE(r, w);
+  EXPECT_EQ(w, Step::write(0, 2, 7));
+
+  const Step c = Step::crit_step(4, CritKind::kEnter);
+  EXPECT_FALSE(c.is_memory_access());
+}
+
+TEST(Step, ToStringForms) {
+  EXPECT_EQ(to_string(Step::read(1, 3)), "read_1(r3)");
+  EXPECT_EQ(to_string(Step::write(0, 2, 7)), "write_0(r2, 7)");
+  EXPECT_EQ(to_string(Step::crit_step(4, CritKind::kEnter)), "enter_4");
+}
+
+Step crit(int pid, CritKind k) { return Step::crit_step(pid, k); }
+
+sim::Execution exec_of(std::initializer_list<Step> steps) {
+  sim::Execution e;
+  for (const Step& s : steps) e.append(RecordedStep{s, 0, true});
+  return e;
+}
+
+TEST(Validators, WellFormedAcceptsFullCycle) {
+  const auto e = exec_of({crit(0, CritKind::kTry), crit(0, CritKind::kEnter),
+                          crit(0, CritKind::kExit), crit(0, CritKind::kRem)});
+  EXPECT_EQ(sim::check_well_formed(e, 1), "");
+}
+
+TEST(Validators, WellFormedRejectsSkippedStage) {
+  const auto e = exec_of({crit(0, CritKind::kTry), crit(0, CritKind::kExit)});
+  EXPECT_NE(sim::check_well_formed(e, 1), "");
+}
+
+TEST(Validators, WellFormedRejectsEnterWithoutTry) {
+  const auto e = exec_of({crit(0, CritKind::kEnter)});
+  EXPECT_NE(sim::check_well_formed(e, 1), "");
+}
+
+TEST(Validators, MutexDetectsOverlap) {
+  const auto bad = exec_of({crit(0, CritKind::kTry), crit(1, CritKind::kTry),
+                            crit(0, CritKind::kEnter), crit(1, CritKind::kEnter)});
+  EXPECT_NE(sim::check_mutual_exclusion(bad, 2), "");
+
+  const auto good = exec_of({crit(0, CritKind::kTry), crit(1, CritKind::kTry),
+                             crit(0, CritKind::kEnter), crit(0, CritKind::kExit),
+                             crit(1, CritKind::kEnter)});
+  EXPECT_EQ(sim::check_mutual_exclusion(good, 2), "");
+}
+
+TEST(Execution, CostsAndProjection) {
+  sim::Execution e;
+  e.append({Step::write(0, 0, 1), 0, true});
+  e.append({Step::read(1, 0), 0, false});  // free busy-wait read
+  e.append({Step::read(1, 0), 1, true});
+  e.append({crit(0, CritKind::kTry), 0, true});  // critical steps never cost
+  EXPECT_EQ(e.sc_cost(), 2u);
+  EXPECT_EQ(e.total_accesses(), 3u);
+  EXPECT_EQ(e.projection(1).size(), 2u);
+  EXPECT_EQ(e.projection(0).size(), 2u);
+}
+
+TEST(Execution, SectionsTracksCriticalSteps) {
+  sim::Execution e;
+  e.append({crit(0, CritKind::kTry), 0, true});
+  e.append({crit(1, CritKind::kTry), 0, true});
+  e.append({crit(0, CritKind::kEnter), 0, true});
+  const auto sections = e.sections(3);
+  EXPECT_EQ(sections[0], sim::Section::kCritical);
+  EXPECT_EQ(sections[1], sim::Section::kTrying);
+  EXPECT_EQ(sections[2], sim::Section::kRemainder);
+}
+
+TEST(Simulator, StaticRoundRobinSoloRun) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::Simulator s(alg, 1);
+  while (!s.all_done()) s.step(0);
+  EXPECT_EQ(sim::check_well_formed(s.execution(), 1), "");
+  // try, read turn (sc), enter, exit, write turn (sc), rem.
+  EXPECT_EQ(s.sc_cost(), 2u);
+}
+
+TEST(Simulator, FreeSpinIsNotCharged) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::Simulator s(alg, 2);
+  // Process 1 tries first and spins on turn == 1 while turn is 0.
+  s.step(1);  // try_1
+  for (int i = 0; i < 10; ++i) s.step(1);  // free reads
+  EXPECT_EQ(s.sc_cost(), 0u);
+  EXPECT_FALSE(s.next_step_productive(1));
+  EXPECT_TRUE(s.next_step_productive(0));
+}
+
+TEST(Simulator, ForceStepValidates) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::Simulator s(alg, 1);
+  EXPECT_NO_THROW(s.force_step(Step::crit_step(0, CritKind::kTry)));
+  EXPECT_THROW(s.force_step(Step::write(0, 0, 9)), sim::InvalidStepError);
+  EXPECT_THROW(s.force_step(Step{StepType::kCrit, 7, -1, 0, CritKind::kTry}),
+               sim::InvalidStepError);
+}
+
+TEST(Simulator, ValidateStepsRoundTrip) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::Simulator s(alg, 2);
+  sim::RoundRobinScheduler sched;
+  const auto run = sim::run_canonical(alg, 2, sched);
+  ASSERT_TRUE(run.completed);
+  std::vector<Step> raw;
+  for (const auto& rs : run.exec.steps()) raw.push_back(rs.step);
+  const auto replayed = sim::validate_steps(alg, 2, raw);
+  EXPECT_EQ(replayed.sc_cost(), run.exec.sc_cost());
+}
+
+TEST(Simulator, ReplayProcessMatchesLiveState) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::RoundRobinScheduler sched;
+  const auto run = sim::run_canonical(alg, 3, sched);
+  ASSERT_TRUE(run.completed);
+  std::vector<Step> raw;
+  for (const auto& rs : run.exec.steps()) raw.push_back(rs.step);
+  for (sim::Pid p = 0; p < 3; ++p) {
+    const auto automaton = sim::replay_process(alg, 3, raw, p);
+    EXPECT_TRUE(automaton->done());
+  }
+}
+
+TEST(Scheduler, RoundRobinCycles) {
+  sim::RoundRobinScheduler s;
+  EXPECT_EQ(s.pick({0, 1, 2}), 0);
+  EXPECT_EQ(s.pick({0, 1, 2}), 1);
+  EXPECT_EQ(s.pick({0, 1, 2}), 2);
+  EXPECT_EQ(s.pick({0, 1, 2}), 0);
+  EXPECT_EQ(s.pick({1, 2}), 1);
+}
+
+TEST(Scheduler, SequentialPicksLowest) {
+  sim::SequentialScheduler s;
+  EXPECT_EQ(s.pick({2, 3, 5}), 2);
+}
+
+TEST(Scheduler, ConvoyFollowsPermutation) {
+  sim::ConvoyScheduler s(util::Permutation({2, 0, 1}));
+  EXPECT_EQ(s.pick({0, 1, 2}), 2);
+  EXPECT_EQ(s.pick({0, 1}), 0);
+}
+
+TEST(Scheduler, RandomIsDeterministicPerSeed) {
+  sim::RandomScheduler a(5), b(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.pick({0, 1, 2, 3}), b.pick({0, 1, 2, 3}));
+}
+
+TEST(Canonical, LivelockDetected) {
+  // Only process 1 participates: static-rr spins on turn==1 forever while
+  // nobody will ever write turn. The productive-only runner must prove it.
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::Simulator s(alg, 2);
+  s.step(1);  // try_1 — now spinning
+  EXPECT_FALSE(s.next_step_productive(1));
+  // Full canonical run with both processes completes fine.
+  sim::RoundRobinScheduler sched;
+  const auto run = sim::run_canonical(alg, 2, sched);
+  EXPECT_TRUE(run.completed);
+  EXPECT_FALSE(run.livelocked);
+}
+
+TEST(Canonical, FaithfulModeRecordsFreeReads) {
+  algo::StaticRoundRobinAlgorithm alg;
+  sim::RoundRobinScheduler sched;
+  const auto run =
+      sim::run_canonical(alg, 3, sched, sim::RunMode::kFaithful, 100000);
+  ASSERT_TRUE(run.completed);
+  EXPECT_GT(run.exec.total_accesses(), run.exec.sc_cost());
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,108 @@
+// Trace module tests: serialization round trips, parser error handling,
+// divergence detection, and statistics.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace melb {
+namespace {
+
+using sim::CritKind;
+using sim::RecordedStep;
+using sim::Step;
+
+sim::Execution sample_run(const std::string& algorithm, int n, sim::RunMode mode) {
+  const auto& info = algo::algorithm_by_name(algorithm);
+  sim::RoundRobinScheduler sched;
+  const auto run = sim::run_canonical(*info.algorithm, n, sched, mode, 5'000'000);
+  EXPECT_TRUE(run.completed);
+  return run.exec;
+}
+
+TEST(Trace, RoundTripRegistersOnly) {
+  const auto exec = sample_run("bakery", 5, sim::RunMode::kFaithful);
+  const auto text = trace::to_text({"bakery", 5}, exec);
+  const auto parsed = trace::from_text(text);
+  EXPECT_EQ(parsed.header.algorithm, "bakery");
+  EXPECT_EQ(parsed.header.n, 5);
+  EXPECT_EQ(trace::first_divergence(exec, parsed.exec), std::nullopt);
+}
+
+TEST(Trace, RoundTripWithRmwSteps) {
+  const auto exec = sample_run("mcs-rmw", 4, sim::RunMode::kProductiveOnly);
+  const auto text = trace::to_text({"mcs-rmw", 4}, exec);
+  const auto parsed = trace::from_text(text);
+  EXPECT_EQ(trace::first_divergence(exec, parsed.exec), std::nullopt);
+  // Raw steps revalidate against the algorithm with identical annotations.
+  const auto& info = algo::algorithm_by_name("mcs-rmw");
+  const auto revalidated = sim::validate_steps(*info.algorithm, 4, parsed.raw_steps());
+  EXPECT_EQ(trace::first_divergence(exec, revalidated), std::nullopt);
+}
+
+TEST(Trace, ParserRejectsGarbage) {
+  EXPECT_THROW(trace::from_text("not a trace"), std::invalid_argument);
+  EXPECT_THROW(trace::from_text("# melb-trace v1\nX 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(trace::from_text("# melb-trace v1\nR 0\n"), std::invalid_argument);
+  EXPECT_THROW(trace::from_text("# melb-trace v1\nR 0 1 = 2 maybe\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace::from_text("# melb-trace v1\nC 0 dance\n"), std::invalid_argument);
+  EXPECT_THROW(trace::from_text("R 0 1 = 2 sc\n"), std::invalid_argument);  // no magic
+}
+
+TEST(Trace, ParserAcceptsEmptyTrace) {
+  const auto parsed = trace::from_text("# melb-trace v1\n# algorithm: x\n# n: 3\n");
+  EXPECT_EQ(parsed.exec.size(), 0u);
+  EXPECT_EQ(parsed.header.n, 3);
+}
+
+TEST(Trace, DivergenceDetection) {
+  sim::Execution a, b;
+  a.append({Step::write(0, 0, 1), 0, true});
+  b.append({Step::write(0, 0, 1), 0, true});
+  EXPECT_EQ(trace::first_divergence(a, b), std::nullopt);
+
+  b.append({Step::read(1, 0), 1, true});
+  std::string detail;
+  EXPECT_EQ(trace::first_divergence(a, b, &detail), std::optional<std::size_t>(1));
+  EXPECT_NE(detail.find("length mismatch"), std::string::npos);
+
+  a.append({Step::read(1, 0), 2, true});  // same step, different observation
+  EXPECT_EQ(trace::first_divergence(a, b, &detail), std::optional<std::size_t>(1));
+}
+
+TEST(Trace, StatsCountEverything) {
+  sim::Execution e;
+  e.append({Step::crit_step(0, CritKind::kTry), 0, true});
+  e.append({Step::write(0, 2, 5), 0, true});
+  e.append({Step::read(1, 2), 5, false});
+  e.append({Step::read(1, 2), 5, true});
+  e.append({Step::faa(1, 0, 1), 0, true});
+  const auto stats = trace::compute_stats(e, 2, 3);
+  EXPECT_EQ(stats.steps, 5u);
+  EXPECT_EQ(stats.memory_accesses, 4u);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.rmws, 1u);
+  EXPECT_EQ(stats.crits, 1u);
+  EXPECT_EQ(stats.free_reads, 1u);
+  EXPECT_EQ(stats.sc_cost, 3u);
+  EXPECT_EQ(stats.per_process_cost[0], 1u);
+  EXPECT_EQ(stats.per_process_cost[1], 2u);
+  EXPECT_EQ(stats.hottest_register, 2);
+  EXPECT_NE(trace::stats_to_string(stats).find("SC cost 3"), std::string::npos);
+}
+
+TEST(Trace, StatsMatchExecutionHelpers) {
+  const auto exec = sample_run("yang-anderson", 8, sim::RunMode::kFaithful);
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  const auto stats = trace::compute_stats(exec, 8, info.algorithm->num_registers(8));
+  EXPECT_EQ(stats.sc_cost, exec.sc_cost());
+  EXPECT_EQ(stats.memory_accesses, exec.total_accesses());
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,258 @@
+// Unit tests for the utility substrate: PRNG, permutations, bitsets,
+// varints, statistics, table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitset.h"
+#include "util/chart.h"
+#include "util/hash.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/varint.h"
+
+namespace melb {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  util::Xoshiro256StarStar a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  util::Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, BelowIsInRange) {
+  util::Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowRoughlyUniform) {
+  util::Xoshiro256StarStar rng(11);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Prng, UnitInHalfOpenInterval) {
+  util::Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Permutation, IdentityBasics) {
+  util::Permutation pi(5);
+  EXPECT_EQ(pi.size(), 5);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(pi.at(k), k);
+    EXPECT_EQ(pi.rank(k), k);
+  }
+  EXPECT_TRUE(pi.leq(0, 4));
+  EXPECT_TRUE(pi.leq(2, 2));
+  EXPECT_FALSE(pi.leq(4, 0));
+}
+
+TEST(Permutation, ExplicitOrderAndRank) {
+  // pi = (4 2 1 3) in the paper's notation on elements {1..4} maps here to
+  // 0-based (3 1 0 2): element 3 is ordered lowest.
+  util::Permutation pi({3, 1, 0, 2});
+  EXPECT_EQ(pi.rank(3), 0);
+  EXPECT_EQ(pi.rank(2), 3);
+  EXPECT_TRUE(pi.leq(3, 0));
+  EXPECT_FALSE(pi.leq(2, 1));
+}
+
+TEST(Permutation, RejectsNonPermutation) {
+  EXPECT_THROW(util::Permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(util::Permutation({0, 3}), std::invalid_argument);
+}
+
+TEST(Permutation, RandomIsPermutation) {
+  util::Xoshiro256StarStar rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pi = util::Permutation::random(12, rng);
+    std::set<int> seen(pi.order().begin(), pi.order().end());
+    EXPECT_EQ(seen.size(), 12u);
+  }
+}
+
+TEST(Permutation, AllEnumeratesFactorial) {
+  EXPECT_EQ(util::Permutation::all(1).size(), 1u);
+  EXPECT_EQ(util::Permutation::all(3).size(), 6u);
+  EXPECT_EQ(util::Permutation::all(4).size(), 24u);
+  // All distinct.
+  const auto perms = util::Permutation::all(4);
+  std::set<std::vector<int>> distinct;
+  for (const auto& p : perms) distinct.insert(p.order());
+  EXPECT_EQ(distinct.size(), 24u);
+}
+
+TEST(Permutation, ReversedOrder) {
+  const auto pi = util::Permutation::reversed(4);
+  EXPECT_EQ(pi.at(0), 3);
+  EXPECT_EQ(pi.at(3), 0);
+}
+
+TEST(Bitset, SetTestReset) {
+  util::DynamicBitset bits(130);
+  EXPECT_FALSE(bits.test(0));
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, OrWithAndFindFirst) {
+  util::DynamicBitset a(70), b(70);
+  a.set(3);
+  b.set(65);
+  a.or_with(b);
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(65));
+  EXPECT_EQ(a.find_first(), 3u);
+  a.reset(3);
+  EXPECT_EQ(a.find_first(), 65u);
+  a.reset(65);
+  EXPECT_EQ(a.find_first(), 70u);
+  EXPECT_FALSE(a.any());
+}
+
+TEST(Bitset, ResizePreservesBits) {
+  util::DynamicBitset bits(10);
+  bits.set(9);
+  bits.resize(200);
+  EXPECT_TRUE(bits.test(9));
+  EXPECT_FALSE(bits.test(100));
+  bits.set(199);
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Varint, RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384, 1ULL << 40,
+                                  ~0ULL};
+  for (auto v : values) util::put_varint(buf, v);
+  std::size_t pos = 0;
+  for (auto v : values) {
+    const auto got = util::get_varint(buf, pos);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, SizeMatchesEncoding) {
+  for (std::uint64_t v : {0ULL, 127ULL, 128ULL, 99999ULL, ~0ULL}) {
+    std::vector<std::uint8_t> buf;
+    util::put_varint(buf, v);
+    EXPECT_EQ(buf.size(), util::varint_size(v));
+  }
+}
+
+TEST(Varint, TruncatedInputFails) {
+  std::vector<std::uint8_t> buf;
+  util::put_varint(buf, 300);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(util::get_varint(buf, pos).has_value());
+}
+
+TEST(Stats, RunningStatsBasics) {
+  util::RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const auto fit = util::fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Hash, DistinctInputsDistinctDigests) {
+  util::Hasher a, b;
+  a.add_all({1, 2, 3});
+  b.add_all({1, 2, 4});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, OrderSensitive) {
+  util::Hasher a, b;
+  a.add_all({1, 2});
+  b.add_all({2, 1});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Table, FormatsAligned) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "20"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+
+TEST(Chart, RendersSeriesAndLegend) {
+  util::ChartSeries linear{"linear", 'a', {1, 2, 4, 8}, {1, 2, 4, 8}};
+  util::ChartSeries quad{"quadratic", 'q', {1, 2, 4, 8}, {1, 4, 16, 64}};
+  const std::string out = util::render_chart({linear, quad});
+  EXPECT_NE(out.find("a = linear"), std::string::npos);
+  EXPECT_NE(out.find("q = quadratic"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('q'), std::string::npos);
+  EXPECT_NE(out.find("log2 scale"), std::string::npos);
+}
+
+TEST(Chart, EmptyAndDegenerate) {
+  EXPECT_NE(util::render_chart({}).find("empty"), std::string::npos);
+  util::ChartSeries single{"one", 'x', {5}, {5}};
+  EXPECT_NE(util::render_chart({single}).find("x = one"), std::string::npos);
+}
+
+TEST(Chart, OverlapMarkedWithPlus) {
+  util::ChartSeries a{"a", 'a', {1, 8}, {1, 8}};
+  util::ChartSeries b{"b", 'b', {1, 8}, {1, 8}};  // identical points
+  const std::string out = util::render_chart({a, b});
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,253 @@
+// melb_cli — command-line front end to the library.
+//
+//   melb_cli list
+//   melb_cli run <algorithm> <n> [--sched round-robin|sequential|random|convoy]
+//                [--seed S] [--faithful] [--trace FILE]
+//   melb_cli construct <algorithm> <n> [--pi identity|reverse|random] [--seed S]
+//                [--encode FILE] [--dump]
+//   melb_cli decode <algorithm> <E-file>
+//   melb_cli check <algorithm> <n> [--subsets] [--max-states K]
+//   melb_cli cost <algorithm> <n>
+//
+// Every subcommand exits nonzero on a property violation, so the tool can be
+// scripted as a validity oracle.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "cost/cost_model.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/verify.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/table.h"
+
+using namespace melb;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --key value or --key (empty)
+
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "";
+      }
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n,
+                                               std::uint64_t seed) {
+  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
+  if (name == "random") return std::make_unique<sim::RandomScheduler>(seed);
+  if (name == "convoy")
+    return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
+  return std::make_unique<sim::RoundRobinScheduler>();
+}
+
+util::Permutation make_pi(const std::string& kind, int n, std::uint64_t seed) {
+  if (kind == "reverse") return util::Permutation::reversed(n);
+  if (kind == "random") {
+    util::Xoshiro256StarStar rng(seed);
+    return util::Permutation::random(n, rng);
+  }
+  return util::Permutation(n);
+}
+
+int cmd_list() {
+  util::Table table({"name", "livelock-free", "mutex", "primitives", "cost profile"});
+  for (const auto& info : algo::all_algorithms()) {
+    table.add_row({info.algorithm->name(), info.livelock_free ? "yes" : "NO",
+                   info.mutex_correct ? "yes" : "NO", info.uses_rmw ? "RMW" : "registers",
+                   info.cost_note});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = std::stoi(args.positional.at(1));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  auto scheduler = make_scheduler(args.get("sched", "round-robin"), n, seed);
+  const auto mode = args.has("faithful") ? sim::RunMode::kFaithful
+                                         : sim::RunMode::kProductiveOnly;
+  const auto run = sim::run_canonical(*info.algorithm, n, *scheduler, mode);
+  if (!run.completed) {
+    std::printf("FAILED: %s\n", run.livelocked ? "livelock detected" : "step cap hit");
+    return 1;
+  }
+  const auto wf = sim::check_well_formed(run.exec, n);
+  const auto me = sim::check_mutual_exclusion(run.exec, n);
+  const auto stats = trace::compute_stats(run.exec, n, info.algorithm->num_registers(n));
+  std::printf("%s n=%d under %s: %s\n", info.algorithm->name().c_str(), n,
+              scheduler->name().c_str(), trace::stats_to_string(stats).c_str());
+  std::printf("well-formed: %s; mutual exclusion: %s\n", wf.empty() ? "ok" : wf.c_str(),
+              me.empty() ? "ok" : me.c_str());
+  if (args.has("trace")) {
+    std::ofstream out(args.get("trace", ""));
+    out << trace::to_text({info.algorithm->name(), n}, run.exec);
+    std::printf("trace written to %s\n", args.get("trace", "").c_str());
+  }
+  return (wf.empty() && me.empty()) ? 0 : 1;
+}
+
+int cmd_construct(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = std::stoi(args.positional.at(1));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  const auto pi = make_pi(args.get("pi", "reverse"), n, seed);
+  const auto c = lb::construct(*info.algorithm, n, pi);
+  const auto steps = c.canonical_linearization();
+  const auto exec = sim::validate_steps(*info.algorithm, n, steps);
+  const auto encoding = lb::encode(c);
+  std::printf("construct(%s, n=%d): %zu metasteps (%llu hidden insertions), C(alpha_pi)=%llu\n",
+              info.algorithm->name().c_str(), n, c.metasteps.size(),
+              static_cast<unsigned long long>(c.insertions),
+              static_cast<unsigned long long>(exec.sc_cost()));
+  std::printf("|E_pi| = %zu ASCII bytes, %llu binary bits (%.2f bits per unit cost)\n",
+              encoding.text.size(), static_cast<unsigned long long>(encoding.binary_bits),
+              exec.sc_cost() ? static_cast<double>(encoding.binary_bits) /
+                                   static_cast<double>(exec.sc_cost())
+                             : 0.0);
+  const auto structural = lb::verify_linearization(c, steps);
+  std::printf("structural check: %s\n", structural.empty() ? "ok" : structural.c_str());
+  if (args.has("encode")) {
+    std::ofstream out(args.get("encode", ""));
+    out << encoding.text;
+    std::printf("E_pi written to %s\n", args.get("encode", "").c_str());
+  }
+  if (args.has("dump")) {
+    for (const auto& rs : exec.steps()) {
+      std::printf("  %s\n", to_string(rs.step).c_str());
+    }
+  }
+  return structural.empty() ? 0 : 1;
+}
+
+int cmd_decode(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  std::ifstream in(args.positional.at(1));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto decoded = lb::decode(*info.algorithm, buffer.str());
+  const int n = static_cast<int>(lb::parse_encoding(buffer.str()).size());
+  const auto me = sim::check_mutual_exclusion(decoded.execution, n);
+  std::printf("decoded %zu steps in %llu iterations; SC cost %llu; mutex %s\n",
+              decoded.execution.size(),
+              static_cast<unsigned long long>(decoded.iterations),
+              static_cast<unsigned long long>(decoded.execution.sc_cost()),
+              me.empty() ? "ok" : me.c_str());
+  return me.empty() ? 0 : 1;
+}
+
+int cmd_check(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = std::stoi(args.positional.at(1));
+  check::CheckOptions options;
+  options.max_states =
+      static_cast<std::uint64_t>(std::stoull(args.get("max-states", "2000000")));
+  const auto result = args.has("subsets")
+                          ? check::check_all_subsets(*info.algorithm, n, options)
+                          : check::check_algorithm(*info.algorithm, n, options);
+  std::printf("%s n=%d: %s (%llu states%s)\n", info.algorithm->name().c_str(), n,
+              result.ok ? "OK" : result.violation.c_str(),
+              static_cast<unsigned long long>(result.states),
+              result.exhausted_limit ? ", limit hit" : "");
+  if (!result.ok && result.counterexample) {
+    std::printf("counterexample (%zu steps):\n", result.counterexample->size());
+    for (const auto& step : *result.counterexample) {
+      std::printf("  %s\n", to_string(step).c_str());
+    }
+  }
+  return result.ok ? 0 : 1;
+}
+
+int cmd_cost(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = std::stoi(args.positional.at(1));
+  sim::RoundRobinScheduler scheduler;
+  const auto run =
+      sim::run_canonical(*info.algorithm, n, scheduler, sim::RunMode::kFaithful, 50'000'000);
+  if (!run.completed) {
+    std::printf("run did not complete\n");
+    return 1;
+  }
+  util::Table table({"model", "total", "max process"});
+  for (const auto& model : cost::standard_models(*info.algorithm, n)) {
+    table.add_row({model->name(), std::to_string(model->total_cost(run.exec, n)),
+                   std::to_string(model->max_process_cost(run.exec, n))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: melb_cli <command> ...\n"
+      "  list                                  algorithm registry\n"
+      "  run <alg> <n> [--sched S] [--seed K] [--faithful] [--trace FILE]\n"
+      "  construct <alg> <n> [--pi identity|reverse|random] [--seed K]\n"
+      "            [--encode FILE] [--dump]\n"
+      "  decode <alg> <E-file>\n"
+      "  check <alg> <n> [--subsets] [--max-states K]\n"
+      "  cost <alg> <n>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "construct") return cmd_construct(args);
+    if (command == "decode") return cmd_decode(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "cost") return cmd_cost(args);
+    usage();
+    return 2;
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "error: missing or unknown argument\n");
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
