@@ -20,15 +20,7 @@
 
 namespace melb::benchx {
 
-inline std::vector<sim::Pid> enter_order(const sim::Execution& exec) {
-  std::vector<sim::Pid> order;
-  for (const auto& rs : exec.steps()) {
-    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
-      order.push_back(rs.step.pid);
-    }
-  }
-  return order;
-}
+using sim::enter_order;
 
 // Permutation sample for adversarial sweeps: identity, reverse, plus
 // `random_count` seeded random permutations.

@@ -25,7 +25,9 @@ HarnessResult run_lock_harness(Lock& lock, int threads, const HarnessOptions& op
       if (occupancy.fetch_add(1, std::memory_order_acq_rel) != 0) {
         violation.store(true, std::memory_order_release);
       }
-      for (volatile int w = 0; w < options.cs_work; w = w + 1) {
+      for (int w = 0; w < options.cs_work; ++w) {
+        volatile int sink = w;  // defeat loop elision without deprecated
+        (void)sink;             // volatile compound/chained assignment
       }
       occupancy.fetch_sub(1, std::memory_order_acq_rel);
       lock.unlock(tid);

@@ -63,6 +63,16 @@ std::string Execution::to_string() const {
   return out.str();
 }
 
+std::vector<Pid> enter_order(const Execution& exec) {
+  std::vector<Pid> order;
+  for (const auto& rs : exec.steps()) {
+    if (rs.step.type == StepType::kCrit && rs.step.crit == CritKind::kEnter) {
+      order.push_back(rs.step.pid);
+    }
+  }
+  return order;
+}
+
 std::string check_well_formed(const Execution& exec, int n) {
   // Expected next critical step per process, cycling try -> enter -> exit -> rem.
   std::vector<CritKind> expected(static_cast<std::size_t>(n), CritKind::kTry);

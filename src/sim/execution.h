@@ -51,6 +51,11 @@ class Execution {
   std::vector<RecordedStep> steps_;
 };
 
+// The order in which processes enter their critical sections — the π an
+// execution realizes (Theorem 5.5 ties constructions to this order). Shared
+// by tests and benches; keep the definition of "entry" in one place.
+std::vector<Pid> enter_order(const Execution& exec);
+
 // Validators. Each returns an empty string when the property holds, otherwise
 // a human-readable description of the first violation.
 

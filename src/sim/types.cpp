@@ -10,6 +10,8 @@ std::string to_string(StepType type) {
       return "R";
     case StepType::kWrite:
       return "W";
+    case StepType::kRmw:
+      return "RMW";
     case StepType::kCrit:
       return "C";
   }

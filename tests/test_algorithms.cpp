@@ -12,6 +12,8 @@
 #include "sim/execution.h"
 #include "sim/scheduler.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
@@ -64,14 +66,11 @@ std::vector<Case> all_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CanonicalRunTest, ::testing::ValuesIn(all_cases()),
-                         [](const ::testing::TestParamInfo<Case>& info) {
-                           std::string name = info.param.algorithm + "_" +
-                                              info.param.scheduler + "_n" +
-                                              std::to_string(info.param.n);
-                           for (auto& ch : name) {
-                             if (ch == '-') ch = '_';
-                           }
-                           return name;
+                         [](const ::testing::TestParamInfo<Case>& param_info) {
+                           return testing_util::gtest_safe_name(
+                               param_info.param.algorithm + "_" +
+                               param_info.param.scheduler + "_n" +
+                               std::to_string(param_info.param.n));
                          });
 
 TEST(Registry, LookupAndContents) {

@@ -8,6 +8,8 @@
 #include "sim/execution.h"
 #include "sim/simulator.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
@@ -42,13 +44,7 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, CheckerOnCorrect,
                          ::testing::Values("yang-anderson", "bakery", "peterson-tree",
                                            "filter", "dijkstra", "burns", "lamport-fast",
                                            "dekker-tree", "kessels-tree"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string s = info.param;
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+                         testing_util::AlgorithmNameGenerator());
 
 TEST(Checker, BrokenLockCaught) {
   const auto& info = algo::algorithm_by_name("naive-broken");

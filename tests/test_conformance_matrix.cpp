@@ -1,0 +1,209 @@
+// Cross-algorithm conformance matrix.
+//
+// Every registered algorithm runs against every scheduler at every small n,
+// so a new registry entry is exercised across the whole harness without any
+// test edits. Each cell of the matrix checks:
+//  * the canonical run terminates (completes, or provably livelocks when the
+//    registry says the algorithm is not livelock-free);
+//  * the recorded execution is well-formed (§3.2);
+//  * mutual exclusion holds whenever the registry claims it (and, for the
+//    deliberately broken entry, that the validator agrees with the registry
+//    on at least one cell);
+//  * costs are self-consistent (sc_cost ≤ total accesses, run accounting
+//    matches the execution).
+// Register-only correct algorithms additionally go through the lower-bound
+// pipeline per n: construct → encode → decode must round-trip to the
+// canonical linearization, execution-for-execution.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "lb/verify.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/permutation.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+const std::vector<int>& matrix_sizes() {
+  static const std::vector<int> sizes = {2, 3, 4, 6, 8};
+  return sizes;
+}
+
+// One scheduler instance per cell: schedulers are stateful.
+std::vector<std::unique_ptr<sim::Scheduler>> make_schedulers(int n) {
+  std::vector<std::unique_ptr<sim::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<sim::RoundRobinScheduler>());
+  schedulers.push_back(std::make_unique<sim::SequentialScheduler>());
+  schedulers.push_back(std::make_unique<sim::RandomScheduler>(0xC0FFEEULL + n));
+  schedulers.push_back(
+      std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n)));
+  return schedulers;
+}
+
+std::vector<std::string> all_algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& info : algo::all_algorithms()) {
+    names.push_back(info.algorithm->name());
+  }
+  return names;
+}
+
+class ConformanceMatrixTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const algo::AlgorithmInfo& info() const {
+    return algo::algorithm_by_name(GetParam());
+  }
+};
+
+TEST_P(ConformanceMatrixTest, CanonicalRunsAcrossSchedulersAndSizes) {
+  const auto& info = this->info();
+  const auto& algorithm = *info.algorithm;
+  bool saw_mutex_violation = false;
+  for (const int n : matrix_sizes()) {
+    for (auto& scheduler : make_schedulers(n)) {
+      SCOPED_TRACE(algorithm.name() + " n=" + std::to_string(n) + " under " +
+                   scheduler->name());
+      const auto run = sim::run_canonical(algorithm, n, *scheduler);
+
+      // Termination: a livelock-free algorithm must complete under every
+      // scheduler; others must at least be *diagnosed* rather than time out.
+      if (info.livelock_free) {
+        ASSERT_TRUE(run.completed) << (run.livelocked ? "livelocked" : "step cap hit");
+      } else {
+        ASSERT_TRUE(run.completed || run.livelocked) << "step cap hit";
+      }
+
+      // Accounting: the run's reported numbers describe its own execution.
+      EXPECT_EQ(run.sc_cost, run.exec.sc_cost());
+      EXPECT_LE(run.exec.sc_cost(), run.exec.total_accesses());
+      EXPECT_GE(run.steps, run.exec.size());
+
+      EXPECT_EQ(sim::check_well_formed(run.exec, n), "");
+      const auto mutex = sim::check_mutual_exclusion(run.exec, n);
+      if (info.mutex_correct) {
+        EXPECT_EQ(mutex, "");
+      } else if (!mutex.empty()) {
+        saw_mutex_violation = true;
+      }
+
+      if (run.completed) {
+        // Every process finished one try/enter/exit/rem cycle.
+        for (const auto section : run.exec.sections(n)) {
+          EXPECT_EQ(section, sim::Section::kRemainder);
+        }
+        // Stats must cover every recorded step exactly once.
+        const auto stats =
+            trace::compute_stats(run.exec, n, algorithm.num_registers(n));
+        EXPECT_EQ(stats.steps, run.exec.size());
+        EXPECT_EQ(stats.reads + stats.writes + stats.rmws + stats.crits, stats.steps);
+        EXPECT_EQ(stats.sc_cost, run.exec.sc_cost());
+      }
+    }
+  }
+  if (!info.mutex_correct) {
+    EXPECT_TRUE(saw_mutex_violation)
+        << "registry says " << algorithm.name()
+        << " violates mutual exclusion, but no matrix cell exhibited it";
+  }
+}
+
+TEST_P(ConformanceMatrixTest, TraceRoundTripsAcrossSizes) {
+  const auto& info = this->info();
+  const auto& algorithm = *info.algorithm;
+  if (!info.livelock_free) GTEST_SKIP() << "no completed run guaranteed";
+  for (const int n : matrix_sizes()) {
+    SCOPED_TRACE(algorithm.name() + " n=" + std::to_string(n));
+    sim::RoundRobinScheduler scheduler;
+    const auto run = sim::run_canonical(algorithm, n, scheduler);
+    ASSERT_TRUE(run.completed);
+    const auto text = trace::to_text({algorithm.name(), n}, run.exec);
+    const auto parsed = trace::from_text(text);
+    EXPECT_EQ(parsed.header.algorithm, algorithm.name());
+    EXPECT_EQ(parsed.header.n, n);
+    std::string detail;
+    const auto divergence = trace::first_divergence(run.exec, parsed.exec, &detail);
+    EXPECT_FALSE(divergence.has_value()) << detail;
+    // A parsed trace replays against the algorithm with identical annotations.
+    const auto revalidated =
+        sim::validate_steps(algorithm, n, parsed.raw_steps());
+    EXPECT_FALSE(trace::first_divergence(run.exec, revalidated, &detail).has_value())
+        << detail;
+  }
+}
+
+TEST_P(ConformanceMatrixTest, EncodeDecodeRoundTripsAcrossSizes) {
+  const auto& info = this->info();
+  const auto& algorithm = *info.algorithm;
+  if (!info.livelock_free || !info.mutex_correct || info.uses_rmw) {
+    GTEST_SKIP() << "lower-bound pipeline covers register-only correct algorithms";
+  }
+  for (const int n : matrix_sizes()) {
+    for (const bool reversed : {false, true}) {
+      const auto pi =
+          reversed ? util::Permutation::reversed(n) : util::Permutation(n);
+      SCOPED_TRACE(algorithm.name() + " n=" + std::to_string(n) +
+                   (reversed ? " pi=reverse" : " pi=identity"));
+      const auto construction = lb::construct(algorithm, n, pi);
+      const auto steps = construction.canonical_linearization();
+      ASSERT_EQ(lb::verify_linearization(construction, steps), "");
+
+      // The linearization is a real execution of the algorithm…
+      const auto canonical = sim::validate_steps(algorithm, n, steps);
+      EXPECT_EQ(sim::check_well_formed(canonical, n), "");
+      EXPECT_EQ(sim::check_mutual_exclusion(canonical, n), "");
+
+      // …and the encoding alone reconstructs a linearization of the same
+      // metastep structure: identical per-process views and cost, critical
+      // sections entered exactly in π order (interleaving may differ).
+      const auto encoding = lb::encode(construction);
+      EXPECT_EQ(encoding.n(), n);
+      EXPECT_GT(encoding.binary_bits, 0u);
+      const auto decoded = lb::decode(algorithm, encoding.text);
+      EXPECT_EQ(sim::check_well_formed(decoded.execution, n), "");
+      EXPECT_EQ(sim::check_mutual_exclusion(decoded.execution, n), "");
+      EXPECT_EQ(decoded.execution.sc_cost(), canonical.sc_cost());
+      EXPECT_EQ(testing_util::enter_order(decoded.execution), pi.order());
+      for (sim::Pid p = 0; p < n; ++p) {
+        const auto ours = decoded.execution.projection(p);
+        const auto theirs = canonical.projection(p);
+        ASSERT_EQ(ours.size(), theirs.size()) << "projection of pid " << p;
+        for (std::size_t k = 0; k < ours.size(); ++k) {
+          EXPECT_EQ(ours[k].step, theirs[k].step) << "pid " << p << " step " << k;
+          EXPECT_EQ(ours[k].read_value, theirs[k].read_value)
+              << "pid " << p << " step " << k;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ConformanceMatrixTest,
+                         ::testing::ValuesIn(all_algorithm_names()),
+                         testing_util::AlgorithmNameGenerator());
+
+// The matrix quantifies over the registry; guard the registry's shape so a
+// refactor that empties it cannot silently pass the suite.
+TEST(ConformanceMatrix, RegistryShape) {
+  EXPECT_GE(algo::all_algorithms().size(), 14u);
+  EXPECT_GE(algo::correct_algorithms().size(), 12u);
+  EXPECT_GE(algo::register_algorithms().size(), 9u);
+  for (const auto& info : algo::register_algorithms()) {
+    EXPECT_FALSE(info.uses_rmw) << info.algorithm->name();
+  }
+}
+
+}  // namespace
+}  // namespace melb

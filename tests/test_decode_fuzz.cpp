@@ -1,0 +1,162 @@
+// Byte-level fuzzing of the decoder on damaged real encodings.
+//
+// test_decode_robustness.cpp corrupts at cell granularity; here we damage the
+// raw E_π string the way storage or transport would — truncation at arbitrary
+// byte offsets, single-bit flips, byte substitutions, and random garbage with
+// the right alphabet. The decoder's contract for every such input is: throw a
+// std::exception (or decode to *some* valid execution of the algorithm), and
+// never crash, hang, or hand back an execution that violates well-formedness.
+// Deterministic by construction: all randomness flows from fixed seeds
+// through util::Xoshiro256StarStar.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "sim/execution.h"
+#include "util/permutation.h"
+#include "util/prng.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+struct FuzzOutcome {
+  int rejected = 0;   // decoder threw
+  int accepted = 0;   // decoder produced an execution
+};
+
+// Feed one damaged string through the decoder, asserting the contract: any
+// accepted output must still be a well-formed execution (decode validates
+// every step against δ internally, so acceptance means "valid execution of
+// the algorithm"; we re-check the §3.2 properties on top).
+FuzzOutcome feed(const sim::Algorithm& algorithm, const std::string& damaged) {
+  FuzzOutcome outcome;
+  try {
+    // parse_encoding throws on lexical damage, decode on semantic damage —
+    // parsing first also yields n without re-parsing an accepted string.
+    const int n = static_cast<int>(lb::parse_encoding(damaged).size());
+    const auto decoded = lb::decode(algorithm, damaged);
+    ++outcome.accepted;
+    EXPECT_EQ(sim::check_well_formed(decoded.execution, n), "");
+  } catch (const std::exception&) {
+    ++outcome.rejected;
+  }
+  return outcome;
+}
+
+std::string real_encoding(const sim::Algorithm& algorithm, int n) {
+  return lb::encode(lb::construct(algorithm, n, util::Permutation::reversed(n))).text;
+}
+
+class DecodeFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DecodeFuzzTest, TruncationAtEveryByteNeverCrashes) {
+  const auto& algorithm = *algo::algorithm_by_name(GetParam()).algorithm;
+  const auto text = real_encoding(algorithm, 4);
+  ASSERT_FALSE(text.empty());
+  FuzzOutcome total;
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    const auto outcome = feed(algorithm, text.substr(0, len));
+    total.rejected += outcome.rejected;
+    total.accepted += outcome.accepted;
+  }
+  // A dense format leaves little room for valid proper prefixes: the decoder
+  // must reject the overwhelming majority (an all-'$' prefix is the main
+  // benign case — it encodes fewer processes doing nothing).
+  EXPECT_GE(total.rejected * 10, static_cast<int>(text.size()) * 9)
+      << "accepted " << total.accepted << " of " << text.size() << " prefixes";
+}
+
+TEST_P(DecodeFuzzTest, SingleBitFlipsNeverCrash) {
+  const auto& algorithm = *algo::algorithm_by_name(GetParam()).algorithm;
+  const auto text = real_encoding(algorithm, 4);
+  ASSERT_FALSE(text.empty());
+  util::Xoshiro256StarStar rng(0xF1A9ULL);
+  FuzzOutcome total;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::string damaged = text;
+    const auto pos = rng.below(damaged.size());
+    const auto bit = rng.below(8);
+    damaged[pos] = static_cast<char>(
+        static_cast<unsigned char>(damaged[pos]) ^ (1u << bit));
+    SCOPED_TRACE("flip bit " + std::to_string(bit) + " at byte " + std::to_string(pos));
+    const auto outcome = feed(algorithm, damaged);
+    total.rejected += outcome.rejected;
+    total.accepted += outcome.accepted;
+  }
+  EXPECT_GE(total.rejected * 10, trials * 8)
+      << "accepted " << total.accepted << "/" << trials << " bit-flipped strings";
+}
+
+TEST_P(DecodeFuzzTest, ByteSubstitutionsNeverCrash) {
+  const auto& algorithm = *algo::algorithm_by_name(GetParam()).algorithm;
+  const auto text = real_encoding(algorithm, 3);
+  ASSERT_FALSE(text.empty());
+  // Substitute with bytes from the format's own alphabet — harder to reject
+  // lexically than arbitrary binary, so this stresses semantic validation.
+  const std::string alphabet = "RWPSC#$,0123456789";
+  util::Xoshiro256StarStar rng(0xBEEFULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string damaged = text;
+    const auto pos = rng.below(damaged.size());
+    damaged[pos] = alphabet[rng.below(alphabet.size())];
+    if (damaged == text) continue;
+    SCOPED_TRACE("substitute at byte " + std::to_string(pos));
+    feed(algorithm, damaged);  // contract assertions live inside feed()
+  }
+}
+
+TEST_P(DecodeFuzzTest, RandomAlphabetSoupNeverCrashes) {
+  const auto& algorithm = *algo::algorithm_by_name(GetParam()).algorithm;
+  const std::string alphabet = "RWPSC#$,0123456789";
+  util::Xoshiro256StarStar rng(0x50D4ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto length = rng.below(64);
+    std::string soup;
+    for (std::uint64_t i = 0; i < length; ++i) {
+      soup += alphabet[rng.below(alphabet.size())];
+    }
+    SCOPED_TRACE("soup trial " + std::to_string(trial));
+    feed(algorithm, soup);
+  }
+}
+
+TEST_P(DecodeFuzzTest, SplicedColumnsNeverCrash) {
+  // Mix columns from two different real encodings of the same algorithm —
+  // every fragment is locally plausible, but the cross-process signature
+  // bookkeeping should not add up (or must decode to a valid execution).
+  const auto& algorithm = *algo::algorithm_by_name(GetParam()).algorithm;
+  const auto a = lb::encode(lb::construct(algorithm, 4, util::Permutation(4)));
+  const auto b = lb::encode(lb::construct(algorithm, 4, util::Permutation::reversed(4)));
+  util::Xoshiro256StarStar rng(0x5EEDULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string spliced;
+    for (int col = 0; col < 4; ++col) {
+      const auto& source = (rng.below(2) == 0) ? a.cells : b.cells;
+      for (const auto& cell : source[static_cast<std::size_t>(col)]) {
+        spliced += cell;
+        spliced += '#';
+      }
+      spliced += '$';
+    }
+    SCOPED_TRACE("splice trial " + std::to_string(trial));
+    feed(algorithm, spliced);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DecodeFuzzTest,
+                         ::testing::Values("yang-anderson", "bakery", "burns",
+                                           "peterson-tree"),
+                         testing_util::AlgorithmNameGenerator());
+
+}  // namespace
+}  // namespace melb

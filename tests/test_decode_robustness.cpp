@@ -13,16 +13,10 @@
 #include "util/permutation.h"
 #include "util/prng.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
-
-std::vector<std::string> flatten_cells(const lb::Encoding& encoding) {
-  std::vector<std::string> cells;
-  for (const auto& column : encoding.cells) {
-    for (const auto& cell : column) cells.push_back(cell);
-  }
-  return cells;
-}
 
 std::string rebuild(const std::vector<std::vector<std::string>>& columns) {
   std::string text;
@@ -135,13 +129,7 @@ TEST_P(CorruptionTest, SignatureCountTamperingDetected) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, CorruptionTest,
                          ::testing::Values("yang-anderson", "bakery", "burns"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string s = info.param;
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+                         testing_util::AlgorithmNameGenerator());
 
 TEST(DecodeRobustness, EmptyAndDegenerateInputs) {
   const auto& algorithm = *algo::algorithm_by_name("bakery").algorithm;

@@ -9,6 +9,8 @@
 #include "util/permutation.h"
 #include "util/prng.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
@@ -145,7 +147,9 @@ TEST_P(LemmaTest, PrereadsOrderedBeforeTheirWriteMetastep) {
   // Yang–Anderson constructions do produce prereads (spin resets / rival
   // announcements); make sure the property is not vacuous for at least the
   // tree algorithm.
-  if (algorithm.name() == "yang-anderson") EXPECT_GT(preads, 0);
+  if (algorithm.name() == "yang-anderson") {
+    EXPECT_GT(preads, 0);
+  }
 }
 
 TEST_P(LemmaTest, FastPathMatchesLiteralFig1Evaluation) {
@@ -175,13 +179,7 @@ TEST_P(LemmaTest, FastPathMatchesLiteralFig1Evaluation) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, LemmaTest,
                          ::testing::Values("yang-anderson", "bakery", "burns", "dijkstra",
                                            "lamport-fast", "dekker-tree", "kessels-tree"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string s = info.param;
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+                         testing_util::AlgorithmNameGenerator());
 
 }  // namespace
 }  // namespace melb

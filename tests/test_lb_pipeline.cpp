@@ -20,20 +20,13 @@
 #include "util/permutation.h"
 #include "util/prng.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
 using util::Permutation;
-
-std::vector<sim::Pid> enter_order(const sim::Execution& exec) {
-  std::vector<sim::Pid> order;
-  for (const auto& rs : exec.steps()) {
-    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kEnter) {
-      order.push_back(rs.step.pid);
-    }
-  }
-  return order;
-}
+using testing_util::enter_order;
 
 struct PipelineCase {
   std::string algorithm;
@@ -141,13 +134,10 @@ std::vector<PipelineCase> pipeline_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, PipelineTest, ::testing::ValuesIn(pipeline_cases()),
-                         [](const ::testing::TestParamInfo<PipelineCase>& info) {
-                           std::string s = info.param.algorithm + "_n" +
-                                           std::to_string(info.param.n);
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
+                         [](const ::testing::TestParamInfo<PipelineCase>& param_info) {
+                           return testing_util::gtest_safe_name(
+                               param_info.param.algorithm + "_n" +
+                               std::to_string(param_info.param.n));
                          });
 
 TEST(Injectivity, AllPermutationsDistinctExecutions) {

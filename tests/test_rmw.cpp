@@ -11,6 +11,8 @@
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
@@ -123,13 +125,7 @@ TEST_P(RmwLockTest, ConstructionRejectsRmw) {
 
 INSTANTIATE_TEST_SUITE_P(Locks, RmwLockTest,
                          ::testing::Values("ttas-rmw", "ticket-rmw", "mcs-rmw"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string s = info.param;
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+                         testing_util::AlgorithmNameGenerator());
 
 TEST(Registry, RegisterSubsetExcludesRmw) {
   bool saw_rmw_in_correct = false;

@@ -9,6 +9,8 @@
 #include "rt/harness.h"
 #include "rt/locks.h"
 
+#include "testing_util.h"
+
 namespace melb {
 namespace {
 
@@ -58,13 +60,7 @@ TEST_P(LockTest, SequentialReacquisition) {
 
 INSTANTIATE_TEST_SUITE_P(AllLocks, LockTest,
                          ::testing::Values("yang-anderson", "mcs", "ticket", "ttas"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           std::string s = info.param;
-                           for (auto& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+                         testing_util::AlgorithmNameGenerator());
 
 TEST(Rmr, CountersPerThreadAndTotal) {
   rt::RmrCounters counters(3);

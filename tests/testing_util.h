@@ -1,0 +1,37 @@
+// Shared helpers for the gtest suites.
+//
+// Keep this header dependency-light (gtest + sim types only): every suite
+// includes it, and it must not drag the whole library into small unit tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/execution.h"
+#include "sim/types.h"
+
+namespace melb::testing_util {
+
+// Registry names use '-', which gtest parameter names do not allow.
+inline std::string gtest_safe_name(const std::string& name) {
+  std::string safe = name;
+  for (auto& c : safe) {
+    if (c == '-') c = '_';
+  }
+  return safe;
+}
+
+// Name generator for INSTANTIATE_TEST_SUITE_P over algorithm names (works
+// for both const char* and std::string params).
+struct AlgorithmNameGenerator {
+  template <typename ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return gtest_safe_name(std::string(info.param));
+  }
+};
+
+using sim::enter_order;
+
+}  // namespace melb::testing_util

@@ -116,6 +116,10 @@ int cmd_run(const Args& args) {
               me.empty() ? "ok" : me.c_str());
   if (args.has("trace")) {
     std::ofstream out(args.get("trace", ""));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.get("trace", "").c_str());
+      return 1;
+    }
     out << trace::to_text({info.algorithm->name(), n}, run.exec);
     std::printf("trace written to %s\n", args.get("trace", "").c_str());
   }
@@ -144,6 +148,10 @@ int cmd_construct(const Args& args) {
   std::printf("structural check: %s\n", structural.empty() ? "ok" : structural.c_str());
   if (args.has("encode")) {
     std::ofstream out(args.get("encode", ""));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.get("encode", "").c_str());
+      return 1;
+    }
     out << encoding.text;
     std::printf("E_pi written to %s\n", args.get("encode", "").c_str());
   }
@@ -158,6 +166,10 @@ int cmd_construct(const Args& args) {
 int cmd_decode(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
   std::ifstream in(args.positional.at(1));
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", args.positional.at(1).c_str());
+    return 1;
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   const auto decoded = lb::decode(*info.algorithm, buffer.str());
