@@ -1,25 +1,14 @@
 // Experiment E4 (tightness): canonical SC cost of the algorithm library.
 //
 // Yang–Anderson must track n log n (cost / (n log2 n) flat in n) while the
-// classical baselines grow quadratically, under several schedulers.
+// classical baselines grow quadratically, under several schedulers. The whole
+// grid runs as one campaign on the exp/ sweep engine: every (algorithm,
+// scheduler, n) cell is an independent task, so the report parallelizes
+// across cores while the numbers stay a pure function of the campaign seed.
 #include "bench/common.h"
-#include "sim/canonical.h"
-#include "sim/scheduler.h"
 #include "util/chart.h"
 
 using namespace melb;
-
-namespace {
-
-std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n) {
-  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
-  if (name == "round-robin") return std::make_unique<sim::RoundRobinScheduler>();
-  if (name == "convoy-rev")
-    return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
-  return std::make_unique<sim::RandomScheduler>(424242);
-}
-
-}  // namespace
 
 int main() {
   benchx::print_header(
@@ -27,27 +16,36 @@ int main() {
       "Each cell: SC cost of one canonical execution (n processes, one CS each).\n"
       "Normalized column = cost / (n log2 n).");
 
-  for (const std::string sched_name : {"sequential", "round-robin", "random", "convoy-rev"}) {
+  const std::vector<std::string> algorithms = {
+      "yang-anderson", "dekker-tree", "kessels-tree", "bakery", "peterson-tree",
+      "filter",        "dijkstra",    "burns",        "lamport-fast", "static-rr"};
+  const std::vector<int> sizes = {4, 8, 16, 32, 64, 128};
+
+  exp::CampaignSpec spec;
+  spec.algorithms = algorithms;
+  spec.schedulers = {"sequential", "round-robin", "random", "convoy"};
+  spec.sizes = sizes;
+  spec.seed = 424242;
+  spec.max_steps = 200'000'000;
+  spec.lb_pipeline = false;  // E4 measures canonical runs only
+  const auto report = benchx::run_sweep(spec);
+
+  for (const auto& sched_name : spec.schedulers) {
     std::printf("-- scheduler: %s --\n", sched_name.c_str());
     util::Table table({"algorithm", "n=4", "n=8", "n=16", "n=32", "n=64", "n=128",
                        "cost/(n lg n) @128"});
-    for (const char* name :
-         {"yang-anderson", "dekker-tree", "kessels-tree", "bakery", "peterson-tree", "filter",
-          "dijkstra", "burns", "lamport-fast", "static-rr"}) {
-      const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
+    for (const auto& name : algorithms) {
       std::vector<std::string> row{name};
       double last_cost = 0;
-      for (int n : {4, 8, 16, 32, 64, 128}) {
-        auto scheduler = make_scheduler(sched_name, n);
-        const auto run = sim::run_canonical(algorithm, n, *scheduler,
-                                            sim::RunMode::kProductiveOnly, 200'000'000);
-        if (!run.completed) {
-          row.push_back(run.livelocked ? "livelock" : "cap");
+      for (int n : sizes) {
+        const auto& cell = benchx::cell_at(report, name, sched_name, n);
+        if (!cell.completed) {
+          row.push_back(cell.livelocked ? "livelock" : "cap");
           last_cost = 0;
           continue;
         }
-        last_cost = static_cast<double>(run.sc_cost);
-        row.push_back(std::to_string(run.sc_cost));
+        last_cost = static_cast<double>(cell.sc_cost);
+        row.push_back(std::to_string(cell.sc_cost));
       }
       row.push_back(last_cost > 0 ? util::Table::fmt(last_cost / benchx::n_log2_n(128), 2)
                                   : "-");
@@ -55,24 +53,32 @@ int main() {
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+
   // Growth chart (sequential scheduler): slopes on log-log axes make the
   // complexity classes visible — Theta(n log n) just above slope 1,
-  // Theta(n^2) at slope 2.
+  // Theta(n^2) at slope 2. Separate small campaign with a higher step cap so
+  // runs the table reports as "cap" can still contribute chart points.
+  exp::CampaignSpec chart_spec;
+  chart_spec.algorithms = {"yang-anderson", "bakery", "filter", "dekker-tree"};
+  chart_spec.schedulers = {"sequential"};
+  chart_spec.sizes = sizes;
+  chart_spec.seed = spec.seed;
+  chart_spec.max_steps = 500'000'000;
+  chart_spec.lb_pipeline = false;
+  const auto chart_report = benchx::run_sweep(chart_spec);
+
   std::vector<util::ChartSeries> series;
   const char markers[] = {'y', 'b', 'f', 'd'};
-  const char* chart_algos[] = {"yang-anderson", "bakery", "filter", "dekker-tree"};
-  for (int a = 0; a < 4; ++a) {
+  for (std::size_t a = 0; a < chart_spec.algorithms.size(); ++a) {
     util::ChartSeries s;
-    s.label = std::string(chart_algos[a]) + " (SC cost vs n, sequential)";
+    s.label = chart_spec.algorithms[a] + " (SC cost vs n, sequential)";
     s.marker = markers[a];
-    for (int n : {4, 8, 16, 32, 64, 128}) {
-      sim::SequentialScheduler sched;
-      const auto run = sim::run_canonical(*algo::algorithm_by_name(chart_algos[a]).algorithm,
-                                          n, sched, sim::RunMode::kProductiveOnly,
-                                          500'000'000);
-      if (!run.completed) continue;
+    for (int n : sizes) {
+      const auto& cell = benchx::cell_at(chart_report, chart_spec.algorithms[a],
+                                         "sequential", n);
+      if (!cell.completed) continue;
       s.xs.push_back(n);
-      s.ys.push_back(static_cast<double>(run.sc_cost));
+      s.ys.push_back(static_cast<double>(cell.sc_cost));
     }
     series.push_back(std::move(s));
   }

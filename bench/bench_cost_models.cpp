@@ -1,11 +1,10 @@
 // Experiment E6 (§3.3): the same canonical execution under all four cost
 // models. Shows what the SC model discounts (single-register busy-waits) and
 // what it charges that CC does not (multi-register spin alternation), and
-// the DSM view for the local-spin algorithm.
+// the DSM view for the local-spin algorithm. Runs as one faithful-mode
+// campaign on the exp/ sweep engine, which records every model's accounting
+// per cell.
 #include "bench/common.h"
-#include "cost/cost_model.h"
-#include "sim/canonical.h"
-#include "sim/scheduler.h"
 
 using namespace melb;
 
@@ -17,28 +16,26 @@ int main() {
       "DSM = accesses outside the process's partition.");
 
   const int n = 16;
+  exp::CampaignSpec spec;
+  spec.algorithms = {"yang-anderson", "bakery", "peterson-tree", "filter", "dijkstra",
+                     "burns"};
+  spec.schedulers = {"round-robin"};
+  spec.sizes = {n};
+  spec.mode = sim::RunMode::kFaithful;
+  spec.lb_pipeline = false;  // E6 is about cost accounting, not the pipeline
+  const auto report = benchx::run_sweep(spec);
+
   util::Table table({"algorithm", "total accesses", "SC cost", "CC cost", "DSM cost",
                      "SC max/process", "CC max/process"});
-  for (const char* name :
-       {"yang-anderson", "bakery", "peterson-tree", "filter", "dijkstra", "burns"}) {
-    const auto& algorithm = *algo::algorithm_by_name(name).algorithm;
-    sim::RoundRobinScheduler scheduler;
-    const auto run = sim::run_canonical(algorithm, n, scheduler, sim::RunMode::kFaithful,
-                                        50'000'000);
-    if (!run.completed) {
+  for (const auto& name : spec.algorithms) {
+    const auto& cell = benchx::cell_at(report, name, "round-robin", n);
+    if (!cell.completed) {
       table.add_row({name, "did-not-complete"});
       continue;
     }
-    cost::TotalAccessCost total;
-    cost::StateChangeCost sc;
-    cost::CacheCoherentCost cc(algorithm.num_registers(n));
-    cost::DsmCost dsm(algorithm, n);
-    table.add_row({name, std::to_string(total.total_cost(run.exec, n)),
-                   std::to_string(sc.total_cost(run.exec, n)),
-                   std::to_string(cc.total_cost(run.exec, n)),
-                   std::to_string(dsm.total_cost(run.exec, n)),
-                   std::to_string(sc.max_process_cost(run.exec, n)),
-                   std::to_string(cc.max_process_cost(run.exec, n))});
+    table.add_row({name, std::to_string(cell.total_accesses), std::to_string(cell.sc_cost),
+                   std::to_string(cell.cc_cost), std::to_string(cell.dsm_cost),
+                   std::to_string(cell.sc_max_process), std::to_string(cell.cc_max_process)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

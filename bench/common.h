@@ -2,15 +2,22 @@
 //
 // Each bench regenerates one experiment from EXPERIMENTS.md as a markdown
 // table on stdout so runs are diffable. Benches that measure wall time also
-// register google-benchmark timings.
+// register google-benchmark timings. Benches whose experiment is a sweep over
+// {algorithm} × {scheduler} × {n} run on the exp/ campaign engine, so they
+// parallelize across cores for free while staying deterministic (reports are
+// a pure function of the campaign seed, not of the worker count).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "algo/registry.h"
+#include "exp/campaign.h"
+#include "exp/report.h"
+#include "exp/runner.h"
 #include "lb/construct.h"
 #include "sim/execution.h"
 #include "util/permutation.h"
@@ -21,6 +28,31 @@
 namespace melb::benchx {
 
 using sim::enter_order;
+
+// Run a campaign on all hardware threads and report the wall time on stderr
+// (stdout stays a clean, diffable report).
+inline exp::CampaignReport run_sweep(const exp::CampaignSpec& spec) {
+  const auto report = exp::run_campaign(spec, {});
+  std::fprintf(stderr, "[sweep: %zu cells on %d workers in %.1f ms]\n",
+               report.cells.size(), report.workers_used,
+               static_cast<double>(report.wall_micros) / 1000.0);
+  return report;
+}
+
+// Cell lookup for table building. Throws if the cell is not in the report —
+// a bench asking for a cell outside its own campaign is a bug.
+inline const exp::CellResult& cell_at(const exp::CampaignReport& report,
+                                      const std::string& algorithm,
+                                      const std::string& scheduler, int n) {
+  for (const auto& cell : report.cells) {
+    if (cell.cell.algorithm == algorithm && cell.cell.scheduler == scheduler &&
+        cell.cell.n == n) {
+      return cell;
+    }
+  }
+  throw std::out_of_range("no sweep cell " + algorithm + "/" + scheduler + "/n=" +
+                          std::to_string(n));
+}
 
 // Permutation sample for adversarial sweeps: identity, reverse, plus
 // `random_count` seeded random permutations.

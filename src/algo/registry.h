@@ -3,6 +3,11 @@
 // Tests, benches and examples iterate "all correct mutex algorithms" or look
 // one up by name; keeping the list here means a new algorithm is picked up by
 // the whole harness by adding one line.
+//
+// Thread-safety: the registry is a function-local static built once (C++11
+// magic-static initialization) and immutable afterwards; Algorithm objects
+// are shared const factories. Concurrent lookups and concurrent
+// make_process() calls from parallel sweep workers are safe.
 #pragma once
 
 #include <memory>

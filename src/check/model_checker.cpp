@@ -204,7 +204,8 @@ CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,
     for (Pid pid = 0; pid < n; ++pid) {
       if (mask & (1u << pid)) {
         subset_options.participants.push_back(pid);
-        subset_desc += (subset_desc.empty() ? "" : ",") + std::to_string(pid);
+        if (!subset_desc.empty()) subset_desc += ',';
+        subset_desc += std::to_string(pid);
       }
     }
     CheckResult result = check_algorithm(algorithm, n, subset_options);

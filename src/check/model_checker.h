@@ -19,6 +19,11 @@
 // States are deduplicated by 64-bit fingerprint of (registers, automaton
 // states); a collision would merge two distinct states, with probability
 // ~(states²)·2⁻⁶⁴ — negligible at the ≤10⁷ states this checker is meant for.
+//
+// Thread-safety: check_algorithm keeps its entire frontier/state table in
+// locals and touches the Algorithm only through const methods, so concurrent
+// checks of the same Algorithm instance (e.g. from parallel sweep cells) are
+// safe. Cloned automata inside one check are never shared across checks.
 #pragma once
 
 #include <cstdint>

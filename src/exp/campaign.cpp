@@ -1,0 +1,122 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/registry.h"
+#include "sim/scheduler.h"
+#include "util/hash.h"
+#include "util/prng.h"
+
+namespace melb::exp {
+
+std::uint64_t stable_string_hash(const std::string& text) {
+  util::Hasher hasher;
+  for (const char c : text) hasher.add(static_cast<unsigned char>(c));
+  hasher.add(text.size());
+  return hasher.digest();
+}
+
+std::vector<Cell> expand(const CampaignSpec& spec) {
+  if (spec.algorithms.empty() || spec.schedulers.empty() || spec.sizes.empty()) {
+    throw std::invalid_argument("campaign has an empty dimension");
+  }
+  const auto& known_scheds = sim::scheduler_names();
+  for (const auto& sched : spec.schedulers) {
+    if (std::find(known_scheds.begin(), known_scheds.end(), sched) == known_scheds.end()) {
+      throw std::invalid_argument("unknown scheduler: " + sched);
+    }
+  }
+  for (const auto& name : spec.algorithms) {
+    (void)algo::algorithm_by_name(name);  // throws std::out_of_range if unknown
+  }
+  for (const int n : spec.sizes) {
+    if (n < 1) throw std::invalid_argument("campaign size n must be >= 1");
+  }
+
+  std::vector<Cell> cells;
+  cells.reserve(spec.algorithms.size() * spec.schedulers.size() * spec.sizes.size());
+  for (const auto& algorithm : spec.algorithms) {
+    for (const auto& scheduler : spec.schedulers) {
+      for (const int n : spec.sizes) {
+        Cell cell;
+        cell.index = cells.size();
+        cell.algorithm = algorithm;
+        cell.scheduler = scheduler;
+        cell.n = n;
+        cell.seed = util::derive_seed(spec.seed, stable_string_hash(algorithm),
+                                      stable_string_hash(scheduler),
+                                      static_cast<std::uint64_t>(n));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (token.empty()) throw std::invalid_argument("empty token in list: " + text);
+    tokens.push_back(std::move(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+std::vector<std::string> resolve_algorithms(const std::string& selector) {
+  std::vector<std::string> names;
+  if (selector == "all") {
+    for (const auto& info : algo::all_algorithms()) names.push_back(info.algorithm->name());
+    return names;
+  }
+  if (selector == "correct") {
+    for (const auto& info : algo::correct_algorithms())
+      names.push_back(info.algorithm->name());
+    return names;
+  }
+  if (selector == "registers") {
+    for (const auto& info : algo::register_algorithms())
+      names.push_back(info.algorithm->name());
+    return names;
+  }
+  names = split_list(selector);
+  for (const auto& name : names) {
+    (void)algo::algorithm_by_name(name);  // throws std::out_of_range if unknown
+  }
+  return names;
+}
+
+namespace {
+
+int parse_int(const std::string& text) {
+  std::size_t used = 0;
+  const int value = std::stoi(text, &used);
+  if (used != text.size()) throw std::invalid_argument("bad size token: " + text);
+  return value;
+}
+
+}  // namespace
+
+std::vector<int> parse_sizes(const std::string& text) {
+  std::vector<int> sizes;
+  for (const auto& token : split_list(text)) {
+    const std::size_t dots = token.find("..");
+    if (dots == std::string::npos) {
+      sizes.push_back(parse_int(token));
+    } else {
+      const int lo = parse_int(token.substr(0, dots));
+      const int hi = parse_int(token.substr(dots + 2));
+      if (lo > hi) throw std::invalid_argument("bad size range: " + token);
+      for (int n = lo; n <= hi; ++n) sizes.push_back(n);
+    }
+  }
+  return sizes;
+}
+
+}  // namespace melb::exp

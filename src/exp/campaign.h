@@ -1,0 +1,65 @@
+// Campaign specifications for the parallel experiment-sweep engine.
+//
+// A campaign is the cross product {algorithm} × {scheduler} × {n}: every cell
+// runs one canonical execution (plus, for register algorithms, the lower-bound
+// construct → encode → decode pipeline) and contributes one row to the report.
+// Expansion is deterministic: cells are enumerated in spec order and each cell
+// gets a seed derived from (campaign seed, algorithm name, scheduler name, n)
+// via util::derive_seed — a pure function of the cell's coordinates, never of
+// enumeration position or worker assignment, so adding a dimension or changing
+// the worker count cannot perturb any other cell's results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/canonical.h"
+
+namespace melb::exp {
+
+struct CampaignSpec {
+  std::vector<std::string> algorithms;  // algo/registry names
+  std::vector<std::string> schedulers;  // sim::scheduler_names() entries
+  std::vector<int> sizes;               // n values, each ≥ 1
+  std::uint64_t seed = 2026;
+  sim::RunMode mode = sim::RunMode::kProductiveOnly;
+  std::uint64_t max_steps = 50'000'000;
+  // Run construct → encode → decode on cells whose algorithm is register-only
+  // and correct (the class Theorem 7.5 quantifies over).
+  bool lb_pipeline = true;
+};
+
+// One point of the sweep. `index` is the cell's position in expansion order
+// (the stable row id of the report); `seed` is the cell's private random
+// stream, shared by its scheduler and its lower-bound permutation.
+struct Cell {
+  std::size_t index = 0;
+  std::string algorithm;
+  std::string scheduler;
+  int n = 0;
+  std::uint64_t seed = 0;
+};
+
+// Stable 64-bit string hash (util::Hasher over the bytes) used to fold cell
+// coordinates into seeds; identical across platforms and library versions
+// that keep util::Hasher stable.
+std::uint64_t stable_string_hash(const std::string& text);
+
+// Enumerate the campaign's cells: algorithms outermost, then schedulers, then
+// sizes, all in spec order. Throws std::invalid_argument on an unknown
+// scheduler, empty dimension, or n < 1, and std::out_of_range on an unknown
+// algorithm (the registry's lookup contract).
+std::vector<Cell> expand(const CampaignSpec& spec);
+
+// Selector helpers shared by the CLI and benches.
+//  * split_list: comma-separated tokens; rejects empty tokens.
+//  * resolve_algorithms: "all", "correct", "registers", or a comma-separated
+//    list of registry names (validated).
+//  * parse_sizes: "LO..HI" inclusive ranges or comma-separated values
+//    ("2..8", "2,4,8", "2..4,8"). Throws std::invalid_argument on nonsense.
+std::vector<std::string> split_list(const std::string& text);
+std::vector<std::string> resolve_algorithms(const std::string& selector);
+std::vector<int> parse_sizes(const std::string& text);
+
+}  // namespace melb::exp

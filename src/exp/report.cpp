@@ -1,0 +1,128 @@
+#include "exp/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace melb::exp {
+
+namespace {
+
+// Minimal JSON string escape: the report only carries registry names, status
+// strings, and validator messages, but validator messages may quote steps.
+std::string escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_string_array(std::ostringstream& out, const std::vector<std::string>& values) {
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out << (i ? "," : "") << '"' << escaped(values[i]) << '"';
+  }
+  out << ']';
+}
+
+const char* mode_name(sim::RunMode mode) {
+  return mode == sim::RunMode::kFaithful ? "faithful" : "productive";
+}
+
+}  // namespace
+
+std::string to_json(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"melb-sweep-report-v1\",\n  \"spec\": {\n";
+  out << "    \"seed\": " << report.spec.seed << ",\n";
+  out << "    \"mode\": \"" << mode_name(report.spec.mode) << "\",\n";
+  out << "    \"max_steps\": " << report.spec.max_steps << ",\n";
+  out << "    \"lb_pipeline\": " << (report.spec.lb_pipeline ? "true" : "false") << ",\n";
+  out << "    \"algorithms\": ";
+  append_string_array(out, report.spec.algorithms);
+  out << ",\n    \"schedulers\": ";
+  append_string_array(out, report.spec.schedulers);
+  out << ",\n    \"sizes\": [";
+  for (std::size_t i = 0; i < report.spec.sizes.size(); ++i) {
+    out << (i ? "," : "") << report.spec.sizes[i];
+  }
+  out << "]\n  },\n";
+  out << "  \"cancelled\": " << (report.cancelled ? "true" : "false") << ",\n";
+  out << "  \"cells\": [";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellResult& r = report.cells[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"index\": " << r.cell.index << ", \"algorithm\": \""
+        << escaped(r.cell.algorithm) << "\", \"scheduler\": \"" << escaped(r.cell.scheduler)
+        << "\", \"n\": " << r.cell.n << ", \"seed\": " << r.cell.seed
+        << ", \"status\": \"" << escaped(r.status) << "\""
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"livelocked\": " << (r.livelocked ? "true" : "false")
+        << ", \"steps\": " << r.steps << ", \"exec_size\": " << r.exec_size
+        << ", \"sc_cost\": " << r.sc_cost << ", \"total_accesses\": " << r.total_accesses
+        << ", \"reads\": " << r.reads << ", \"writes\": " << r.writes
+        << ", \"rmws\": " << r.rmws << ", \"crits\": " << r.crits
+        << ", \"free_reads\": " << r.free_reads << ", \"cc_cost\": " << r.cc_cost
+        << ", \"dsm_cost\": " << r.dsm_cost << ", \"sc_max_process\": " << r.sc_max_process
+        << ", \"cc_max_process\": " << r.cc_max_process << ", \"well_formed\": \""
+        << escaped(r.well_formed) << "\", \"mutex\": \"" << escaped(r.mutex) << "\""
+        << ", \"all_in_remainder\": " << (r.all_in_remainder ? "true" : "false");
+    if (r.lb.attempted) {
+      out << ", \"lb\": {\"roundtrip_ok\": " << (r.lb.roundtrip_ok ? "true" : "false")
+          << ", \"metasteps\": " << r.lb.metasteps << ", \"insertions\": " << r.lb.insertions
+          << ", \"encoding_bytes\": " << r.lb.encoding_bytes
+          << ", \"binary_bits\": " << r.lb.binary_bits
+          << ", \"decode_iterations\": " << r.lb.decode_iterations << ", \"error\": \""
+          << escaped(r.lb.error) << "\"}";
+    }
+    out << '}';
+  }
+  out << (report.cells.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+std::string to_csv(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "index,algorithm,scheduler,n,seed,status,completed,livelocked,steps,exec_size,"
+         "sc_cost,total_accesses,reads,writes,rmws,crits,free_reads,cc_cost,dsm_cost,"
+         "sc_max_process,cc_max_process,well_formed_ok,mutex_ok,all_in_remainder,"
+         "lb_attempted,lb_roundtrip_ok,lb_metasteps,lb_insertions,lb_encoding_bytes,"
+         "lb_binary_bits,lb_decode_iterations\n";
+  for (const CellResult& r : report.cells) {
+    out << r.cell.index << ',' << r.cell.algorithm << ',' << r.cell.scheduler << ','
+        << r.cell.n << ',' << r.cell.seed << ',' << r.status.substr(0, r.status.find(':'))
+        << ',' << (r.completed ? 1 : 0) << ',' << (r.livelocked ? 1 : 0) << ',' << r.steps
+        << ',' << r.exec_size << ',' << r.sc_cost << ',' << r.total_accesses << ','
+        << r.reads << ',' << r.writes << ',' << r.rmws << ',' << r.crits << ','
+        << r.free_reads << ',' << r.cc_cost << ',' << r.dsm_cost << ',' << r.sc_max_process
+        << ',' << r.cc_max_process << ',' << (r.well_formed.empty() ? 1 : 0) << ','
+        << (r.mutex.empty() ? 1 : 0) << ',' << (r.all_in_remainder ? 1 : 0) << ','
+        << (r.lb.attempted ? 1 : 0) << ',' << (r.lb.roundtrip_ok ? 1 : 0) << ','
+        << r.lb.metasteps << ',' << r.lb.insertions << ',' << r.lb.encoding_bytes << ','
+        << r.lb.binary_bits << ',' << r.lb.decode_iterations << '\n';
+  }
+  return out.str();
+}
+
+std::string report_hash(const CampaignReport& report) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(stable_string_hash(to_json(report))));
+  return buf;
+}
+
+}  // namespace melb::exp

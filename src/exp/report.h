@@ -1,0 +1,74 @@
+// Deterministic campaign reports: per-cell measurements serialized to JSON
+// and CSV with stable field order and integer-only values.
+//
+// Reports are the sweep engine's contract with CI: the serialized form is a
+// pure function of (spec, cell results), cells appear in expansion order, and
+// wall-clock timing / worker-count fields are deliberately excluded — so a
+// 1-worker run and an N-worker run of the same campaign produce byte-identical
+// bytes, which is how the determinism gate catches scheduling-dependent state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace melb::exp {
+
+// Lower-bound pipeline measurements for one cell (register algorithms only).
+struct LbStats {
+  bool attempted = false;
+  bool roundtrip_ok = false;      // decode rebuilt the canonical linearization
+  std::uint64_t metasteps = 0;
+  std::uint64_t insertions = 0;   // steps hidden inside existing metasteps
+  std::uint64_t encoding_bytes = 0;
+  std::uint64_t binary_bits = 0;
+  std::uint64_t decode_iterations = 0;
+  std::string error;              // construct/encode/decode failure, if any
+};
+
+struct CellResult {
+  Cell cell;
+  // "ok"         — ran and satisfied every property the registry promises;
+  // "violation"  — ran but broke a promised property (or failed to terminate);
+  // "error: ..." — threw before producing a run;
+  // "cancelled"  — never started (campaign cancelled mid-sweep).
+  std::string status = "cancelled";
+  bool completed = false;
+  bool livelocked = false;
+  std::uint64_t steps = 0;          // steps executed (incl. free reads)
+  std::uint64_t exec_size = 0;      // recorded execution length
+  std::uint64_t sc_cost = 0;        // Def. 3.1 state-change cost
+  std::uint64_t total_accesses = 0;
+  std::uint64_t reads = 0, writes = 0, rmws = 0, crits = 0, free_reads = 0;
+  // RMR-model accounting of the same execution (the remote-memory-reference
+  // counts the related-work models charge): cache-coherent and DSM totals.
+  std::uint64_t cc_cost = 0;
+  std::uint64_t dsm_cost = 0;
+  std::uint64_t sc_max_process = 0;  // Anderson–Kim non-amortized measure
+  std::uint64_t cc_max_process = 0;
+  std::string well_formed;  // validator message, empty = ok
+  std::string mutex;        // validator message, empty = ok
+  bool all_in_remainder = false;  // every process finished its cycle
+  LbStats lb;
+  // Timing: excluded from to_json/to_csv (see file comment).
+  std::uint64_t wall_micros = 0;
+};
+
+struct CampaignReport {
+  CampaignSpec spec;
+  std::vector<CellResult> cells;  // expansion order
+  bool cancelled = false;         // some cells carry status "cancelled"
+  // Excluded from serialization:
+  int workers_used = 1;
+  std::uint64_t wall_micros = 0;
+};
+
+std::string to_json(const CampaignReport& report);
+std::string to_csv(const CampaignReport& report);
+
+// 16-hex-digit digest of to_json(report); the determinism checks compare this.
+std::string report_hash(const CampaignReport& report);
+
+}  // namespace melb::exp

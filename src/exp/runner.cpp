@@ -1,0 +1,237 @@
+#include "exp/runner.h"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "algo/registry.h"
+#include "cost/cost_model.h"
+#include "lb/construct.h"
+#include "lb/decode.h"
+#include "lb/encode.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/prng.h"
+
+namespace melb::exp {
+
+namespace {
+
+// Stream tag separating the lower-bound permutation from the scheduler's
+// random stream within one cell seed.
+constexpr std::uint64_t kPiStream = 0x70690000ULL;  // "pi"
+
+// Did decode rebuild the construction's canonical linearization? Same
+// per-process-view criterion as the conformance matrix: identical
+// projections (steps and read values), identical SC cost, entries in π order.
+bool roundtrip_matches(const sim::Execution& decoded, const sim::Execution& canonical,
+                       const util::Permutation& pi, int n) {
+  if (decoded.sc_cost() != canonical.sc_cost()) return false;
+  if (sim::enter_order(decoded) != pi.order()) return false;
+  for (sim::Pid p = 0; p < n; ++p) {
+    const auto ours = decoded.projection(p);
+    const auto theirs = canonical.projection(p);
+    if (ours.size() != theirs.size()) return false;
+    for (std::size_t k = 0; k < ours.size(); ++k) {
+      if (!(ours[k].step == theirs[k].step)) return false;
+      if (ours[k].read_value != theirs[k].read_value) return false;
+    }
+  }
+  return true;
+}
+
+void run_lb_pipeline(const sim::Algorithm& algorithm, const Cell& cell, LbStats& lb) {
+  lb.attempted = true;
+  try {
+    util::Xoshiro256StarStar rng(util::derive_seed(cell.seed, kPiStream));
+    const auto pi = util::Permutation::random(cell.n, rng);
+    const auto construction = lb::construct(algorithm, cell.n, pi);
+    lb.metasteps = construction.metasteps.size();
+    lb.insertions = construction.insertions;
+    const auto steps = construction.canonical_linearization();
+    const auto canonical = sim::validate_steps(algorithm, cell.n, steps);
+    const auto encoding = lb::encode(construction);
+    lb.encoding_bytes = encoding.text.size();
+    lb.binary_bits = encoding.binary_bits;
+    const auto decoded = lb::decode(algorithm, encoding.text);
+    lb.decode_iterations = decoded.iterations;
+    lb.roundtrip_ok = roundtrip_matches(decoded.execution, canonical, pi, cell.n);
+    if (!lb.roundtrip_ok) lb.error = "decoded execution does not match construction";
+  } catch (const std::exception& e) {
+    lb.error = e.what();
+  }
+}
+
+}  // namespace
+
+CellResult run_cell(const CampaignSpec& spec, const Cell& cell) {
+  CellResult result;
+  result.cell = cell;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const auto& info = algo::algorithm_by_name(cell.algorithm);
+    const auto& algorithm = *info.algorithm;
+    const int n = cell.n;
+    const auto scheduler = sim::make_scheduler(cell.scheduler, n, cell.seed);
+    const auto run = sim::run_canonical(algorithm, n, *scheduler, spec.mode, spec.max_steps);
+
+    result.completed = run.completed;
+    result.livelocked = run.livelocked;
+    result.steps = run.steps;
+    result.exec_size = run.exec.size();
+    result.sc_cost = run.sc_cost;
+    result.total_accesses = run.exec.total_accesses();
+
+    const auto stats = trace::compute_stats(run.exec, n, algorithm.num_registers(n));
+    result.reads = stats.reads;
+    result.writes = stats.writes;
+    result.rmws = stats.rmws;
+    result.crits = stats.crits;
+    result.free_reads = stats.free_reads;
+
+    result.well_formed = sim::check_well_formed(run.exec, n);
+    result.mutex = sim::check_mutual_exclusion(run.exec, n);
+
+    const cost::StateChangeCost sc;
+    const cost::CacheCoherentCost cc(algorithm.num_registers(n));
+    const cost::DsmCost dsm(algorithm, n);
+    result.cc_cost = cc.total_cost(run.exec, n);
+    result.dsm_cost = dsm.total_cost(run.exec, n);
+    result.sc_max_process = sc.max_process_cost(run.exec, n);
+    result.cc_max_process = cc.max_process_cost(run.exec, n);
+
+    if (run.completed) {
+      result.all_in_remainder = true;
+      for (const auto section : run.exec.sections(n)) {
+        if (section != sim::Section::kRemainder) result.all_in_remainder = false;
+      }
+    }
+
+    if (spec.lb_pipeline && info.livelock_free && info.mutex_correct && !info.uses_rmw) {
+      run_lb_pipeline(algorithm, cell, result.lb);
+    }
+
+    // A cell is "ok" when it satisfied everything the registry promises for
+    // its algorithm: termination (livelock-free ⇒ completed; otherwise a
+    // diagnosed livelock also counts), well-formedness, mutual exclusion
+    // where claimed, and a clean lower-bound round trip where attempted.
+    const bool terminated =
+        info.livelock_free ? run.completed : (run.completed || run.livelocked);
+    const bool mutex_ok = result.mutex.empty() || !info.mutex_correct;
+    const bool lb_ok = !result.lb.attempted || result.lb.roundtrip_ok;
+    const bool remainder_ok = !run.completed || result.all_in_remainder;
+    result.status = (terminated && result.well_formed.empty() && mutex_ok && lb_ok &&
+                     remainder_ok)
+                        ? "ok"
+                        : "violation";
+  } catch (const std::exception& e) {
+    result.status = std::string("error: ") + e.what();
+  }
+  result.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            start)
+          .count());
+  return result;
+}
+
+namespace {
+
+// Per-worker cell queue. The owner pops from the back (LIFO keeps its cache
+// warm on freshly pushed work); thieves steal from the front (FIFO steals the
+// oldest — typically largest-granularity — work). A mutex per deque is ample
+// at sweep-cell granularity (cells run for milliseconds, not nanoseconds).
+class CellDeque {
+ public:
+  void push(std::size_t idx) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cells_.push_back(idx);
+  }
+
+  bool pop_back(std::size_t& idx) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cells_.empty()) return false;
+    idx = cells_.back();
+    cells_.pop_back();
+    return true;
+  }
+
+  bool steal_front(std::size_t& idx) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cells_.empty()) return false;
+    idx = cells_.front();
+    cells_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::size_t> cells_;
+};
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignSpec& spec, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<Cell> cells = expand(spec);
+
+  CampaignReport report;
+  report.spec = spec;
+  report.cells.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) report.cells[i].cell = cells[i];
+
+  int workers = options.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > cells.size() && !cells.empty()) {
+    workers = static_cast<int>(cells.size());
+  }
+  report.workers_used = workers;
+
+  if (!cells.empty()) {
+    std::vector<CellDeque> deques(static_cast<std::size_t>(workers));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      deques[i % static_cast<std::size_t>(workers)].push(i);
+    }
+
+    std::mutex on_cell_mutex;
+    auto worker_loop = [&](int me) {
+      std::size_t idx = 0;
+      for (;;) {
+        if (options.cancel && options.cancel->load(std::memory_order_relaxed)) return;
+        bool found = deques[static_cast<std::size_t>(me)].pop_back(idx);
+        for (int victim = 1; !found && victim < workers; ++victim) {
+          found = deques[static_cast<std::size_t>((me + victim) % workers)].steal_front(idx);
+        }
+        if (!found) return;
+        report.cells[idx] = run_cell(spec, cells[idx]);
+        if (options.on_cell) {
+          const std::lock_guard<std::mutex> lock(on_cell_mutex);
+          options.on_cell(report.cells[idx]);
+        }
+      }
+    };
+
+    if (workers == 1) {
+      worker_loop(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+      for (auto& thread : threads) thread.join();
+    }
+  }
+
+  for (const auto& cell : report.cells) {
+    if (cell.status == "cancelled") report.cancelled = true;
+  }
+  report.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            start)
+          .count());
+  return report;
+}
+
+}  // namespace melb::exp

@@ -1,0 +1,41 @@
+// The campaign runner: a work-stealing thread pool over sweep cells.
+//
+// Every cell is an independent experiment — run_cell is a pure function of
+// (spec knobs, cell coordinates) and builds all of its mutable state
+// (simulator, scheduler, cost models, lower-bound pipeline) locally, so cells
+// can execute on any worker in any order. The pool distributes cells
+// round-robin across per-worker deques; an idle worker first drains its own
+// deque from the back, then steals from the front of the others, which keeps
+// all cores busy even when cell costs are wildly skewed (n=2 round-robin vs
+// n=8 lower-bound pipeline). Results land in a pre-sized vector slot keyed by
+// cell index, so the assembled report is identical for every worker count —
+// the byte-identical-report property CI's determinism gate enforces.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "exp/report.h"
+
+namespace melb::exp {
+
+struct RunOptions {
+  // 0 → std::thread::hardware_concurrency(); always clamped to [1, #cells].
+  int workers = 0;
+  // Checked before each cell starts; set to true (from any thread, including
+  // an on_cell callback) to cancel the remainder of the sweep. Cells already
+  // running finish; unstarted cells report status "cancelled".
+  std::atomic<bool>* cancel = nullptr;
+  // Invoked after each cell completes, serialized under an internal mutex.
+  std::function<void(const CellResult&)> on_cell;
+};
+
+// Run one cell in isolation (exposed for tests and debugging; the pool calls
+// exactly this). Never throws: failures are captured in CellResult::status.
+CellResult run_cell(const CampaignSpec& spec, const Cell& cell);
+
+// Expand the spec and run every cell on the pool. Throws only for spec
+// errors (propagated from expand()).
+CampaignReport run_campaign(const CampaignSpec& spec, const RunOptions& options = {});
+
+}  // namespace melb::exp

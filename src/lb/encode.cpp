@@ -62,29 +62,26 @@ Encoding encode(const Construction& construction) {
 
   // Fill columns in chain order — this is exactly the row order Pc(p, m)
   // assigns, since process chains are totally ordered.
+  const auto cell_text = [](const Metastep& m, sim::Pid p, bool preread) -> std::string {
+    switch (m.type) {
+      case MetastepType::kWrite:
+        if (m.win && m.win->pid == p) {
+          return "W,PR" + std::to_string(m.pread.size()) + "R" +
+                 std::to_string(m.reads.size()) + "W" + std::to_string(m.writes.size() + 1);
+        }
+        return m.step_of(p).type == sim::StepType::kRead ? "R" : "W";
+      case MetastepType::kRead:
+        return preread ? "PR" : "SR";
+      case MetastepType::kCrit:
+        break;
+    }
+    return "C";
+  };
   for (sim::Pid p = 0; p < construction.n; ++p) {
     for (MetastepId id : construction.process_chain[static_cast<std::size_t>(p)]) {
       const Metastep& m = construction.metasteps[static_cast<std::size_t>(id)];
-      std::string cell;
-      switch (m.type) {
-        case MetastepType::kWrite: {
-          const sim::Step& step = m.step_of(p);
-          if (m.win && m.win->pid == p) {
-            cell = "W,PR" + std::to_string(m.pread.size()) + "R" +
-                   std::to_string(m.reads.size()) + "W" + std::to_string(m.writes.size() + 1);
-          } else {
-            cell = step.type == sim::StepType::kRead ? "R" : "W";
-          }
-          break;
-        }
-        case MetastepType::kRead:
-          cell = is_preread[static_cast<std::size_t>(id)] ? "PR" : "SR";
-          break;
-        case MetastepType::kCrit:
-          cell = "C";
-          break;
-      }
-      result.cells[static_cast<std::size_t>(p)].push_back(std::move(cell));
+      result.cells[static_cast<std::size_t>(p)].push_back(
+          cell_text(m, p, is_preread[static_cast<std::size_t>(id)]));
     }
   }
 

@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace melb::sim {
 
@@ -26,6 +27,22 @@ Pid ConvoyScheduler::pick(const std::vector<Pid>& enabled) {
   return *std::min_element(enabled.begin(), enabled.end(), [this](Pid a, Pid b) {
     return order_.rank(a) < order_.rank(b);
   });
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> names = {"round-robin", "sequential", "random",
+                                                 "convoy"};
+  return names;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, int n,
+                                          std::uint64_t seed) {
+  if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
+  if (name == "sequential") return std::make_unique<SequentialScheduler>();
+  if (name == "random") return std::make_unique<RandomScheduler>(seed);
+  if (name == "convoy")
+    return std::make_unique<ConvoyScheduler>(util::Permutation::reversed(n));
+  throw std::invalid_argument("unknown scheduler: " + name);
 }
 
 }  // namespace melb::sim

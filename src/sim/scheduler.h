@@ -7,6 +7,11 @@
 // admits no contention, and the convoy scheduler releases processes in a
 // prescribed permutation order to approximate the adversarial arrival
 // patterns the lower-bound construction formalizes.
+//
+// Thread-safety: schedulers are stateful (round-robin cursor, PRNG state) and
+// therefore NOT shareable across concurrent runs. Every run — and every cell
+// of a parallel sweep — must own its own instance; make_scheduler() is the
+// one-stop factory the CLI, benches, and the exp/ campaign runner all use.
 #pragma once
 
 #include <memory>
@@ -70,5 +75,14 @@ class ConvoyScheduler final : public Scheduler {
  private:
   util::Permutation order_;
 };
+
+// The names make_scheduler accepts, in canonical (reporting) order.
+const std::vector<std::string>& scheduler_names();
+
+// Fresh scheduler instance by name. `seed` feeds the random scheduler; the
+// convoy scheduler releases processes in reverse pid order (the adversarial
+// arrival pattern used throughout the harness). Throws std::invalid_argument
+// for unknown names — callers must not silently fall back.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, int n, std::uint64_t seed);
 
 }  // namespace melb::sim

@@ -7,6 +7,13 @@
 //    linearizations are real executions this way);
 //  * prefix replay: recompute a process's automaton state after an execution
 //    prefix — the δ(α, j) evaluations of Fig. 1 and Fig. 3.
+//
+// Thread-safety: a Simulator owns all of its mutable state (registers,
+// automata, recorded execution); the Algorithm it borrows is only read
+// through const methods and make_process(), which must be const and
+// stateless (see sim/automaton.h). Distinct Simulator instances — one per
+// sweep cell — may therefore run concurrently against the same Algorithm
+// object with no synchronization. One instance is not safe to share.
 #pragma once
 
 #include <memory>

@@ -4,6 +4,13 @@
 // tests) flows through Xoshiro256StarStar so a (seed, parameters) pair fully
 // determines every run. We do not use std::mt19937 because its state is large
 // and its distributions are not portable across standard library vendors.
+//
+// Concurrency: there is deliberately no shared or global generator anywhere
+// in the library. Code that needs randomness owns a generator seeded through
+// derive_seed(), which splits one campaign-level seed into statistically
+// independent per-task streams. Because a task's seed is a pure function of
+// (base seed, task coordinates) — never of scheduling order or thread id —
+// results are identical no matter how many workers execute the tasks.
 #pragma once
 
 #include <array>
@@ -28,6 +35,24 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+// Splittable seed derivation. Folds one 64-bit stream coordinate into a base
+// seed through two SplitMix64 rounds; the variadic overload folds a whole
+// coordinate path, so derive_seed(base, i, j, k) names task (i, j, k) of a
+// three-dimensional sweep. Nearby inputs (base, base+1; stream, stream+1)
+// land on unrelated seeds, and the derivation is associative with respect to
+// partial application: derive_seed(base, i, j) == derive_seed(derive_seed(base, i), j).
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  SplitMix64 first(base);
+  SplitMix64 second(first.next() ^ (stream + 0x9e3779b97f4a7c15ULL));
+  return second.next();
+}
+
+template <typename... Streams>
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                                    Streams... rest) noexcept {
+  return derive_seed(derive_seed(base, stream), static_cast<std::uint64_t>(rest)...);
+}
 
 // Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
 // Satisfies UniformRandomBitGenerator so it can be used with <algorithm>.

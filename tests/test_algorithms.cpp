@@ -23,19 +23,12 @@ struct Case {
   int n;
 };
 
-std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n) {
-  if (name == "round-robin") return std::make_unique<sim::RoundRobinScheduler>();
-  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
-  if (name == "random") return std::make_unique<sim::RandomScheduler>(12345);
-  return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
-}
-
 class CanonicalRunTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(CanonicalRunTest, CompletesWithValidTrace) {
   const Case c = GetParam();
   const auto& info = algo::algorithm_by_name(c.algorithm);
-  auto scheduler = make_scheduler(c.scheduler, c.n);
+  auto scheduler = sim::make_scheduler(c.scheduler, c.n, /*seed=*/12345);
   const auto run = sim::run_canonical(*info.algorithm, c.n, *scheduler);
   ASSERT_TRUE(run.completed) << c.algorithm << " n=" << c.n << " under " << c.scheduler;
   EXPECT_FALSE(run.livelocked);

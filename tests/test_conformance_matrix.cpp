@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "algo/registry.h"
+#include "exp/campaign.h"
+#include "exp/report.h"
+#include "exp/runner.h"
 #include "lb/construct.h"
 #include "lb/decode.h"
 #include "lb/encode.h"
@@ -42,17 +45,6 @@ const std::vector<int>& matrix_sizes() {
   return sizes;
 }
 
-// One scheduler instance per cell: schedulers are stateful.
-std::vector<std::unique_ptr<sim::Scheduler>> make_schedulers(int n) {
-  std::vector<std::unique_ptr<sim::Scheduler>> schedulers;
-  schedulers.push_back(std::make_unique<sim::RoundRobinScheduler>());
-  schedulers.push_back(std::make_unique<sim::SequentialScheduler>());
-  schedulers.push_back(std::make_unique<sim::RandomScheduler>(0xC0FFEEULL + n));
-  schedulers.push_back(
-      std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n)));
-  return schedulers;
-}
-
 std::vector<std::string> all_algorithm_names() {
   std::vector<std::string> names;
   for (const auto& info : algo::all_algorithms()) {
@@ -68,54 +60,64 @@ class ConformanceMatrixTest : public ::testing::TestWithParam<std::string> {
   }
 };
 
+// The canonical-run matrix rides the exp/ sweep engine: one campaign per
+// algorithm across every scheduler and size, executed on a multi-worker pool,
+// with the per-cell assertions applied to the engine's report. This both
+// exercises the matrix and pins the engine's measurements to the registry's
+// promises on every cell.
 TEST_P(ConformanceMatrixTest, CanonicalRunsAcrossSchedulersAndSizes) {
   const auto& info = this->info();
-  const auto& algorithm = *info.algorithm;
+
+  exp::CampaignSpec spec;
+  spec.algorithms = {GetParam()};
+  spec.schedulers = sim::scheduler_names();
+  spec.sizes = matrix_sizes();
+  spec.seed = 0xC0FFEE;
+  spec.lb_pipeline = false;  // covered by EncodeDecodeRoundTripsAcrossSizes
+
+  exp::RunOptions options;
+  options.workers = 2;
+  const auto report = exp::run_campaign(spec, options);
+  ASSERT_EQ(report.cells.size(), spec.schedulers.size() * spec.sizes.size());
+  ASSERT_FALSE(report.cancelled);
+
   bool saw_mutex_violation = false;
-  for (const int n : matrix_sizes()) {
-    for (auto& scheduler : make_schedulers(n)) {
-      SCOPED_TRACE(algorithm.name() + " n=" + std::to_string(n) + " under " +
-                   scheduler->name());
-      const auto run = sim::run_canonical(algorithm, n, *scheduler);
+  for (const auto& cell : report.cells) {
+    SCOPED_TRACE(cell.cell.algorithm + " n=" + std::to_string(cell.cell.n) + " under " +
+                 cell.cell.scheduler);
 
-      // Termination: a livelock-free algorithm must complete under every
-      // scheduler; others must at least be *diagnosed* rather than time out.
-      if (info.livelock_free) {
-        ASSERT_TRUE(run.completed) << (run.livelocked ? "livelocked" : "step cap hit");
-      } else {
-        ASSERT_TRUE(run.completed || run.livelocked) << "step cap hit";
-      }
+    // The engine's verdict must agree with the registry's promises.
+    EXPECT_EQ(cell.status, "ok");
 
-      // Accounting: the run's reported numbers describe its own execution.
-      EXPECT_EQ(run.sc_cost, run.exec.sc_cost());
-      EXPECT_LE(run.exec.sc_cost(), run.exec.total_accesses());
-      EXPECT_GE(run.steps, run.exec.size());
+    // Termination: a livelock-free algorithm must complete under every
+    // scheduler; others must at least be *diagnosed* rather than time out.
+    if (info.livelock_free) {
+      ASSERT_TRUE(cell.completed) << (cell.livelocked ? "livelocked" : "step cap hit");
+    } else {
+      ASSERT_TRUE(cell.completed || cell.livelocked) << "step cap hit";
+    }
 
-      EXPECT_EQ(sim::check_well_formed(run.exec, n), "");
-      const auto mutex = sim::check_mutual_exclusion(run.exec, n);
-      if (info.mutex_correct) {
-        EXPECT_EQ(mutex, "");
-      } else if (!mutex.empty()) {
-        saw_mutex_violation = true;
-      }
+    // Accounting: the cell's reported numbers describe its own execution.
+    EXPECT_LE(cell.sc_cost, cell.total_accesses);
+    EXPECT_GE(cell.steps, cell.exec_size);
+    EXPECT_EQ(cell.reads + cell.writes + cell.rmws + cell.crits, cell.exec_size);
+    EXPECT_LE(cell.free_reads, cell.reads + cell.rmws);
 
-      if (run.completed) {
-        // Every process finished one try/enter/exit/rem cycle.
-        for (const auto section : run.exec.sections(n)) {
-          EXPECT_EQ(section, sim::Section::kRemainder);
-        }
-        // Stats must cover every recorded step exactly once.
-        const auto stats =
-            trace::compute_stats(run.exec, n, algorithm.num_registers(n));
-        EXPECT_EQ(stats.steps, run.exec.size());
-        EXPECT_EQ(stats.reads + stats.writes + stats.rmws + stats.crits, stats.steps);
-        EXPECT_EQ(stats.sc_cost, run.exec.sc_cost());
-      }
+    EXPECT_EQ(cell.well_formed, "");
+    if (info.mutex_correct) {
+      EXPECT_EQ(cell.mutex, "");
+    } else if (!cell.mutex.empty()) {
+      saw_mutex_violation = true;
+    }
+
+    // Every process finished one try/enter/exit/rem cycle.
+    if (cell.completed) {
+      EXPECT_TRUE(cell.all_in_remainder);
     }
   }
   if (!info.mutex_correct) {
     EXPECT_TRUE(saw_mutex_violation)
-        << "registry says " << algorithm.name()
+        << "registry says " << GetParam()
         << " violates mutual exclusion, but no matrix cell exhibited it";
   }
 }

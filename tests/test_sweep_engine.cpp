@@ -1,0 +1,269 @@
+// The parallel sweep engine's contract:
+//  * determinism — the serialized report is a pure function of the campaign
+//    spec: byte-identical across worker counts and across repeated runs;
+//  * splittable seeding — cell seeds depend on cell coordinates, not on
+//    enumeration order or worker assignment;
+//  * edge cases — empty campaigns are rejected, single-cell campaigns run,
+//    cancellation mid-sweep marks exactly the unstarted cells;
+//  * fidelity — a cell's measurements equal a hand-rolled canonical run with
+//    the same derived seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "exp/campaign.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "sim/canonical.h"
+#include "sim/scheduler.h"
+#include "util/prng.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+exp::CampaignSpec small_spec() {
+  exp::CampaignSpec spec;
+  spec.algorithms = {"yang-anderson", "bakery", "peterson-tree", "ticket-rmw"};
+  spec.schedulers = {"round-robin", "random", "convoy"};
+  spec.sizes = {2, 3, 4};
+  spec.seed = 0xFEEDFACE;
+  return spec;
+}
+
+TEST(DeriveSeed, SplitsIntoIndependentStreams) {
+  const std::uint64_t base = 42;
+  // Distinct streams give distinct seeds; same path gives the same seed.
+  EXPECT_NE(util::derive_seed(base, 0), util::derive_seed(base, 1));
+  EXPECT_NE(util::derive_seed(base, 0), util::derive_seed(base + 1, 0));
+  EXPECT_EQ(util::derive_seed(base, 7, 9), util::derive_seed(base, 7, 9));
+  // Partial application composes: deriving dimension-by-dimension matches
+  // deriving the full coordinate path at once.
+  EXPECT_EQ(util::derive_seed(base, 7, 9), util::derive_seed(util::derive_seed(base, 7), 9));
+  // Path structure matters: (a, b) and (b, a) are different tasks.
+  EXPECT_NE(util::derive_seed(base, 7, 9), util::derive_seed(base, 9, 7));
+  // No short low-entropy collisions among a small grid of coordinates.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    for (std::uint64_t j = 0; j < 16; ++j) seeds.push_back(util::derive_seed(base, i, j));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Campaign, ExpansionIsDeterministicAndSeedsAreCoordinatePure) {
+  const auto spec = small_spec();
+  const auto cells = exp::expand(spec);
+  ASSERT_EQ(cells.size(), 4u * 3u * 3u);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+
+  // Same spec expands identically.
+  const auto again = exp::expand(spec);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].seed, again[i].seed);
+    EXPECT_EQ(cells[i].algorithm, again[i].algorithm);
+  }
+
+  // A cell's seed survives reordering of the spec dimensions it is not part
+  // of: dropping other algorithms must not change bakery's cells.
+  exp::CampaignSpec narrow = spec;
+  narrow.algorithms = {"bakery"};
+  const auto narrow_cells = exp::expand(narrow);
+  for (const auto& cell : narrow_cells) {
+    bool found = false;
+    for (const auto& full : cells) {
+      if (full.algorithm == cell.algorithm && full.scheduler == cell.scheduler &&
+          full.n == cell.n) {
+        EXPECT_EQ(full.seed, cell.seed);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Campaign, RejectsBadSpecs) {
+  exp::CampaignSpec spec = small_spec();
+  spec.algorithms.clear();
+  EXPECT_THROW(exp::expand(spec), std::invalid_argument);
+
+  spec = small_spec();
+  spec.schedulers = {"no-such-scheduler"};
+  EXPECT_THROW(exp::expand(spec), std::invalid_argument);
+
+  spec = small_spec();
+  spec.algorithms = {"no-such-algorithm"};
+  EXPECT_THROW(exp::expand(spec), std::out_of_range);
+
+  spec = small_spec();
+  spec.sizes = {0};
+  EXPECT_THROW(exp::expand(spec), std::invalid_argument);
+}
+
+TEST(Campaign, SelectorHelpers) {
+  EXPECT_EQ(exp::resolve_algorithms("all").size(), algo::all_algorithms().size());
+  EXPECT_EQ(exp::resolve_algorithms("registers").size(), algo::register_algorithms().size());
+  const auto pair = exp::resolve_algorithms("bakery,yang-anderson");
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], "bakery");
+  EXPECT_THROW(exp::resolve_algorithms("bakery,,bakery"), std::invalid_argument);
+  EXPECT_THROW(exp::resolve_algorithms("nope"), std::out_of_range);
+
+  EXPECT_EQ(exp::parse_sizes("2..5"), (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(exp::parse_sizes("2,4,8"), (std::vector<int>{2, 4, 8}));
+  EXPECT_EQ(exp::parse_sizes("2..3,8"), (std::vector<int>{2, 3, 8}));
+  EXPECT_THROW(exp::parse_sizes("8..2"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_sizes("x"), std::invalid_argument);
+}
+
+TEST(SweepEngine, ReportIsByteIdenticalAcrossWorkerCounts) {
+  const auto spec = small_spec();
+  exp::RunOptions serial;
+  serial.workers = 1;
+  const auto baseline = exp::run_campaign(spec, serial);
+  const std::string json = exp::to_json(baseline);
+  const std::string csv = exp::to_csv(baseline);
+  const std::string hash = exp::report_hash(baseline);
+  for (const int workers : {2, 4, 8}) {
+    exp::RunOptions options;
+    options.workers = workers;
+    const auto report = exp::run_campaign(spec, options);
+    EXPECT_EQ(exp::to_json(report), json) << workers << " workers";
+    EXPECT_EQ(exp::to_csv(report), csv) << workers << " workers";
+    EXPECT_EQ(exp::report_hash(report), hash) << workers << " workers";
+  }
+}
+
+TEST(SweepEngine, CellsMatchDirectCanonicalRuns) {
+  const auto spec = small_spec();
+  exp::RunOptions options;
+  options.workers = 4;
+  const auto report = exp::run_campaign(spec, options);
+  for (const auto& cell : report.cells) {
+    SCOPED_TRACE(cell.cell.algorithm + "/" + cell.cell.scheduler + "/n=" +
+                 std::to_string(cell.cell.n));
+    EXPECT_EQ(cell.status, "ok");
+    const auto& info = algo::algorithm_by_name(cell.cell.algorithm);
+    auto scheduler = sim::make_scheduler(cell.cell.scheduler, cell.cell.n, cell.cell.seed);
+    const auto run = sim::run_canonical(*info.algorithm, cell.cell.n, *scheduler, spec.mode,
+                                        spec.max_steps);
+    EXPECT_EQ(cell.completed, run.completed);
+    EXPECT_EQ(cell.steps, run.steps);
+    EXPECT_EQ(cell.sc_cost, run.exec.sc_cost());
+    EXPECT_EQ(cell.exec_size, run.exec.size());
+    EXPECT_EQ(cell.total_accesses, run.exec.total_accesses());
+  }
+}
+
+TEST(SweepEngine, LbPipelineRoundTripsOnRegisterCells) {
+  exp::CampaignSpec spec;
+  spec.algorithms = {"yang-anderson", "ticket-rmw"};
+  spec.schedulers = {"round-robin"};
+  spec.sizes = {3, 4};
+  const auto report = exp::run_campaign(spec, {});
+  for (const auto& cell : report.cells) {
+    SCOPED_TRACE(cell.cell.algorithm + "/n=" + std::to_string(cell.cell.n));
+    EXPECT_EQ(cell.status, "ok");
+    if (cell.cell.algorithm == "yang-anderson") {
+      EXPECT_TRUE(cell.lb.attempted);
+      EXPECT_TRUE(cell.lb.roundtrip_ok) << cell.lb.error;
+      EXPECT_GT(cell.lb.metasteps, 0u);
+      EXPECT_GT(cell.lb.encoding_bytes, 0u);
+      EXPECT_GT(cell.lb.binary_bits, 0u);
+    } else {
+      // RMW algorithms sit outside the register-only lower bound's scope.
+      EXPECT_FALSE(cell.lb.attempted);
+    }
+  }
+}
+
+TEST(SweepEngine, EmptyCampaignIsRejected) {
+  exp::CampaignSpec spec;  // all dimensions empty
+  EXPECT_THROW(exp::run_campaign(spec, {}), std::invalid_argument);
+}
+
+TEST(SweepEngine, SingleCellCampaign) {
+  exp::CampaignSpec spec;
+  spec.algorithms = {"peterson-tree"};
+  spec.schedulers = {"sequential"};
+  spec.sizes = {2};
+  exp::RunOptions options;
+  options.workers = 8;  // more workers than cells must clamp, not crash
+  const auto report = exp::run_campaign(spec, options);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.workers_used, 1);
+  EXPECT_EQ(report.cells[0].status, "ok");
+  EXPECT_TRUE(report.cells[0].completed);
+  EXPECT_FALSE(report.cancelled);
+  // The serialized report carries the cell.
+  const auto json = exp::to_json(report);
+  EXPECT_NE(json.find("\"peterson-tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"cancelled\": false"), std::string::npos);
+}
+
+TEST(SweepEngine, CancelledMidSweepMarksUnstartedCells) {
+  const auto spec = small_spec();
+  std::atomic<bool> cancel{false};
+  std::size_t completed_before_cancel = 0;
+  exp::RunOptions options;
+  options.workers = 1;  // deterministic cancellation point
+  options.cancel = &cancel;
+  options.on_cell = [&](const exp::CellResult&) {
+    if (++completed_before_cancel == 5) cancel.store(true);
+  };
+  const auto report = exp::run_campaign(spec, options);
+  EXPECT_TRUE(report.cancelled);
+
+  std::size_t ran = 0, cancelled = 0;
+  for (const auto& cell : report.cells) {
+    if (cell.status == "cancelled") {
+      ++cancelled;
+      EXPECT_FALSE(cell.completed);
+      EXPECT_EQ(cell.sc_cost, 0u);
+    } else {
+      ++ran;
+      EXPECT_EQ(cell.status, "ok");
+    }
+  }
+  EXPECT_EQ(ran, 5u);
+  EXPECT_EQ(ran + cancelled, report.cells.size());
+  // A cancelled report still serializes (CI uploads partial sweeps).
+  EXPECT_NE(exp::to_json(report).find("\"cancelled\": true"), std::string::npos);
+
+  // Pre-cancelled campaigns run nothing.
+  std::atomic<bool> already{true};
+  exp::RunOptions preset;
+  preset.cancel = &already;
+  const auto nothing = exp::run_campaign(spec, preset);
+  for (const auto& cell : nothing.cells) EXPECT_EQ(cell.status, "cancelled");
+}
+
+TEST(SweepEngine, CompletedCellsOfCancelledSweepMatchFullRun) {
+  const auto spec = small_spec();
+  std::atomic<bool> cancel{false};
+  std::size_t count = 0;
+  exp::RunOptions options;
+  options.workers = 1;
+  options.cancel = &cancel;
+  options.on_cell = [&](const exp::CellResult&) {
+    if (++count == 3) cancel.store(true);
+  };
+  const auto partial = exp::run_campaign(spec, options);
+  const auto full = exp::run_campaign(spec, {});
+  ASSERT_EQ(partial.cells.size(), full.cells.size());
+  for (std::size_t i = 0; i < partial.cells.size(); ++i) {
+    if (partial.cells[i].status == "cancelled") continue;
+    EXPECT_EQ(partial.cells[i].sc_cost, full.cells[i].sc_cost) << i;
+    EXPECT_EQ(partial.cells[i].steps, full.cells[i].steps) << i;
+    EXPECT_EQ(partial.cells[i].status, full.cells[i].status) << i;
+  }
+}
+
+}  // namespace
+}  // namespace melb

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and fail on perf regressions.
+
+CI's perf gate: the PR build's benchmark output (BENCH_pr.json) is compared
+against the checked-in baseline (BENCH_baseline.json). Benchmarks are matched
+by name; when a file carries several repetitions of one benchmark the median
+is used. The gate fails (exit 1) when any matched benchmark's median metric
+regresses by more than --threshold (default 0.25 = 25%).
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+                     [--metric real_time]
+
+Benchmarks present in only one file are reported but never fail the gate, so
+adding or retiring a benchmark does not require touching the baseline in the
+same commit. Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def fail_input(message):
+    """Bad-input exit (code 2): distinguishable from a perf regression (1)."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_medians(path, metric):
+    """Map benchmark name -> median metric value over its repetitions."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail_input(f"cannot read {path}: {err}")
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        # Skip google-benchmark's own aggregate rows (mean/median/stddev);
+        # we aggregate raw iterations ourselves.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        samples.setdefault(name, []).append(float(bench[metric]))
+    return {name: statistics.median(values) for name, values in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline google-benchmark JSON")
+    parser.add_argument("current", help="current google-benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--metric", default="real_time",
+                        help="benchmark field to compare (default real_time)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        fail_input("--threshold must be >= 0")
+
+    base = load_medians(args.baseline, args.metric)
+    cur = load_medians(args.current, args.metric)
+    if not base:
+        fail_input(f"no usable benchmarks in {args.baseline}")
+    if not cur:
+        fail_input(f"no usable benchmarks in {args.current}")
+
+    shared = sorted(set(base) & set(cur))
+    regressions = []
+    width = max((len(name) for name in shared), default=10)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name.ljust(width)}  {base[name]:12.3f}  {cur[name]:12.3f}  "
+              f"{ratio:5.2f}x{flag}")
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"note: baseline-only benchmark (not gated): {name}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"note: new benchmark (no baseline yet): {name}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} on median {args.metric}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,14 @@
 //   melb_cli decode <algorithm> <E-file>
 //   melb_cli check <algorithm> <n> [--subsets] [--max-states K]
 //   melb_cli cost <algorithm> <n>
+//   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
+//                  [--workers W] [--faithful] [--no-lb] [--max-steps K]
+//                  [--json FILE] [--csv FILE] [--check-determinism] [--progress]
 //
 // Every subcommand exits nonzero on a property violation, so the tool can be
 // scripted as a validity oracle.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +28,9 @@
 #include "algo/registry.h"
 #include "check/model_checker.h"
 #include "cost/cost_model.h"
+#include "exp/campaign.h"
+#include "exp/report.h"
+#include "exp/runner.h"
 #include "lb/construct.h"
 #include "lb/decode.h"
 #include "lb/encode.h"
@@ -66,15 +74,6 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name, int n,
-                                               std::uint64_t seed) {
-  if (name == "sequential") return std::make_unique<sim::SequentialScheduler>();
-  if (name == "random") return std::make_unique<sim::RandomScheduler>(seed);
-  if (name == "convoy")
-    return std::make_unique<sim::ConvoyScheduler>(util::Permutation::reversed(n));
-  return std::make_unique<sim::RoundRobinScheduler>();
-}
-
 util::Permutation make_pi(const std::string& kind, int n, std::uint64_t seed) {
   if (kind == "reverse") return util::Permutation::reversed(n);
   if (kind == "random") {
@@ -99,7 +98,7 @@ int cmd_run(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
   const int n = std::stoi(args.positional.at(1));
   const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
-  auto scheduler = make_scheduler(args.get("sched", "round-robin"), n, seed);
+  auto scheduler = sim::make_scheduler(args.get("sched", "round-robin"), n, seed);
   const auto mode = args.has("faithful") ? sim::RunMode::kFaithful
                                          : sim::RunMode::kProductiveOnly;
   const auto run = sim::run_canonical(*info.algorithm, n, *scheduler, mode);
@@ -224,6 +223,111 @@ int cmd_cost(const Args& args) {
   return 0;
 }
 
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+// Summarize a finished campaign; returns the number of not-ok cells.
+std::size_t print_sweep_summary(const exp::CampaignReport& report) {
+  std::size_t ok = 0, violations = 0, errors = 0, cancelled = 0;
+  std::uint64_t sc_total = 0, lb_roundtrips = 0;
+  for (const auto& cell : report.cells) {
+    if (cell.status == "ok") {
+      ++ok;
+    } else if (cell.status == "violation") {
+      ++violations;
+    } else if (cell.status == "cancelled") {
+      ++cancelled;
+    } else {
+      ++errors;
+    }
+    sc_total += cell.sc_cost;
+    if (cell.lb.attempted && cell.lb.roundtrip_ok) ++lb_roundtrips;
+    if (cell.status != "ok" && cell.status != "cancelled") {
+      // Surface the most specific diagnostic the cell carries.
+      std::string why;
+      if (!cell.well_formed.empty()) why = cell.well_formed;
+      else if (!cell.mutex.empty()) why = cell.mutex;
+      else if (!cell.lb.error.empty()) why = "lb: " + cell.lb.error;
+      else if (!cell.completed) why = cell.livelocked ? "livelocked" : "step cap hit";
+      std::printf("  NOT OK [%zu] %s/%s n=%d: %s%s%s\n", cell.cell.index,
+                  cell.cell.algorithm.c_str(), cell.cell.scheduler.c_str(), cell.cell.n,
+                  cell.status.c_str(), why.empty() ? "" : "; ", why.c_str());
+    }
+  }
+  std::printf(
+      "sweep: %zu cells (%zu ok, %zu violations, %zu errors, %zu cancelled), "
+      "%llu total SC cost, %llu lb round-trips, %d workers, %.1f ms\n",
+      report.cells.size(), ok, violations, errors, cancelled,
+      static_cast<unsigned long long>(sc_total),
+      static_cast<unsigned long long>(lb_roundtrips), report.workers_used,
+      static_cast<double>(report.wall_micros) / 1000.0);
+  return violations + errors + cancelled;
+}
+
+int cmd_sweep(const Args& args) {
+  exp::CampaignSpec spec;
+  spec.algorithms = exp::resolve_algorithms(args.get("algs", "all"));
+  const std::string scheds = args.get("scheds", "");
+  spec.schedulers = scheds.empty() ? sim::scheduler_names() : exp::split_list(scheds);
+  spec.sizes = exp::parse_sizes(args.get("n", "2..8"));
+  spec.seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2026")));
+  if (args.has("faithful")) spec.mode = sim::RunMode::kFaithful;
+  if (args.has("no-lb")) spec.lb_pipeline = false;
+  spec.max_steps =
+      static_cast<std::uint64_t>(std::stoull(args.get("max-steps", "50000000")));
+
+  exp::RunOptions options;
+  options.workers = std::stoi(args.get("workers", "0"));
+  if (args.has("progress")) {
+    options.on_cell = [](const exp::CellResult& cell) {
+      std::fprintf(stderr, "[%zu] %s/%s n=%d: %s (%.1f ms)\n", cell.cell.index,
+                   cell.cell.algorithm.c_str(), cell.cell.scheduler.c_str(), cell.cell.n,
+                   cell.status.c_str(), static_cast<double>(cell.wall_micros) / 1000.0);
+    };
+  }
+
+  exp::CampaignReport report;
+  bool determinism_failed = false;
+  if (args.has("check-determinism")) {
+    // The acceptance check: a 1-worker run and an N-worker run of the same
+    // campaign must serialize to the same bytes; report the parallel speedup.
+    exp::RunOptions serial = options;
+    serial.workers = 1;
+    const auto baseline = exp::run_campaign(spec, serial);
+    report = exp::run_campaign(spec, options);
+    const std::string json_serial = exp::to_json(baseline);
+    const std::string json_parallel = exp::to_json(report);
+    const double speedup = report.wall_micros > 0
+                               ? static_cast<double>(baseline.wall_micros) /
+                                     static_cast<double>(report.wall_micros)
+                               : 0.0;
+    std::printf("determinism: 1-worker vs %d-worker report %s (hash %s)\n",
+                report.workers_used,
+                json_serial == json_parallel ? "byte-identical" : "MISMATCH",
+                exp::report_hash(report).c_str());
+    std::printf("speedup: %.2fx (%.1f ms serial, %.1f ms on %d workers)\n", speedup,
+                static_cast<double>(baseline.wall_micros) / 1000.0,
+                static_cast<double>(report.wall_micros) / 1000.0, report.workers_used);
+    determinism_failed = json_serial != json_parallel;
+  } else {
+    report = exp::run_campaign(spec, options);
+  }
+
+  // Always emit the summary and the requested report files — on a
+  // determinism mismatch they are exactly the diagnostics CI must upload.
+  const std::size_t not_ok = print_sweep_summary(report);
+  if (args.has("json") && !write_file(args.get("json", ""), exp::to_json(report))) return 1;
+  if (args.has("csv") && !write_file(args.get("csv", ""), exp::to_csv(report))) return 1;
+  return (not_ok == 0 && !determinism_failed) ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "usage: melb_cli <command> ...\n"
@@ -233,7 +337,10 @@ void usage() {
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
       "  check <alg> <n> [--subsets] [--max-states K]\n"
-      "  cost <alg> <n>\n");
+      "  cost <alg> <n>\n"
+      "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
+      "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
+      "        [--json FILE] [--csv FILE] [--check-determinism] [--progress]\n");
 }
 
 }  // namespace
@@ -252,10 +359,11 @@ int main(int argc, char** argv) {
     if (command == "decode") return cmd_decode(args);
     if (command == "check") return cmd_check(args);
     if (command == "cost") return cmd_cost(args);
+    if (command == "sweep") return cmd_sweep(args);
     usage();
     return 2;
-  } catch (const std::out_of_range&) {
-    std::fprintf(stderr, "error: missing or unknown argument\n");
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "error: missing or unknown argument (%s)\n", e.what());
     usage();
     return 2;
   } catch (const std::exception& e) {
