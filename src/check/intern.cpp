@@ -1,0 +1,72 @@
+#include "check/intern.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace melb::check {
+
+std::uint32_t AutomatonPool::intern_initial(std::unique_ptr<sim::Automaton> automaton) {
+  const MaybeLock lock(mutex());
+  return intern_locked(std::move(automaton));
+}
+
+std::uint32_t AutomatonPool::intern_locked(std::unique_ptr<sim::Automaton> automaton) {
+  const std::uint64_t fp = automaton->fingerprint();
+  const auto it = by_fp_.find(fp);
+  if (it != by_fp_.end()) return it->second;  // flyweight hit: drop the clone
+
+  Record record;
+  record.zkey = util::zobrist(zobrist_slot_, fp);
+  record.done = automaton->done();
+  if (!record.done) record.step = automaton->propose();
+  record.automaton = std::move(automaton);
+  const auto id = static_cast<std::uint32_t>(records_.size());
+  records_.push_back(std::move(record));
+  by_fp_.emplace(fp, id);
+  return id;
+}
+
+std::uint32_t AutomatonPool::advance_miss(std::uint32_t id, sim::Value read_value) {
+  auto advanced = records_[id].automaton->clone();
+  advanced->advance(read_value);
+  const std::uint32_t next = intern_locked(std::move(advanced));
+  Record& record = records_[id];  // stable storage: still valid after intern
+  if (record.inline_count < record.inline_next.size()) {
+    record.inline_next[record.inline_count++] = {read_value, next};
+  } else {
+    record.spill_next.emplace_back(read_value, next);
+  }
+  return next;
+}
+
+std::size_t AutomatonPool::size() const {
+  const MaybeLock lock(mutex());
+  return records_.size();
+}
+
+std::size_t AutomatonPool::memory_bytes() const {
+  const MaybeLock lock(mutex());
+  // The automaton objects' own footprints are opaque; count the pool's
+  // bookkeeping.
+  std::size_t bytes = records_.memory_bytes() +
+                      by_fp_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                                       2 * sizeof(void*));
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    bytes += records_[i].spill_next.capacity() * sizeof(std::pair<sim::Value, std::uint32_t>);
+  }
+  return bytes;
+}
+
+std::size_t RegisterFilePool::size() const {
+  const MaybeLock lock(mutex());
+  return fps_.size();
+}
+
+std::size_t RegisterFilePool::memory_bytes() const {
+  const MaybeLock lock(mutex());
+  return values_.capacity() * sizeof(sim::Value) + fps_.capacity() * sizeof(std::uint64_t) +
+         collision_next_.capacity() * sizeof(std::uint32_t) + by_fp_.memory_bytes();
+}
+
+}  // namespace melb::check

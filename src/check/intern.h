@@ -1,0 +1,269 @@
+// Flyweight interning pools for the model checker.
+//
+// The old engine stored a shared_ptr<Automaton> per process per state and
+// clone()d an automaton on every transition. But a process automaton is a
+// pure function of its local state, and at model-checking scale the same
+// local states recur millions of times — so the engine interns each distinct
+// local state once (keyed by Automaton::fingerprint) and states store 32-bit
+// intern ids. The transition function δ(id, read_value) is memoized inline
+// in each record (local states observe very few distinct values, so a linear
+// scan of a tiny inline array beats any hash map): after the first sight of
+// (local state, observed value), advancing a process is an array scan with
+// no clone, no virtual call, and no allocation. Hot accessors are
+// header-inline; records live in chunked stable storage (StablePool) so the
+// Step pointers handed out are never invalidated.
+//
+// RegisterFilePool plays the same trick for the shared register file: most
+// transitions (crit steps, reads, spinning writes of the current value)
+// leave the registers untouched, so states store a 32-bit register-file id
+// into a structure-of-arrays value table instead of an owned vector<Value>.
+// Register files are keyed by zobrist fingerprint through a flat probe table
+// but verified by exact value comparison — a fingerprint collision here
+// would silently corrupt successor states, unlike the (accepted,
+// astronomically unlikely) state-set collision, so colliding ids chain.
+//
+// Thread-safety: pools constructed with threaded=true take an internal mutex
+// on every operation, so parallel frontier-expansion workers can share them;
+// threaded=false (the serial engine) skips the locks entirely. The ids
+// handed out are stable for the pool's lifetime but their numeric order
+// depends on discovery order — nothing the checker reports derives from id
+// order, which is what keeps N-worker runs byte-identical to serial ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "check/state_set.h"
+#include "sim/automaton.h"
+#include "sim/types.h"
+
+namespace melb::check {
+
+// Scoped lock that is a no-op for single-threaded pools.
+class MaybeLock {
+ public:
+  explicit MaybeLock(std::mutex* mutex) : mutex_(mutex) {
+    if (mutex_) mutex_->lock();
+  }
+  ~MaybeLock() {
+    if (mutex_) mutex_->unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex* mutex_;
+};
+
+// Append-only storage with stable element addresses: fixed-size chunks,
+// shift+mask indexing. push_back never moves existing elements (unlike
+// vector) and indexing is two dependent loads (unlike deque's small blocks —
+// libstdc++ deques use 512-byte blocks, a block-map chase every few records).
+template <class T>
+class StablePool {
+ public:
+  static constexpr std::size_t kChunkBits = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  T& operator[](std::size_t i) { return chunks_[i >> kChunkBits][i & (kChunkSize - 1)]; }
+  const T& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+  std::size_t size() const { return size_; }
+
+  T& push_back(T&& value) {
+    if ((size_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    T& slot = chunks_[size_ >> kChunkBits][size_ & (kChunkSize - 1)];
+    slot = std::move(value);
+    ++size_;
+    return slot;
+  }
+
+  std::size_t memory_bytes() const {
+    return chunks_.size() * kChunkSize * sizeof(T) + chunks_.capacity() * sizeof(void*);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+class AutomatonPool {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;  // non-participant slot
+
+  // `zobrist_slot` is the state-fingerprint slot this process occupies; the
+  // pool precomputes zobrist(slot, fingerprint) per interned local state so
+  // the engine's O(1) hash update is two XORs of cached keys.
+  AutomatonPool(bool threaded, std::uint64_t zobrist_slot)
+      : threaded_(threaded), zobrist_slot_(zobrist_slot) {}
+
+  struct ProposeInfo {
+    // Memoized propose() (valid when !done). Points into the pool's stable
+    // chunk storage: never invalidated, and safe to read after the lock is
+    // dropped (records are written once, under the lock, before their id is
+    // ever handed out).
+    const sim::Step* step = nullptr;
+    bool done = false;
+    std::uint64_t zkey = 0;  // zobrist(slot, fingerprint) of this local state
+  };
+
+  // One-call expansion: the memoized step plus the memoized δ-successor its
+  // observation leads to, reading the observed value from `regs` directly
+  // (kRead/kRmw observe regs[step.reg]; writes and crit steps observe 0).
+  // Fuses propose() + advance() into a single record access and lock scope.
+  struct Expanded {
+    const sim::Step* step = nullptr;  // nullptr when the automaton is done
+    sim::Value read_value = 0;
+    std::uint32_t next_id = 0;
+    std::uint64_t zkey_delta = 0;  // old zkey ^ new zkey (XOR into aut_hash)
+  };
+
+  Expanded expand(std::uint32_t id, const sim::Value* regs) {
+    const MaybeLock lock(mutex());
+    const Record& record = records_[id];
+    if (record.done) return {};
+    Expanded out;
+    out.step = &record.step;
+    if (record.step.type == sim::StepType::kRead ||
+        record.step.type == sim::StepType::kRmw) {
+      out.read_value = regs[record.step.reg];
+    }
+    std::uint32_t next = kNone;
+    for (std::uint8_t k = 0; k < record.inline_count; ++k) {
+      if (record.inline_next[k].first == out.read_value) {
+        next = record.inline_next[k].second;
+        break;
+      }
+    }
+    if (next == kNone) {
+      for (const auto& [value, id2] : record.spill_next) {
+        if (value == out.read_value) {
+          next = id2;
+          break;
+        }
+      }
+    }
+    if (next == kNone) next = advance_miss(id, out.read_value);
+    out.next_id = next;
+    out.zkey_delta = records_[id].zkey ^ records_[next].zkey;
+    return out;
+  }
+
+  // Interns the process's initial automaton (takes ownership); returns id.
+  std::uint32_t intern_initial(std::unique_ptr<sim::Automaton> automaton);
+
+  // The memoized step/done/fingerprint key of an interned local state.
+  ProposeInfo propose(std::uint32_t id) const {
+    const MaybeLock lock(mutex());
+    const Record& record = records_[id];
+    return {&record.step, record.done, record.zkey};
+  }
+
+  std::size_t size() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Record {
+    std::unique_ptr<const sim::Automaton> automaton;
+    sim::Step step;
+    std::uint64_t zkey = 0;
+    bool done = false;
+    // Memoized δ edges out of this local state: (observed value, next id).
+    // Writes/crits observe nothing (one entry); read states observe the few
+    // values the algorithm actually writes — so the first four live inline,
+    // no pointer chase, and the rest spill to a vector.
+    std::uint8_t inline_count = 0;
+    std::array<std::pair<sim::Value, std::uint32_t>, 4> inline_next{};
+    std::vector<std::pair<sim::Value, std::uint32_t>> spill_next;
+  };
+
+  // Cold path of expand(): clone, advance, intern, memoize; returns the
+  // successor id. The caller already holds the lock (threaded mode).
+  std::uint32_t advance_miss(std::uint32_t id, sim::Value read_value);
+
+  // Caller must hold the lock (threaded mode). Takes ownership; dedupes by
+  // fingerprint — an automaton fingerprint collision would alias two local
+  // states, with the same (negligible) probability bound as the state set.
+  std::uint32_t intern_locked(std::unique_ptr<sim::Automaton> automaton);
+
+  std::mutex* mutex() const { return threaded_ ? &mutex_ : nullptr; }
+
+  const bool threaded_;
+  const std::uint64_t zobrist_slot_;
+  mutable std::mutex mutex_;
+  StablePool<Record> records_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_fp_;  // cold path only
+};
+
+class RegisterFilePool {
+ public:
+  RegisterFilePool(int num_registers, bool threaded)
+      : regs_(num_registers), threaded_(threaded) {}
+
+  // Interns a register file (num_registers values at `regs`) whose zobrist
+  // fingerprint is `fp`; returns its id. Exact-compares on fingerprint hits.
+  std::uint32_t intern(const sim::Value* regs, std::uint64_t fp) {
+    const MaybeLock lock(mutex());
+    const std::size_t bytes = static_cast<std::size_t>(regs_) * sizeof(sim::Value);
+    const auto probe = by_fp_.find_or_reserve(fp);
+    if (probe.found) {
+      // Walk the (almost always length-1) chain of ids sharing this
+      // fingerprint, exact-comparing contents.
+      std::uint32_t id = probe.idx;
+      for (;;) {
+        if (bytes == 0 ||
+            std::memcmp(values_.data() + static_cast<std::size_t>(id) * regs_, regs,
+                        bytes) == 0) {
+          return id;
+        }
+        if (collision_next_[id] == kNoNext) break;
+        id = collision_next_[id];
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(fps_.size());
+    values_.insert(values_.end(), regs, regs + regs_);
+    fps_.push_back(fp);
+    // New id becomes the probe entry; a genuine collision chains to the old
+    // id. The slot is still valid: nothing touched by_fp_ since the probe.
+    collision_next_.push_back(probe.found ? probe.idx : kNoNext);
+    by_fp_.commit_slot(probe.slot, id);
+    return id;
+  }
+
+  // Copies register file `id` into `out` (sized num_registers); returns the
+  // file's fingerprint.
+  std::uint64_t copy_to(std::uint32_t id, sim::Value* out) const {
+    const MaybeLock lock(mutex());
+    std::memcpy(out, values_.data() + static_cast<std::size_t>(id) * regs_,
+                static_cast<std::size_t>(regs_) * sizeof(sim::Value));
+    return fps_[id];
+  }
+
+  int num_registers() const { return regs_; }
+  std::size_t size() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  static constexpr std::uint32_t kNoNext = 0xffffffffu;
+
+  std::mutex* mutex() const { return threaded_ ? &mutex_ : nullptr; }
+
+  const int regs_;
+  const bool threaded_;
+  mutable std::mutex mutex_;
+  std::vector<sim::Value> values_;   // SoA: id → values_[id * regs_ .. +regs_)
+  std::vector<std::uint64_t> fps_;
+  FlatStateSet by_fp_;               // fp → first id with that fp
+  std::vector<std::uint32_t> collision_next_;  // per-id chain (kNoNext = end)
+};
+
+}  // namespace melb::check

@@ -1,197 +1,556 @@
 #include "check/model_checker.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "check/intern.h"
+#include "check/state_set.h"
+#include "exp/runner.h"
 #include "util/hash.h"
 
 namespace melb::check {
 
 namespace {
 
-using sim::Automaton;
 using sim::CritKind;
 using sim::Pid;
 using sim::Step;
 using sim::StepType;
 using sim::Value;
 
-struct State {
-  std::vector<Value> registers;
-  std::vector<std::shared_ptr<const Automaton>> automata;  // shared across states
-  int in_cs = 0;          // processes between enter and exit
-  int done_count = 0;     // participants that performed rem
-  std::uint32_t parent = 0;
-  Step parent_step;       // step taken from parent to reach this state
+// Fingerprint contribution of a non-participating (null) process slot.
+constexpr std::uint64_t kNullAutomatonFp = 0x5eed;
 
-  std::uint64_t fingerprint() const {
-    util::Hasher hasher;
-    for (Value v : registers) hasher.add_signed(v);
-    for (const auto& automaton : automata) {
-      hasher.add(automaton ? automaton->fingerprint() : 0x5eed);
-    }
-    return hasher.digest();
-  }
+// Below this many frontier states a level is expanded inline even when
+// workers > 1: thread fan-out costs more than the work it would split.
+constexpr std::size_t kMinParallelLevel = 256;
+
+// Packed per-state record; the automaton intern ids live in a parallel flat
+// array with stride n (SoA), register values in the RegisterFilePool.
+struct StateRecord {
+  std::uint64_t aut_hash = 0;    // XOR_p zobrist(regs + p, automaton fp_p)
+  std::uint32_t regfile = 0;     // RegisterFilePool id
+  std::uint32_t parent = 0;
+  std::uint8_t acting_pid = 0xff;  // step taken from parent; 0xff at the root
+  std::int8_t in_cs = 0;           // processes between enter and exit
+  std::uint8_t done_count = 0;     // participants that performed rem
+  std::uint8_t pad = 0;
 };
 
-std::vector<Step> trace_to(const std::vector<State>& states, std::uint32_t idx) {
+// A successor proposal produced by phase 1, before deduplication.
+struct Candidate {
+  std::uint64_t fp = 0;        // regfile zobrist fp ^ aut_hash
+  std::uint64_t aut_hash = 0;
+  std::uint32_t regfile = 0;
+  std::uint32_t next_aut = 0;  // acting pid's automaton after the step
+  std::uint8_t pid = 0;
+  std::int8_t in_cs = 0;
+  std::uint8_t done_count = 0;
+  std::uint8_t valid = 0;
+  std::uint8_t stripe = 0;     // visited-set stripe (filled in bucketing)
+};
+
+// Phase-2a probe outcomes stored per candidate (real indices otherwise).
+constexpr std::uint32_t kReservedNew = 0xffffffffu;
+constexpr std::uint32_t kPendingDup = 0xfffffffeu;
+
+class Engine {
+ public:
+  Engine(const sim::Algorithm& algorithm, int n, const CheckOptions& options)
+      : algorithm_(algorithm),
+        n_(n),
+        options_(options),
+        regs_(algorithm.num_registers(n)),
+        workers_(std::max(1, options.workers)),
+        // States are indexed by uint32 and the top values are probe sentinels.
+        max_states_(std::min<std::uint64_t>(options.max_states, 0xfff00000u)),
+        regpool_(regs_, workers_ > 1) {}
+
+  CheckResult run();
+
+ private:
+  enum class LevelOutcome { kContinue, kViolation, kExhausted };
+
+  std::uint64_t automaton_slot(Pid pid) const {
+    return static_cast<std::uint64_t>(regs_) + static_cast<std::uint64_t>(pid);
+  }
+
+  void init_root();
+  void expand_state(std::uint32_t idx, Candidate* out, Value* scratch);
+  std::uint32_t append_state(const Candidate& cand, std::uint32_t parent);
+  void record_mutex_violation(std::uint32_t parent, Pid pid);
+  LevelOutcome serial_level(std::vector<std::uint32_t>& next_level);
+  LevelOutcome sequence_level(std::vector<std::uint32_t>& next_level);
+  std::vector<Step> trace_to(std::uint32_t idx) const;
+  Step step_into(std::uint32_t idx) const;
+  void check_progress();
+  void finalize_stats();
+
+  const sim::Algorithm& algorithm_;
+  const int n_;
+  const CheckOptions& options_;
+  const int regs_;
+  const int workers_;
+  const std::uint64_t max_states_;
+  int num_participants_ = 0;
+
+  std::vector<std::unique_ptr<AutomatonPool>> pools_;  // one per pid (null = out)
+  RegisterFilePool regpool_;
+  StripedStateSet visited_;
+
+  std::vector<StateRecord> records_;
+  std::vector<std::uint32_t> automata_;  // stride n_: state → per-pid intern ids
+  // Transition edges as a flat (from, to) list — one amortized 8-byte append
+  // per edge instead of a heap-allocated adjacency vector per state; the
+  // progress check builds its predecessor CSR from this in one pass.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  std::vector<std::uint32_t> terminals_;
+
+  // Per-level working storage (reused across levels).
+  std::vector<std::uint32_t> expand_;
+  std::vector<Candidate> cands_;
+  std::vector<std::uint32_t> probe_;
+  std::vector<std::uint32_t> slots_;  // probe slots (valid while slot_ok_)
+  std::vector<std::vector<std::uint32_t>> buckets_{StripedStateSet::kStripes};
+  // Per stripe: did the table stay growth-free during this level's phase 2a?
+  // If so, phase 2b may use the recorded slots directly (no re-probe).
+  std::vector<std::uint8_t> slot_ok_ =
+      std::vector<std::uint8_t>(StripedStateSet::kStripes, 0);
+  std::vector<std::vector<Value>> scratch_;
+
+  CheckResult result_;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
+void Engine::init_root() {
+  std::vector<bool> participates(static_cast<std::size_t>(n_),
+                                 options_.participants.empty());
+  num_participants_ = options_.participants.empty() ? n_ : 0;
+  for (Pid pid : options_.participants) {
+    if (!participates[static_cast<std::size_t>(pid)]) {
+      participates[static_cast<std::size_t>(pid)] = true;
+      ++num_participants_;
+    }
+  }
+
+  std::vector<Value> init_regs(static_cast<std::size_t>(std::max(regs_, 1)), 0);
+  std::uint64_t regfp = 0;
+  for (sim::Reg r = 0; r < regs_; ++r) {
+    const Value v = algorithm_.register_init(r, n_);
+    init_regs[static_cast<std::size_t>(r)] = v;
+    regfp ^= util::zobrist_signed(static_cast<std::uint64_t>(r), v);
+  }
+  const std::uint32_t regfile = regpool_.intern(init_regs.data(), regfp);
+
+  pools_.resize(static_cast<std::size_t>(n_));
+  automata_.resize(static_cast<std::size_t>(n_), AutomatonPool::kNone);
+  std::uint64_t aut_hash = 0;
+  for (Pid p = 0; p < n_; ++p) {
+    if (participates[static_cast<std::size_t>(p)]) {
+      pools_[static_cast<std::size_t>(p)] =
+          std::make_unique<AutomatonPool>(workers_ > 1, automaton_slot(p));
+      const std::uint32_t id = pools_[static_cast<std::size_t>(p)]->intern_initial(
+          algorithm_.make_process(p, n_));
+      automata_[static_cast<std::size_t>(p)] = id;
+      aut_hash ^= pools_[static_cast<std::size_t>(p)]->propose(id).zkey;
+    } else {
+      aut_hash ^= util::zobrist(automaton_slot(p), kNullAutomatonFp);
+    }
+  }
+
+  StateRecord root;
+  root.aut_hash = aut_hash;
+  root.regfile = regfile;
+  records_.push_back(root);
+  visited_.find_or_reserve(regfp ^ aut_hash);
+  visited_.commit(regfp ^ aut_hash, 0);
+
+  scratch_.assign(static_cast<std::size_t>(workers_),
+                  std::vector<Value>(static_cast<std::size_t>(std::max(regs_, 1))));
+}
+
+// Compute all successor candidates of state `idx` into out[0..n). Touches
+// only the caller-owned candidate row plus the (internally locked when
+// threaded) interning pools, so parallel chunks can run on any worker.
+void Engine::expand_state(std::uint32_t idx, Candidate* out, Value* scratch) {
+  const StateRecord rec = records_[idx];
+  const std::uint64_t parent_regfp = regpool_.copy_to(rec.regfile, scratch);
+
+  for (Pid pid = 0; pid < n_; ++pid) {
+    Candidate& cand = out[pid];
+    cand.valid = 0;
+    const std::uint32_t aid =
+        automata_[static_cast<std::size_t>(idx) * n_ + static_cast<std::size_t>(pid)];
+    if (aid == AutomatonPool::kNone) continue;
+    AutomatonPool& pool = *pools_[static_cast<std::size_t>(pid)];
+    const auto expanded = pool.expand(aid, scratch);
+    if (expanded.step == nullptr) continue;  // automaton done
+    const Step& step = *expanded.step;
+
+    std::uint64_t regfp = parent_regfp;
+    std::uint32_t regfile = rec.regfile;
+    std::int8_t in_cs = rec.in_cs;
+    std::uint8_t done_count = rec.done_count;
+
+    if (step.type == StepType::kWrite || step.type == StepType::kRmw) {
+      const auto reg = static_cast<std::size_t>(step.reg);
+      const Value old_value = scratch[reg];
+      const Value new_value =
+          step.type == StepType::kWrite ? step.value : sim::apply_rmw(step, old_value);
+      if (new_value != old_value) {
+        regfp ^= util::zobrist_signed(static_cast<std::uint64_t>(step.reg), old_value) ^
+                 util::zobrist_signed(static_cast<std::uint64_t>(step.reg), new_value);
+        scratch[reg] = new_value;
+        regfile = regpool_.intern(scratch, regfp);
+        scratch[reg] = old_value;  // keep the parent file intact for other pids
+      }
+    } else if (step.type == StepType::kCrit) {
+      if (step.crit == CritKind::kEnter) ++in_cs;
+      if (step.crit == CritKind::kExit) --in_cs;
+      if (step.crit == CritKind::kRem) ++done_count;
+    }
+
+    const std::uint64_t aut_hash = rec.aut_hash ^ expanded.zkey_delta;
+    cand.fp = regfp ^ aut_hash;
+    cand.aut_hash = aut_hash;
+    cand.regfile = regfile;
+    cand.next_aut = expanded.next_id;
+    cand.pid = static_cast<std::uint8_t>(pid);
+    cand.in_cs = in_cs;
+    cand.done_count = done_count;
+    cand.valid = 1;
+  }
+}
+
+// Appends the candidate as a fresh state record (the caller has already
+// decided it is new) and returns its index.
+std::uint32_t Engine::append_state(const Candidate& cand, std::uint32_t parent) {
+  const std::size_t stride = static_cast<std::size_t>(n_);
+  const auto target = static_cast<std::uint32_t>(records_.size());
+  StateRecord rec;
+  rec.aut_hash = cand.aut_hash;
+  rec.regfile = cand.regfile;
+  rec.parent = parent;
+  rec.acting_pid = cand.pid;
+  rec.in_cs = cand.in_cs;
+  rec.done_count = cand.done_count;
+  records_.push_back(rec);
+  // Stage the new automaton row in a local buffer before appending: inserting
+  // a range that aliases the destination vector is undefined when the insert
+  // reallocates — exactly the dangling-reference class the old engine's BFS
+  // loop suffered from (automaton reference held across states.push_back).
+  std::uint32_t row[64];  // n_ <= 64 enforced in run()
+  const std::uint32_t* parent_row = automata_.data() + static_cast<std::size_t>(parent) * stride;
+  for (std::size_t k = 0; k < stride; ++k) row[k] = parent_row[k];
+  row[cand.pid] = cand.next_aut;
+  automata_.insert(automata_.end(), row, row + stride);
+  return target;
+}
+
+void Engine::record_mutex_violation(std::uint32_t parent, Pid pid) {
+  result_.violation = "mutual exclusion violated: two processes in the critical section";
+  auto steps = trace_to(parent);
+  steps.push_back(*pools_[static_cast<std::size_t>(pid)]
+                       ->propose(automata_[static_cast<std::size_t>(parent) *
+                                               static_cast<std::size_t>(n_) +
+                                           static_cast<std::size_t>(pid)])
+                       .step);
+  result_.counterexample = std::move(steps);
+}
+
+// Serial fast path: generate and sequence each state's candidates in one
+// pass — probe and commit back-to-back (the slot is always valid), no
+// candidate buffers, no bucketing. Visits candidates in exactly the same
+// (parent index, pid) order as the phased path, so every output — indices,
+// traces, dedup counts, table growth — is identical.
+Engine::LevelOutcome Engine::serial_level(std::vector<std::uint32_t>& next_level) {
+  Candidate row[64];  // n_ <= 64 enforced in run()
+  Value* scratch = scratch_[0].data();
+  const bool check_mutex = options_.check_mutex;
+  LevelOutcome outcome = LevelOutcome::kContinue;
+  for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
+    const std::uint32_t parent = expand_[ei];
+    expand_state(parent, row, scratch);
+    for (Pid pid = 0; pid < n_; ++pid) {
+      const Candidate& cand = row[pid];
+      if (!cand.valid) continue;
+      // After an abort we keep expanding and reserving (but stop sequencing)
+      // the rest of the level: the phased path runs phase 1 and its 2a
+      // probes for the whole level before the sequencer aborts, so the
+      // interning pools and visited set — and therefore the interned_* and
+      // peak-memory statistics — must match side effect for side effect.
+      if (outcome != LevelOutcome::kContinue) {
+        visited_.find_or_reserve(cand.fp);
+        continue;
+      }
+      if (check_mutex && cand.in_cs > 1) {
+        record_mutex_violation(parent, pid);
+        outcome = LevelOutcome::kViolation;
+        visited_.find_or_reserve(cand.fp);  // 2a reserved it before 2b aborted
+        continue;
+      }
+      std::uint32_t target;
+      FlatStateSet& stripe = visited_.stripe(visited_.stripe_of(cand.fp));
+      const auto probe = stripe.find_or_reserve(cand.fp);
+      if (!probe.found) {
+        target = append_state(cand, parent);
+        stripe.commit_slot(probe.slot, target);  // valid: no growth since probe
+        next_level.push_back(target);
+      } else {
+        target = probe.idx;
+        ++result_.dedup_hits;
+      }
+      if (target != parent) {  // ignore free-spin self-loops
+        edges_.emplace_back(parent, target);
+        ++result_.transitions;
+      }
+      if (records_.size() > max_states_) outcome = LevelOutcome::kExhausted;
+    }
+  }
+  return outcome;
+}
+
+// Phase 2b: walk candidates in (parent index, pid) order — the serial BFS
+// order — assigning state indices, recording edges, and checking mutual
+// exclusion. Serial and deterministic by construction.
+Engine::LevelOutcome Engine::sequence_level(std::vector<std::uint32_t>& next_level) {
+  const std::size_t stride = static_cast<std::size_t>(n_);
+  for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
+    const std::uint32_t parent = expand_[ei];
+    for (Pid pid = 0; pid < n_; ++pid) {
+      const std::size_t ci = ei * stride + static_cast<std::size_t>(pid);
+      const Candidate& cand = cands_[ci];
+      if (!cand.valid) continue;
+
+      if (options_.check_mutex && cand.in_cs > 1) {
+        record_mutex_violation(parent, pid);
+        return LevelOutcome::kViolation;
+      }
+
+      std::uint32_t target;
+      FlatStateSet& stripe = visited_.stripe(cand.stripe);
+      if (probe_[ci] == kReservedNew) {
+        if (slot_ok_[cand.stripe]) {
+          target = append_state(cand, parent);
+          stripe.commit_slot(slots_[ci], target);
+        } else {
+          target = append_state(cand, parent);
+          stripe.commit(cand.fp, target);
+        }
+        next_level.push_back(target);
+      } else if (probe_[ci] == kPendingDup) {
+        target = slot_ok_[cand.stripe] ? stripe.idx_at(slots_[ci]) : stripe.lookup(cand.fp);
+        ++result_.dedup_hits;
+      } else {
+        target = probe_[ci];
+        ++result_.dedup_hits;
+      }
+
+      if (target != parent) {  // ignore free-spin self-loops
+        edges_.emplace_back(parent, target);
+        ++result_.transitions;
+      }
+      if (records_.size() > max_states_) return LevelOutcome::kExhausted;
+    }
+  }
+  return LevelOutcome::kContinue;
+}
+
+// The step taken from records_[idx].parent to reach idx: the memoized
+// propose() of the parent's interned automaton for the acting pid.
+Step Engine::step_into(std::uint32_t idx) const {
+  const StateRecord& rec = records_[idx];
+  if (rec.acting_pid == 0xff) return Step{};
+  const std::uint32_t aid =
+      automata_[static_cast<std::size_t>(rec.parent) * static_cast<std::size_t>(n_) +
+                rec.acting_pid];
+  return *pools_[rec.acting_pid]->propose(aid).step;
+}
+
+std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
   std::vector<Step> steps;
   while (idx != 0) {
-    steps.push_back(states[idx].parent_step);
-    idx = states[idx].parent;
+    steps.push_back(step_into(idx));
+    idx = records_[idx].parent;
   }
   std::reverse(steps.begin(), steps.end());
   return steps;
+}
+
+void Engine::check_progress() {
+  // Reverse reachability from terminal states; anything unreached is a state
+  // from which termination is impossible. The predecessor adjacency is built
+  // from the flat edge list as a CSR (counting sort by target).
+  std::vector<std::uint32_t> offsets(records_.size() + 1, 0);
+  for (const auto& [from, to] : edges_) ++offsets[to + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<std::uint32_t> preds(edges_.size());
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [from, to] : edges_) preds[cursor[to]++] = from;
+  }
+  std::vector<bool> can_finish(records_.size(), false);
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t t : terminals_) {
+    can_finish[t] = true;
+    queue.push_back(t);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t idx = queue.front();
+    queue.pop_front();
+    for (std::uint32_t k = offsets[idx]; k < offsets[idx + 1]; ++k) {
+      const std::uint32_t pred = preds[k];
+      if (!can_finish[pred]) {
+        can_finish[pred] = true;
+        queue.push_back(pred);
+      }
+    }
+  }
+  for (std::uint32_t idx = 0; idx < records_.size(); ++idx) {
+    if (!can_finish[idx]) {
+      result_.violation =
+          "progress violated: state with no path to termination (livelock)";
+      result_.counterexample = trace_to(idx);
+      return;
+    }
+  }
+}
+
+void Engine::finalize_stats() {
+  result_.states = records_.size();
+  result_.interned_regfiles = regpool_.size();
+  for (const auto& pool : pools_) {
+    if (pool) result_.interned_automata += pool->size();
+  }
+
+  // Engine-owned tables only; deliberately excludes per-worker scratch so the
+  // figure is identical for every worker count.
+  std::uint64_t bytes = records_.capacity() * sizeof(StateRecord) +
+                        automata_.capacity() * sizeof(std::uint32_t) +
+                        visited_.memory_bytes() + regpool_.memory_bytes();
+  for (const auto& pool : pools_) {
+    if (pool) bytes += pool->memory_bytes();
+  }
+  bytes += edges_.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>);
+  result_.peak_memory_bytes = bytes;
+
+  result_.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+CheckResult Engine::run() {
+  // Fixed-size per-state row buffers (and uint8 pid/done fields) cap n; the
+  // state space is astronomically out of reach long before this anyway.
+  if (n_ > 64) throw std::invalid_argument("model checker supports at most n = 64");
+  init_root();
+
+  std::vector<std::uint32_t> level{0};
+  std::vector<std::uint32_t> next_level;
+  bool done = false;
+
+  while (!level.empty() && !done) {
+    expand_.clear();
+    for (const std::uint32_t idx : level) {
+      if (records_[idx].done_count == num_participants_) {
+        terminals_.push_back(idx);
+      } else {
+        expand_.push_back(idx);
+      }
+    }
+    if (expand_.empty()) break;
+
+    next_level.clear();
+    LevelOutcome outcome;
+    if (workers_ == 1) {
+      outcome = serial_level(next_level);
+    } else {
+      // Phase 1: generate candidates in parallel chunks.
+      const std::size_t count = expand_.size();
+      cands_.resize(count * static_cast<std::size_t>(n_));
+      probe_.resize(cands_.size());
+      slots_.resize(cands_.size());
+      const bool parallel = workers_ > 1 && count >= kMinParallelLevel;
+      const std::size_t chunks =
+          parallel ? std::min(count, static_cast<std::size_t>(workers_) * 4) : 1;
+      exp::run_indexed_tasks(
+          chunks, parallel ? workers_ : 1, [&](std::size_t chunk, int worker) {
+            const std::size_t begin = chunk * count / chunks;
+            const std::size_t end = (chunk + 1) * count / chunks;
+            Value* scratch = scratch_[static_cast<std::size_t>(worker)].data();
+            for (std::size_t ei = begin; ei < end; ++ei) {
+              expand_state(expand_[ei],
+                           cands_.data() + ei * static_cast<std::size_t>(n_), scratch);
+            }
+          });
+
+      // Phase 2a: bucket candidates by visited-set stripe (in rank order),
+      // then probe/reserve each stripe independently — no locks, no races.
+      for (auto& bucket : buckets_) bucket.clear();
+      for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
+        if (cands_[ci].valid) {
+          const std::size_t stripe = visited_.stripe_of(cands_[ci].fp);
+          cands_[ci].stripe = static_cast<std::uint8_t>(stripe);
+          buckets_[stripe].push_back(static_cast<std::uint32_t>(ci));
+        }
+      }
+      exp::run_indexed_tasks(
+          StripedStateSet::kStripes, parallel ? workers_ : 1, [&](std::size_t s, int) {
+            FlatStateSet& stripe = visited_.stripe(s);
+            const std::uint32_t gen = stripe.generation();
+            for (const std::uint32_t ci : buckets_[s]) {
+              const auto probe = stripe.find_or_reserve(cands_[ci].fp);
+              probe_[ci] = !probe.found ? kReservedNew
+                           : probe.idx == FlatStateSet::kPending ? kPendingDup
+                                                                 : probe.idx;
+              slots_[ci] = probe.slot;
+            }
+            slot_ok_[s] = stripe.generation() == gen ? std::uint8_t{1} : std::uint8_t{0};
+          });
+
+      // Phase 2b: deterministic sequencing.
+      outcome = sequence_level(next_level);
+    }
+    switch (outcome) {
+      case LevelOutcome::kViolation:
+        finalize_stats();
+        return result_;
+      case LevelOutcome::kExhausted:
+        result_.exhausted_limit = true;
+        done = true;
+        break;
+      case LevelOutcome::kContinue:
+        break;
+    }
+    level.swap(next_level);
+  }
+
+  if (options_.check_progress && !result_.exhausted_limit) {
+    check_progress();
+    if (!result_.violation.empty()) {
+      finalize_stats();
+      return result_;
+    }
+  }
+
+  result_.ok = result_.violation.empty();
+  finalize_stats();
+  return result_;
 }
 
 }  // namespace
 
 CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
                             const CheckOptions& options) {
-  CheckResult result;
-
-  std::vector<bool> participates(static_cast<std::size_t>(n), options.participants.empty());
-  int num_participants = options.participants.empty() ? n : 0;
-  for (Pid pid : options.participants) {
-    if (!participates[static_cast<std::size_t>(pid)]) {
-      participates[static_cast<std::size_t>(pid)] = true;
-      ++num_participants;
-    }
-  }
-
-  std::vector<State> states;
-  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
-  std::vector<std::vector<std::uint32_t>> successors;
-
-  State initial;
-  const int regs = algorithm.num_registers(n);
-  initial.registers.resize(static_cast<std::size_t>(regs));
-  for (sim::Reg r = 0; r < regs; ++r) {
-    initial.registers[static_cast<std::size_t>(r)] = algorithm.register_init(r, n);
-  }
-  initial.automata.resize(static_cast<std::size_t>(n));
-  for (Pid p = 0; p < n; ++p) {
-    if (participates[static_cast<std::size_t>(p)]) {
-      initial.automata[static_cast<std::size_t>(p)] =
-          std::shared_ptr<const Automaton>(algorithm.make_process(p, n));
-    }
-  }
-
-  states.push_back(std::move(initial));
-  successors.emplace_back();
-  index_of.emplace(states[0].fingerprint(), 0);
-
-  std::deque<std::uint32_t> frontier{0};
-  std::vector<std::uint32_t> terminals;
-
-  while (!frontier.empty()) {
-    if (states.size() > options.max_states) {
-      result.exhausted_limit = true;
-      break;
-    }
-    const std::uint32_t idx = frontier.front();
-    frontier.pop_front();
-
-    if (states[idx].done_count == num_participants) {
-      terminals.push_back(idx);
-      continue;
-    }
-
-    for (Pid pid = 0; pid < n; ++pid) {
-      // Note: states[idx] must be re-indexed inside the loop; pushing new
-      // states may reallocate the vector.
-      const auto& automaton = states[idx].automata[static_cast<std::size_t>(pid)];
-      if (!automaton || automaton->done()) continue;
-
-      const Step step = automaton->propose();
-      State next;
-      next.registers = states[idx].registers;
-      next.automata = states[idx].automata;
-      next.in_cs = states[idx].in_cs;
-      next.done_count = states[idx].done_count;
-      next.parent = idx;
-      next.parent_step = step;
-
-      Value read_value = 0;
-      if (step.type == StepType::kRead) {
-        read_value = next.registers[static_cast<std::size_t>(step.reg)];
-      } else if (step.type == StepType::kWrite) {
-        next.registers[static_cast<std::size_t>(step.reg)] = step.value;
-      } else if (step.type == StepType::kRmw) {
-        auto& cell = next.registers[static_cast<std::size_t>(step.reg)];
-        read_value = cell;
-        cell = sim::apply_rmw(step, cell);
-      } else {
-        if (step.crit == CritKind::kEnter) ++next.in_cs;
-        if (step.crit == CritKind::kExit) --next.in_cs;
-        if (step.crit == CritKind::kRem) ++next.done_count;
-      }
-      auto advanced = automaton->clone();
-      advanced->advance(read_value);
-      next.automata[static_cast<std::size_t>(pid)] = std::move(advanced);
-
-      if (options.check_mutex && next.in_cs > 1) {
-        result.violation = "mutual exclusion violated: two processes in the critical section";
-        auto steps = trace_to(states, idx);
-        steps.push_back(step);
-        result.counterexample = std::move(steps);
-        result.states = states.size();
-        return result;
-      }
-
-      const std::uint64_t fp = next.fingerprint();
-      auto [it, inserted] = index_of.try_emplace(fp, static_cast<std::uint32_t>(states.size()));
-      if (inserted) {
-        states.push_back(std::move(next));
-        successors.emplace_back();
-        frontier.push_back(it->second);
-      }
-      if (it->second != idx) {  // ignore free-spin self-loops
-        successors[idx].push_back(it->second);
-        ++result.transitions;
-      }
-    }
-  }
-
-  result.states = states.size();
-
-  if (options.check_progress && !result.exhausted_limit) {
-    // Reverse reachability from terminal states; anything unreached is a
-    // state from which termination is impossible.
-    std::vector<std::vector<std::uint32_t>> predecessors(states.size());
-    for (std::uint32_t from = 0; from < states.size(); ++from) {
-      for (std::uint32_t to : successors[from]) predecessors[to].push_back(from);
-    }
-    std::vector<bool> can_finish(states.size(), false);
-    std::deque<std::uint32_t> queue;
-    for (std::uint32_t t : terminals) {
-      can_finish[t] = true;
-      queue.push_back(t);
-    }
-    while (!queue.empty()) {
-      const std::uint32_t idx = queue.front();
-      queue.pop_front();
-      for (std::uint32_t pred : predecessors[idx]) {
-        if (!can_finish[pred]) {
-          can_finish[pred] = true;
-          queue.push_back(pred);
-        }
-      }
-    }
-    for (std::uint32_t idx = 0; idx < states.size(); ++idx) {
-      if (!can_finish[idx]) {
-        result.violation = "progress violated: state with no path to termination (livelock)";
-        result.counterexample = trace_to(states, idx);
-        return result;
-      }
-    }
-  }
-
-  result.ok = result.violation.empty();
-  return result;
+  Engine engine(algorithm, n, options);
+  return engine.run();
 }
 
 CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,

@@ -20,6 +20,19 @@
 // states); a collision would merge two distinct states, with probability
 // ~(states²)·2⁻⁶⁴ — negligible at the ≤10⁷ states this checker is meant for.
 //
+// Engine (the flyweight core): states are packed 24-byte records — a 32-bit
+// register-file intern id, a 32-bit automaton intern id per process, parent
+// back-pointer, and an XOR-composable automaton hash. Distinct process local
+// states are interned once per pid (check/intern.h) with memoized δ, state
+// fingerprints are zobrist hashes updated in O(1) from the parent
+// (util/hash.h), and the visited set is a striped flat open-addressing table
+// (check/state_set.h). Exploration is level-synchronous BFS: candidates are
+// generated in parallel (CheckOptions::workers, on the exp/ work-stealing
+// pool), deduplicated per stripe, then sequenced in (parent index, pid)
+// order — exactly the serial engine's order — so violations, traces
+// (lowest-index parent wins), and every CheckResult statistic are
+// byte-identical for any worker count.
+//
 // Thread-safety: check_algorithm keeps its entire frontier/state table in
 // locals and touches the Algorithm only through const methods, so concurrent
 // checks of the same Algorithm instance (e.g. from parallel sweep cells) are
@@ -40,6 +53,9 @@ struct CheckOptions {
   std::uint64_t max_states = 2'000'000;
   bool check_mutex = true;
   bool check_progress = true;
+  // Frontier-expansion workers; <=1 explores on the calling thread. Results
+  // are byte-identical for every value (see engine comment above).
+  int workers = 1;
   // Which pids take part; empty = all n. Non-participants take no steps.
   std::vector<sim::Pid> participants;
 };
@@ -53,8 +69,22 @@ struct CheckResult {
   // For mutex violations: a step sequence from the initial state to the bad
   // state. For progress violations: a path to a livelocked state.
   std::optional<std::vector<sim::Step>> counterexample;
+
+  // Engine statistics. Everything except wall_micros is a pure function of
+  // (algorithm, n, options minus workers) — worker-count independent, so the
+  // CLI's determinism check can compare them byte-for-byte.
+  std::uint64_t dedup_hits = 0;         // successor candidates already visited
+  std::uint64_t interned_automata = 0;  // distinct process local states seen
+  std::uint64_t interned_regfiles = 0;  // distinct register-file contents seen
+  std::uint64_t peak_memory_bytes = 0;  // engine-owned tables at their peak
+  std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
 };
 
+// Explores the algorithm's full state space for `n` processes. Throws
+// std::invalid_argument for n > 64: the engine packs per-state rows into
+// fixed 64-wide buffers, and exhaustive exploration is unreachable long
+// before that anyway (restrict `options.participants` instead — the limit is
+// on n, participating or not).
 CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
                             const CheckOptions& options = {});
 

@@ -1,0 +1,67 @@
+#include "check/state_set.h"
+
+#include <cassert>
+
+namespace melb::check {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlatStateSet::FlatStateSet(std::size_t min_capacity) {
+  const std::size_t cap = round_up_pow2(min_capacity);
+  fps_.assign(cap, 0);
+  idxs_.assign(cap, kEmpty);
+  mask_ = cap - 1;
+}
+
+void FlatStateSet::commit(std::uint64_t fp, std::uint32_t idx) {
+  std::size_t slot = slot_of(fp);
+  while (idxs_[slot] != kEmpty) {
+    if (fps_[slot] == fp) {
+      idxs_[slot] = idx;
+      return;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  assert(false && "commit of a fingerprint that was never reserved");
+}
+
+void FlatStateSet::grow() {
+  ++generation_;
+  std::vector<std::uint64_t> old_fps = std::move(fps_);
+  std::vector<std::uint32_t> old_idxs = std::move(idxs_);
+  const std::size_t cap = old_fps.size() * 2;
+  fps_.assign(cap, 0);
+  idxs_.assign(cap, kEmpty);
+  mask_ = cap - 1;
+  for (std::size_t i = 0; i < old_fps.size(); ++i) {
+    if (old_idxs[i] == kEmpty) continue;
+    std::size_t slot = slot_of(old_fps[i]);
+    while (idxs_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    fps_[slot] = old_fps[i];
+    idxs_[slot] = old_idxs[i];
+  }
+}
+
+StripedStateSet::StripedStateSet() : stripes_(kStripes) {}
+
+std::size_t StripedStateSet::size() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s.size();
+  return total;
+}
+
+std::size_t StripedStateSet::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s.memory_bytes();
+  return total;
+}
+
+}  // namespace melb::check

@@ -1,0 +1,145 @@
+// Flat open-addressing visited set for the model checker's state space.
+//
+// Maps 64-bit state fingerprints to 32-bit state indices in two parallel
+// arrays (12 bytes per slot, power-of-two capacity, linear probing) — no
+// node allocations, no per-entry pointers, and probes touch one cache line
+// in the common case, unlike the std::unordered_map it replaces. The probe
+// loop is header-inline: it sits on the hottest path of the engine (once per
+// successor candidate).
+//
+// The set supports a two-phase insert protocol so the checker's parallel
+// frontier expansion can dedupe candidates before state indices exist:
+//  * find_or_reserve(fp) either finds an entry (committed index, or kPending
+//    when another candidate of the same BFS level already reserved it) or
+//    reserves a slot for fp with a kPending marker.
+//  * commit(fp, idx) / commit_slot(slot, idx) later fill in the real index.
+// Reservations that are never committed are harmless: the checker abandons
+// the whole set when it aborts (violation found or state cap hit).
+//
+// StripedStateSet shards fingerprints across a fixed number of FlatStateSets
+// by the high bits of the mixed fingerprint (the flat sets probe with the low
+// bits, so the streams are independent). The stripe count is constant — NOT a
+// function of the worker count — so table growth, memory accounting, and
+// dedup statistics are byte-identical for every --workers value; parallelism
+// comes from expanding different stripes on different workers with no locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace melb::check {
+
+class FlatStateSet {
+ public:
+  // Index marker for "reserved this level, index not yet assigned".
+  static constexpr std::uint32_t kPending = 0xfffffffeu;
+
+  explicit FlatStateSet(std::size_t min_capacity = 64);
+
+  struct Probe {
+    bool found;          // fp already present (idx may be kPending)
+    std::uint32_t idx;   // valid when found
+    std::uint32_t slot;  // entry slot; valid until the next growth
+  };
+
+  // Looks up fp; reserves a kPending slot for it when absent. The returned
+  // slot stays valid while generation() is unchanged (growth rehashes).
+  Probe find_or_reserve(std::uint64_t fp) {
+    if (size_ * 3 >= fps_.size() * 2) grow();  // max load factor 2/3
+    std::size_t slot = slot_of(fp);
+    while (idxs_[slot] != kEmpty) {
+      if (fps_[slot] == fp) return {true, idxs_[slot], static_cast<std::uint32_t>(slot)};
+      slot = (slot + 1) & mask_;
+    }
+    fps_[slot] = fp;
+    idxs_[slot] = kPending;
+    ++size_;
+    return {false, kPending, static_cast<std::uint32_t>(slot)};
+  }
+
+  // Fills in the index of a previously reserved fp (re-probes; always valid).
+  void commit(std::uint64_t fp, std::uint32_t idx);
+
+  // Index of a present fp (committed or pending). Precondition: present
+  // (returns kEmpty otherwise).
+  std::uint32_t lookup(std::uint64_t fp) const {
+    std::size_t slot = slot_of(fp);
+    while (idxs_[slot] != kEmpty) {
+      if (fps_[slot] == fp) return idxs_[slot];
+      slot = (slot + 1) & mask_;
+    }
+    return kEmpty;
+  }
+
+  // Slot-addressed variants (no re-probe): only valid when generation() still
+  // matches the value observed when the Probe was taken.
+  void commit_slot(std::uint32_t slot, std::uint32_t idx) { idxs_[slot] = idx; }
+  std::uint32_t idx_at(std::uint32_t slot) const { return idxs_[slot]; }
+
+  // Bumped on every growth/rehash; callers compare it to decide whether a
+  // recorded Probe::slot is still addressable.
+  std::uint32_t generation() const { return generation_; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return fps_.size(); }
+  std::size_t memory_bytes() const {
+    return fps_.capacity() * sizeof(std::uint64_t) + idxs_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::size_t slot_of(std::uint64_t fp) const {
+    // Fingerprints are XORs of zobrist (splitmix-mixed) keys: every bit is
+    // already uniform, so the low bits index directly — no re-hash — and
+    // stay independent of the high bits StripedStateSet consumed.
+    return static_cast<std::size_t>(fp) & mask_;
+  }
+  void grow();
+
+  std::vector<std::uint64_t> fps_;
+  std::vector<std::uint32_t> idxs_;  // kEmpty = free slot
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::uint32_t generation_ = 0;
+};
+
+class StripedStateSet {
+ public:
+  // 64 stripes ≈ enough lanes for any worker count we will see, small enough
+  // that the minimum footprint (64 × 64 slots × 12 B) is negligible.
+  static constexpr std::size_t kStripes = 64;
+
+  StripedStateSet();
+
+  std::size_t stripe_of(std::uint64_t fp) const {
+    static_assert((kStripes & (kStripes - 1)) == 0, "stripe count must be a power of two");
+    // Top bits: disjoint from the low bits the flat sets probe with.
+    return static_cast<std::size_t>(fp >> 58) & (kStripes - 1);
+  }
+  FlatStateSet& stripe(std::size_t s) { return stripes_[s]; }
+  const FlatStateSet& stripe(std::size_t s) const { return stripes_[s]; }
+
+  // Single-caller convenience (initial state, abort drain, tests): routes to
+  // the stripe.
+  FlatStateSet::Probe find_or_reserve(std::uint64_t fp) {
+    return stripes_[stripe_of(fp)].find_or_reserve(fp);
+  }
+  void commit(std::uint64_t fp, std::uint32_t idx) {
+    stripes_[stripe_of(fp)].commit(fp, idx);
+  }
+  std::uint32_t lookup(std::uint64_t fp) const {
+    return stripes_[stripe_of(fp)].lookup(fp);
+  }
+
+  std::size_t size() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<FlatStateSet> stripes_;
+};
+
+}  // namespace melb::check

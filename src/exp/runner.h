@@ -13,11 +13,26 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 
 #include "exp/report.h"
 
 namespace melb::exp {
+
+// The pool's primitive, exposed for other subsystems that need deterministic
+// fan-out over an index space (the model checker's parallel frontier
+// expansion runs on this): execute tasks 0..count-1 across `workers` threads
+// with per-worker deques and work stealing. `task(index, worker)` may run on
+// any worker in any order, so it must write only to index-owned (or
+// worker-owned) slots; `worker` is in [0, workers) for scratch-buffer
+// addressing. workers <= 1 (or count <= 1) runs inline on the calling thread
+// with worker == 0. Blocks until every task has run — thread joins give the
+// caller a happens-before edge over all task effects. If `cancel` becomes
+// true, tasks not yet started are skipped.
+void run_indexed_tasks(std::size_t count, int workers,
+                       const std::function<void(std::size_t index, int worker)>& task,
+                       std::atomic<bool>* cancel = nullptr);
 
 struct RunOptions {
   // 0 → std::thread::hardware_concurrency(); always clamped to [1, #cells].

@@ -34,7 +34,11 @@ class Automaton {
 
   // Hash of the complete local state. Two automata for the same process with
   // equal local state must agree; states differing in any variable the
-  // transition function consults must (w.h.p.) differ.
+  // transition function consults must (w.h.p.) differ. The model checker's
+  // flyweight engine interns local states by this value alone (check/intern.h)
+  // — a collision would alias two local states, so implementations must hash
+  // every consulted variable (CloneableAutomaton::hash_into enforces the
+  // idiom; tests cross-check against exact compares for small runs).
   virtual std::uint64_t fingerprint() const = 0;
 
   virtual std::unique_ptr<Automaton> clone() const = 0;

@@ -3,6 +3,14 @@
 // cryptographic, but stable across platforms and good enough for the
 // fingerprint-equality checks the SC cost model needs (exact-state compares
 // are also available via Automaton::clone for the paranoid paths).
+//
+// Two hashing styles live here:
+//  * Hasher — sequential (order-sensitive) digests for whole-object
+//    fingerprints, e.g. Automaton::fingerprint.
+//  * zobrist — position-keyed value hashes that compose by XOR, so a
+//    system-state digest can be updated in O(1) when one slot changes
+//    (XOR out the old slot hash, XOR in the new one). The model checker's
+//    incremental state fingerprints are built from these.
 #pragma once
 
 #include <cstdint>
@@ -10,10 +18,31 @@
 
 namespace melb::util {
 
+// MurmurHash3/SplitMix64 finalizer: a cheap bijective mixer whose output
+// bits each depend on every input bit.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+// Zobrist-style slot hash: a pseudo-random 64-bit key for "slot holds value".
+// XOR-ing zobrist(slot, v) over all slots of a state yields a digest that is
+// order-independent across slots and incrementally updatable — changing slot
+// s from a to b maps digest d to d ^ zobrist(s, a) ^ zobrist(s, b).
+constexpr std::uint64_t zobrist(std::uint64_t slot, std::uint64_t value) noexcept {
+  return mix64(mix64(value + 0x9e3779b97f4a7c15ULL) +
+               (slot + 1) * 0xd1b54a32d192ed03ULL);
+}
+
+constexpr std::uint64_t zobrist_signed(std::uint64_t slot, std::int64_t value) noexcept {
+  return zobrist(slot, static_cast<std::uint64_t>(value));
+}
+
 class Hasher {
  public:
   Hasher& add(std::uint64_t value) noexcept {
-    state_ ^= mix(value + 0x9e3779b97f4a7c15ULL + (state_ << 6) + (state_ >> 2));
+    state_ ^= mix64(value + 0x9e3779b97f4a7c15ULL + (state_ << 6) + (state_ >> 2));
     return *this;
   }
 
@@ -26,15 +55,9 @@ class Hasher {
     return *this;
   }
 
-  std::uint64_t digest() const noexcept { return mix(state_); }
+  std::uint64_t digest() const noexcept { return mix64(state_); }
 
  private:
-  static std::uint64_t mix(std::uint64_t z) noexcept {
-    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
-    z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
-    return z ^ (z >> 33);
-  }
-
   std::uint64_t state_ = 0xcbf29ce484222325ULL;
 };
 

@@ -1,0 +1,277 @@
+// Flyweight state-space engine tests: the flat visited set, worker-count
+// determinism of results/traces/statistics, checker conformance on the RMW
+// lock algorithms, and a wide-branching fixture that forces the state table
+// to reallocate many times mid-exploration (the regression surface for the
+// old engine's dangling automaton reference across states.push_back).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "algo/automaton_base.h"
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "check/state_set.h"
+#include "sim/execution.h"
+#include "sim/simulator.h"
+#include "util/hash.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+using sim::Step;
+using sim::Value;
+
+// ---------------------------------------------------------------------------
+// FlatStateSet / StripedStateSet.
+// ---------------------------------------------------------------------------
+
+TEST(FlatStateSet, ReserveCommitLookup) {
+  check::FlatStateSet set;
+  const auto first = set.find_or_reserve(0xabcdef);
+  EXPECT_FALSE(first.found);
+  set.commit(0xabcdef, 42);
+
+  const auto again = set.find_or_reserve(0xabcdef);
+  EXPECT_TRUE(again.found);
+  EXPECT_EQ(again.idx, 42u);
+  EXPECT_EQ(set.lookup(0xabcdef), 42u);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatStateSet, PendingVisibleBeforeCommit) {
+  check::FlatStateSet set;
+  ASSERT_FALSE(set.find_or_reserve(7).found);
+  const auto dup = set.find_or_reserve(7);
+  EXPECT_TRUE(dup.found);
+  EXPECT_EQ(dup.idx, check::FlatStateSet::kPending);
+  set.commit(7, 3);
+  EXPECT_EQ(set.lookup(7), 3u);
+}
+
+TEST(FlatStateSet, GrowthPreservesEntries) {
+  check::FlatStateSet set(64);
+  // Insert far past the initial capacity to force several rehashes, with
+  // adversarially similar keys (zobrist gives well-mixed fingerprints; raw
+  // sequential keys stress the probe remix).
+  constexpr std::uint32_t kCount = 5000;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const auto probe = set.find_or_reserve(i);
+    ASSERT_FALSE(probe.found) << i;
+    set.commit(i, i);
+  }
+  EXPECT_EQ(set.size(), kCount);
+  EXPECT_GE(set.capacity(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(set.lookup(i), i);
+  }
+  EXPECT_GT(set.memory_bytes(), kCount * 12u);
+}
+
+TEST(StripedStateSet, RoutesAcrossStripesConsistently) {
+  check::StripedStateSet set;
+  std::set<std::size_t> stripes_used;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::uint64_t fp = util::zobrist(i, i * 31);
+    stripes_used.insert(set.stripe_of(fp));
+    ASSERT_FALSE(set.find_or_reserve(fp).found);
+    set.commit(fp, static_cast<std::uint32_t>(i));
+  }
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(set.lookup(util::zobrist(i, i * 31)), i);
+  }
+  EXPECT_EQ(set.size(), 2000u);
+  // Mixed fingerprints must actually spread over the stripes.
+  EXPECT_GT(stripes_used.size(), check::StripedStateSet::kStripes / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count determinism: results, traces, and statistics byte-identical.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const check::CheckResult& a, const check::CheckResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.exhausted_limit, b.exhausted_limit);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.dedup_hits, b.dedup_hits);
+  EXPECT_EQ(a.interned_automata, b.interned_automata);
+  EXPECT_EQ(a.interned_regfiles, b.interned_regfiles);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
+  if (a.counterexample) {
+    EXPECT_EQ(*a.counterexample, *b.counterexample);
+  }
+}
+
+check::CheckResult run_with_workers(const std::string& algorithm, int n, int workers,
+                                    std::uint64_t max_states = 4'000'000) {
+  check::CheckOptions options;
+  options.workers = workers;
+  options.max_states = max_states;
+  return check::check_algorithm(*algo::algorithm_by_name(algorithm).algorithm, n, options);
+}
+
+TEST(EngineDeterminism, CorrectAlgorithmAcrossWorkerCounts) {
+  const auto serial = run_with_workers("yang-anderson", 3, 1);
+  ASSERT_TRUE(serial.ok) << serial.violation;
+  for (int workers : {2, 4, 8}) {
+    expect_identical(serial, run_with_workers("yang-anderson", 3, workers));
+  }
+}
+
+TEST(EngineDeterminism, CounterexampleTraceOnBrokenAlgorithm) {
+  // The deliberately broken fixture: 4-worker exploration must report the
+  // same violation with a byte-identical counterexample trace (lowest-index
+  // parent wins), and the trace must replay to a real violation.
+  const auto serial = run_with_workers("naive-broken", 3, 1);
+  const auto parallel = run_with_workers("naive-broken", 3, 4);
+  EXPECT_FALSE(serial.ok);
+  expect_identical(serial, parallel);
+  ASSERT_TRUE(parallel.counterexample.has_value());
+
+  const auto& info = algo::algorithm_by_name("naive-broken");
+  const auto exec = sim::validate_steps(*info.algorithm, 3, *parallel.counterexample);
+  EXPECT_NE(sim::check_mutual_exclusion(exec, 3), "");
+}
+
+TEST(EngineDeterminism, LivelockTraceOnSubset) {
+  check::CheckOptions serial_options;
+  serial_options.participants = {1};
+  auto parallel_options = serial_options;
+  parallel_options.workers = 4;
+  const auto& info = algo::algorithm_by_name("static-rr");
+  const auto serial = check::check_algorithm(*info.algorithm, 2, serial_options);
+  const auto parallel = check::check_algorithm(*info.algorithm, 2, parallel_options);
+  EXPECT_FALSE(serial.ok);
+  EXPECT_NE(serial.violation.find("progress"), std::string::npos);
+  expect_identical(serial, parallel);
+}
+
+TEST(EngineDeterminism, StateLimitAcrossWorkerCounts) {
+  const auto serial = run_with_workers("bakery", 3, 1, 50);
+  const auto parallel = run_with_workers("bakery", 3, 4, 50);
+  EXPECT_TRUE(serial.exhausted_limit);
+  expect_identical(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Checker conformance on the RMW lock algorithms.
+// ---------------------------------------------------------------------------
+
+class CheckerOnRmw : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckerOnRmw, ExhaustiveN2) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  const auto result = check::check_algorithm(*info.algorithm, 2);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.exhausted_limit);
+  EXPECT_GT(result.states, 10u);
+}
+
+TEST_P(CheckerOnRmw, ExhaustiveN3) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto result = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_FALSE(result.exhausted_limit);
+}
+
+TEST_P(CheckerOnRmw, AllParticipantSubsetsN3) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto result = check::check_all_subsets(*info.algorithm, 3, options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(RmwLocks, CheckerOnRmw,
+                         ::testing::Values("ttas-rmw", "ticket-rmw", "mcs-rmw"),
+                         testing_util::AlgorithmNameGenerator());
+
+// ---------------------------------------------------------------------------
+// Wide-branching fixture: every expansion yields n fresh states, so the
+// packed state table reallocates dozens of times mid-level. The old engine
+// held `const auto& automaton = states[idx].automata[pid]` across
+// states.push_back — a dangling reference the ASan CI leg would catch here.
+// The state space is exactly 6^n (n independent 6-pc processes), which also
+// pins down the dedup accounting.
+// ---------------------------------------------------------------------------
+
+class WideProcess final : public algo::CloneableAutomaton<WideProcess> {
+ public:
+  explicit WideProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case 0: return Step::crit_step(pid_, CritKind::kTry);
+      case 1: return Step::write(pid_, pid_, 1);
+      case 2: return Step::crit_step(pid_, CritKind::kEnter);
+      case 3: return Step::crit_step(pid_, CritKind::kExit);
+      default: break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value) override {
+    if (pc_ < 5) ++pc_;
+  }
+
+  bool done() const override { return pc_ == 5; }
+
+  void hash_into(util::Hasher& hasher) const { hasher.add_all({pc_, pid_}); }
+
+ private:
+  Pid pid_;
+  int pc_ = 0;
+};
+
+class WideBranchAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "wide-branch-fixture"; }
+  int num_registers(int n) const override { return n; }
+  std::unique_ptr<sim::Automaton> make_process(Pid pid, int) const override {
+    return std::make_unique<WideProcess>(pid);
+  }
+};
+
+TEST(EngineReallocation, WideBranchingSurvivesStateTableGrowth) {
+  // Processes are independent, so the checker sees every interleaving of
+  // 4 × 5 steps: 6^4 = 1296 states. Mutual exclusion is deliberately not
+  // checked (all four can sit in the CS); progress must hold.
+  WideBranchAlgorithm algorithm;
+  check::CheckOptions options;
+  options.check_mutex = false;
+  for (int workers : {1, 4}) {
+    options.workers = workers;
+    const auto result = check::check_algorithm(algorithm, 4, options);
+    EXPECT_TRUE(result.ok) << result.violation;
+    EXPECT_EQ(result.states, 1296u);
+    // 6^4 states, one per pc combination; each non-terminal pc advances.
+    EXPECT_EQ(result.interned_automata, 4u * 6u);
+    EXPECT_GT(result.dedup_hits, 0u);
+  }
+}
+
+TEST(EngineStats, SurfacesFlyweightAccounting) {
+  const auto result = run_with_workers("bakery", 3, 1);
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.dedup_hits, 0u);
+  EXPECT_GT(result.interned_automata, 0u);
+  EXPECT_GT(result.interned_regfiles, 0u);
+  EXPECT_GT(result.peak_memory_bytes, 0u);
+  // Flyweight premise: distinct local states and register files are both
+  // vastly fewer than states (that is why interning pays).
+  EXPECT_LT(result.interned_automata, result.states / 4);
+  EXPECT_LT(result.interned_regfiles, result.states);
+}
+
+}  // namespace
+}  // namespace melb

@@ -219,6 +219,31 @@ TEST(Hash, OrderSensitive) {
   EXPECT_NE(a.digest(), b.digest());
 }
 
+TEST(Hash, ZobristSlotAndValueSensitive) {
+  EXPECT_NE(util::zobrist(0, 7), util::zobrist(1, 7));  // same value, other slot
+  EXPECT_NE(util::zobrist(0, 7), util::zobrist(0, 8));  // same slot, other value
+  // Swapping values across slots must not cancel under XOR.
+  EXPECT_NE(util::zobrist(0, 1) ^ util::zobrist(1, 2),
+            util::zobrist(0, 2) ^ util::zobrist(1, 1));
+}
+
+TEST(Hash, ZobristIncrementalUpdateMatchesFullRecompute) {
+  // digest = XOR over slots; changing slot 2 from 5 to 9 must be a two-XOR
+  // update — this is the property the model checker's O(1) state fingerprint
+  // maintenance depends on.
+  const std::int64_t before[4] = {3, -1, 5, 7};
+  const std::int64_t after[4] = {3, -1, 9, 7};
+  std::uint64_t full_before = 0, full_after = 0;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    full_before ^= util::zobrist_signed(s, before[s]);
+    full_after ^= util::zobrist_signed(s, after[s]);
+  }
+  const std::uint64_t incremental =
+      full_before ^ util::zobrist_signed(2, 5) ^ util::zobrist_signed(2, 9);
+  EXPECT_EQ(incremental, full_after);
+  EXPECT_NE(full_before, full_after);
+}
+
 TEST(Table, FormatsAligned) {
   util::Table t({"name", "value"});
   t.add_row({"alpha", "1"});

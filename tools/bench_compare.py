@@ -10,16 +10,24 @@ regresses by more than --threshold (default 0.25 = 25%).
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
                      [--metric real_time]
+    bench_compare.py --self-test
 
 Benchmarks present in only one file are reported but never fail the gate, so
 adding or retiring a benchmark does not require touching the baseline in the
-same commit. Exit codes: 0 ok, 1 regression, 2 bad input.
+same commit — current-only benchmarks are noted as "new", baseline-only ones
+as "not gated". Exit codes: 0 ok, 1 regression, 2 bad input.
+
+--self-test exercises those contracts against synthetic inputs (CI runs it so
+a refactor of this gate cannot silently change what fails a PR).
 """
 
 import argparse
 import json
+import os
 import statistics
+import subprocess
 import sys
+import tempfile
 
 
 def fail_input(message):
@@ -48,15 +56,76 @@ def load_medians(path, metric):
     return {name: statistics.median(values) for name, values in samples.items()}
 
 
+def bench_json(entries):
+    """Synthetic google-benchmark output: [(name, real_time), ...]."""
+    return {"benchmarks": [{"name": name, "run_type": "iteration",
+                            "real_time": value} for name, value in entries]}
+
+
+def self_test():
+    """Run this script against synthetic inputs and assert its exit codes."""
+    cases = [
+        # (baseline entries, current entries, expected exit, description)
+        ([("a", 100.0)], [("a", 110.0)], 0, "within threshold"),
+        ([("a", 100.0)], [("a", 200.0)], 1, "regression fails"),
+        ([("a", 100.0)], [("a", 101.0), ("brand_new", 5.0)], 0,
+         "new benchmark without baseline is reported, not gated"),
+        ([("a", 100.0), ("retired", 9.0)], [("a", 101.0)], 0,
+         "baseline-only benchmark is reported, not gated"),
+        ([("a", 100.0)], [("brand_new", 5.0)], 0,
+         "disjoint sets: nothing to gate"),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="bench_compare_selftest_") as tmpdir:
+        for i, (base_entries, cur_entries, expected, description) in enumerate(cases):
+            base_path = os.path.join(tmpdir, f"base_{i}.json")
+            cur_path = os.path.join(tmpdir, f"cur_{i}.json")
+            with open(base_path, "w", encoding="utf-8") as base_f:
+                json.dump(bench_json(base_entries), base_f)
+            with open(cur_path, "w", encoding="utf-8") as cur_f:
+                json.dump(bench_json(cur_entries), cur_f)
+            proc = subprocess.run(
+                [sys.executable, __file__, base_path, cur_path, "--threshold", "0.25"],
+                capture_output=True, text=True)
+            status = "ok" if proc.returncode == expected else "FAIL"
+            if proc.returncode != expected:
+                failures += 1
+                print(proc.stdout)
+            print(f"self-test [{status}] {description}: exit {proc.returncode} "
+                  f"(expected {expected})")
+        # Malformed input must exit 2, not crash.
+        bad_path = os.path.join(tmpdir, "bad.json")
+        with open(bad_path, "w", encoding="utf-8") as bad_f:
+            bad_f.write("not json")
+        proc = subprocess.run([sys.executable, __file__, bad_path, bad_path],
+                              capture_output=True, text=True)
+        status = "ok" if proc.returncode == 2 else "FAIL"
+        if proc.returncode != 2:
+            failures += 1
+        print(f"self-test [{status}] malformed input: exit {proc.returncode} "
+              f"(expected 2)")
+    if failures:
+        print(f"self-test: {failures} case(s) FAILED")
+        return 1
+    print("self-test: all cases passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline google-benchmark JSON")
-    parser.add_argument("current", help="current google-benchmark JSON")
+    parser.add_argument("baseline", nargs="?", help="baseline google-benchmark JSON")
+    parser.add_argument("current", nargs="?", help="current google-benchmark JSON")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
     parser.add_argument("--metric", default="real_time",
                         help="benchmark field to compare (default real_time)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify this gate's contracts on synthetic inputs")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        fail_input("BASELINE and CURRENT are required (or use --self-test)")
     if args.threshold < 0:
         fail_input("--threshold must be >= 0")
 

@@ -6,7 +6,8 @@
 //   melb_cli construct <algorithm> <n> [--pi identity|reverse|random] [--seed S]
 //                [--encode FILE] [--dump]
 //   melb_cli decode <algorithm> <E-file>
-//   melb_cli check <algorithm> <n> [--subsets] [--max-states K]
+//   melb_cli check <algorithm> <n> [--subsets] [--max-states K] [--workers W]
+//                  [--check-determinism]
 //   melb_cli cost <algorithm> <n>
 //   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
 //                  [--workers W] [--faithful] [--no-lb] [--max-steps K]
@@ -182,26 +183,88 @@ int cmd_decode(const Args& args) {
   return me.empty() ? 0 : 1;
 }
 
-int cmd_check(const Args& args) {
-  const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = std::stoi(args.positional.at(1));
-  check::CheckOptions options;
-  options.max_states =
-      static_cast<std::uint64_t>(std::stoull(args.get("max-states", "2000000")));
-  const auto result = args.has("subsets")
-                          ? check::check_all_subsets(*info.algorithm, n, options)
-                          : check::check_algorithm(*info.algorithm, n, options);
-  std::printf("%s n=%d: %s (%llu states%s)\n", info.algorithm->name().c_str(), n,
+// Everything worker-count-independent in a CheckResult, serialized for the
+// --check-determinism byte compare (wall time is excluded by design).
+std::string check_signature(const check::CheckResult& result) {
+  std::string s;
+  s += "ok=" + std::to_string(result.ok);
+  s += ";exhausted=" + std::to_string(result.exhausted_limit);
+  s += ";violation=" + result.violation;
+  s += ";states=" + std::to_string(result.states);
+  s += ";transitions=" + std::to_string(result.transitions);
+  s += ";dedup=" + std::to_string(result.dedup_hits);
+  s += ";automata=" + std::to_string(result.interned_automata);
+  s += ";regfiles=" + std::to_string(result.interned_regfiles);
+  s += ";peak_memory=" + std::to_string(result.peak_memory_bytes);
+  s += ";trace=";
+  if (result.counterexample) {
+    for (const auto& step : *result.counterexample) s += to_string(step) + "|";
+  }
+  return s;
+}
+
+void print_check_result(const std::string& name, int n, const check::CheckResult& result) {
+  std::printf("%s n=%d: %s (%llu states%s)\n", name.c_str(), n,
               result.ok ? "OK" : result.violation.c_str(),
               static_cast<unsigned long long>(result.states),
               result.exhausted_limit ? ", limit hit" : "");
+  const double secs = static_cast<double>(result.wall_micros) / 1e6;
+  std::printf("stats: %llu states, %llu transitions, %.0f states/sec, "
+              "%llu dedup hits, %llu automata + %llu register files interned, "
+              "%.2f MiB peak\n",
+              static_cast<unsigned long long>(result.states),
+              static_cast<unsigned long long>(result.transitions),
+              secs > 0 ? static_cast<double>(result.states) / secs : 0.0,
+              static_cast<unsigned long long>(result.dedup_hits),
+              static_cast<unsigned long long>(result.interned_automata),
+              static_cast<unsigned long long>(result.interned_regfiles),
+              static_cast<double>(result.peak_memory_bytes) / (1024.0 * 1024.0));
   if (!result.ok && result.counterexample) {
     std::printf("counterexample (%zu steps):\n", result.counterexample->size());
     for (const auto& step : *result.counterexample) {
       std::printf("  %s\n", to_string(step).c_str());
     }
   }
-  return result.ok ? 0 : 1;
+}
+
+int cmd_check(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = std::stoi(args.positional.at(1));
+  check::CheckOptions options;
+  options.max_states =
+      static_cast<std::uint64_t>(std::stoull(args.get("max-states", "2000000")));
+  options.workers = std::stoi(args.get("workers", "1"));
+
+  const auto run_check = [&](const check::CheckOptions& opts) {
+    return args.has("subsets") ? check::check_all_subsets(*info.algorithm, n, opts)
+                               : check::check_algorithm(*info.algorithm, n, opts);
+  };
+
+  check::CheckResult result;
+  bool determinism_failed = false;
+  if (args.has("check-determinism")) {
+    // Acceptance gate: an N-worker exploration must produce byte-identical
+    // results and traces to the serial one. Report the speedup alongside.
+    check::CheckOptions serial_options = options;
+    serial_options.workers = 1;
+    const auto serial = run_check(serial_options);
+    result = run_check(options);
+    determinism_failed = check_signature(serial) != check_signature(result);
+    const double speedup = result.wall_micros > 0
+                               ? static_cast<double>(serial.wall_micros) /
+                                     static_cast<double>(result.wall_micros)
+                               : 0.0;
+    std::printf("determinism: 1-worker vs %d-worker check %s\n", options.workers,
+                determinism_failed ? "MISMATCH" : "byte-identical");
+    std::printf("speedup: %.2fx (%.1f ms serial, %.1f ms on %d workers)\n", speedup,
+                static_cast<double>(serial.wall_micros) / 1000.0,
+                static_cast<double>(result.wall_micros) / 1000.0, options.workers);
+  } else {
+    result = run_check(options);
+  }
+
+  print_check_result(info.algorithm->name(), n, result);
+  return (result.ok && !determinism_failed) ? 0 : 1;
 }
 
 int cmd_cost(const Args& args) {
@@ -336,7 +399,8 @@ void usage() {
       "  construct <alg> <n> [--pi identity|reverse|random] [--seed K]\n"
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
-      "  check <alg> <n> [--subsets] [--max-states K]\n"
+      "  check <alg> <n> [--subsets] [--max-states K] [--workers W]\n"
+      "        [--check-determinism]\n"
       "  cost <alg> <n>\n"
       "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
       "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
