@@ -11,19 +11,28 @@
 //
 // Also reports the n=4 frontier: exhaustive state counts the flyweight
 // engine finishes at interactive latency (legacy rate is estimated under a
-// state cap so the bench stays fast). Wall-clock timings for the perf gate
-// are registered with google-benchmark.
+// state cap so the bench stays fast), the engine's peak table memory per
+// row (with a 3x-reduction floor vs the pre-closed-store engine on
+// yang-anderson n=4), and the per-level dispatch cost of the persistent
+// exp::TaskPool vs spawning threads per dispatch (what every BFS level paid
+// before the pool). Wall-clock timings and peak_memory_bytes counters for
+// the perf gate are registered with google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "algo/automaton_base.h"
 #include "bench/common.h"
 #include "check/model_checker.h"
+#include "exp/pool.h"
 #include "sim/automaton.h"
 #include "util/hash.h"
 
@@ -188,10 +197,18 @@ namespace {
 
 constexpr double kAcceptanceFloor = 5.0;  // aggregate n=3 states/sec ratio
 
+// peak_memory_bytes of an uncapped yang-anderson n=4 check, measured on the
+// PR-3 flyweight engine (full per-state records + flat 8-byte edge list;
+// commit e176920, Release; stats are build-type independent). The acceptance
+// floor requires the frontier/closed-store engine to stay >= 3x below it.
+constexpr std::uint64_t kPr3YangAndersonN4PeakBytes = 811'100'000;
+constexpr double kMemoryReductionFloor = 3.0;
+
 struct Measurement {
   std::uint64_t states = 0;
   double seconds = 0.0;
   bool capped = false;
+  std::uint64_t peak_bytes = 0;  // flyweight runs only (legacy predates the stat)
   double rate() const { return seconds > 0 ? static_cast<double>(states) / seconds : 0.0; }
 };
 
@@ -202,12 +219,11 @@ Measurement timed(Fn&& fn) {
   Measurement best;
   for (int rep = 0; rep < 3; ++rep) {
     const auto start = std::chrono::steady_clock::now();
-    auto [states, capped] = fn();
+    const Measurement m = fn();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     if (rep == 0 || secs < best.seconds) {
-      best.states = states;
-      best.capped = capped;
+      best = m;
       best.seconds = secs;
     }
   }
@@ -217,7 +233,10 @@ Measurement timed(Fn&& fn) {
 Measurement run_legacy(const sim::Algorithm& algorithm, int n, std::uint64_t cap) {
   return timed([&] {
     const auto r = legacy::check(algorithm, n, cap);
-    return std::pair<std::uint64_t, bool>(r.states, r.exhausted_limit);
+    Measurement m;
+    m.states = r.states;
+    m.capped = r.exhausted_limit;
+    return m;
   });
 }
 
@@ -226,12 +245,20 @@ Measurement run_flyweight(const sim::Algorithm& algorithm, int n, std::uint64_t 
     check::CheckOptions options;
     options.max_states = cap;
     const auto r = check::check_algorithm(algorithm, n, options);
-    return std::pair<std::uint64_t, bool>(r.states, r.exhausted_limit);
+    Measurement m;
+    m.states = r.states;
+    m.capped = r.exhausted_limit;
+    m.peak_bytes = r.peak_memory_bytes;
+    return m;
   });
 }
 
 std::string fmt_states(const Measurement& m) {
   return std::to_string(m.states) + (m.capped ? " (capped)" : "");
+}
+
+std::string fmt_mib(std::uint64_t bytes) {
+  return util::Table::fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
 }
 
 // Returns the aggregate speedup (total flyweight rate / total legacy rate).
@@ -241,7 +268,7 @@ double engine_report() {
       "Exhaustive exploration; same state spaces, same dedup semantics.\n"
       "legacy = copy-registers + clone-automaton + full rehash per transition;\n"
       "flyweight = interned automata/registers, O(1) zobrist fingerprints,\n"
-      "flat striped visited set.");
+      "flat striped visited set, hot frontier + packed closed store.");
 
   struct Row {
     const char* algorithm;
@@ -260,7 +287,7 @@ double engine_report() {
   };
 
   util::Table table({"algorithm", "n", "legacy states", "legacy st/s", "flyweight states",
-                     "flyweight st/s", "speedup"});
+                     "flyweight st/s", "speedup", "fly peak MiB"});
   double legacy_n3_states = 0, legacy_n3_secs = 0;
   double fly_n3_states = 0, fly_n3_secs = 0;
   for (const auto& row : rows) {
@@ -270,7 +297,8 @@ double engine_report() {
     const double speedup = legacy_m.rate() > 0 ? fly_m.rate() / legacy_m.rate() : 0.0;
     table.add_row({row.algorithm, std::to_string(row.n), fmt_states(legacy_m),
                    util::Table::fmt(legacy_m.rate(), 0), fmt_states(fly_m),
-                   util::Table::fmt(fly_m.rate(), 0), util::Table::fmt(speedup, 2)});
+                   util::Table::fmt(fly_m.rate(), 0), util::Table::fmt(speedup, 2),
+                   fmt_mib(fly_m.peak_bytes)});
     if (row.n == 3) {
       legacy_n3_states += static_cast<double>(legacy_m.states);
       legacy_n3_secs += legacy_m.seconds;
@@ -290,15 +318,149 @@ double engine_report() {
   return aggregate;
 }
 
+// Memory acceptance: one uncapped yang-anderson n=4 exploration (the
+// 5.9M-state space PR-3 measured at ~773 MiB) must fit in a 3x smaller peak
+// with the frontier/closed-store split. Returns the reduction ratio.
+double memory_report() {
+  benchx::print_header(
+      "E11: checker memory — hot frontier + packed closed store",
+      "Uncapped yang-anderson n=4; peak_memory_bytes = engine-owned RAM\n"
+      "tables at their high-water mark (identical for every worker count).");
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 8'000'000;
+  const auto result = check::check_algorithm(*info.algorithm, 4, options);
+  const double ratio =
+      result.peak_memory_bytes > 0
+          ? static_cast<double>(kPr3YangAndersonN4PeakBytes) /
+                static_cast<double>(result.peak_memory_bytes)
+          : 0.0;
+  std::printf(
+      "yang-anderson n=4: %llu states, peak %s MiB vs PR-3 %s MiB — %.2fx smaller "
+      "(acceptance floor %.1fx)\n\n",
+      static_cast<unsigned long long>(result.states),
+      fmt_mib(result.peak_memory_bytes).c_str(), fmt_mib(kPr3YangAndersonN4PeakBytes).c_str(),
+      ratio, kMemoryReductionFloor);
+  return ratio;
+}
+
+// ---------------------------------------------------------------------------
+// Per-level dispatch cost: spawn-per-dispatch (what every BFS level paid
+// before exp::TaskPool) vs waking a persistent pool. Tiny tasks isolate the
+// dispatch overhead itself.
+// ---------------------------------------------------------------------------
+
+// The pre-pool dispatch: spawn `workers` threads, round-robin the indices,
+// join — a faithful miniature of the old run_indexed_tasks.
+void spawn_dispatch(std::size_t count, int workers,
+                    const std::function<void(std::size_t, int)>& task) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < count;
+           i += static_cast<std::size_t>(workers)) {
+        task(i, w);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+double dispatch_report() {
+  benchx::print_header(
+      "E12: per-level dispatch — thread spawn vs persistent TaskPool",
+      "1024 dispatches of 64 near-empty tasks on 4 workers: the per-BFS-level\n"
+      "fan-out cost for a deep, narrow state space.");
+  constexpr std::size_t kDispatches = 1024;
+  constexpr std::size_t kTasksPer = 64;
+  constexpr int kWorkers = 4;
+  std::atomic<std::uint64_t> sink{0};
+  const std::function<void(std::size_t, int)> task = [&](std::size_t i, int) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t d = 0; d < kDispatches; ++d) spawn_dispatch(kTasksPer, kWorkers, task);
+  const auto t1 = std::chrono::steady_clock::now();
+  exp::TaskPool pool(kWorkers);
+  const auto t2 = std::chrono::steady_clock::now();
+  for (std::size_t d = 0; d < kDispatches; ++d) pool.run(kTasksPer, task);
+  const auto t3 = std::chrono::steady_clock::now();
+
+  const double spawn_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kDispatches;
+  const double pool_us =
+      std::chrono::duration<double, std::micro>(t3 - t2).count() / kDispatches;
+  const double ratio = pool_us > 0 ? spawn_us / pool_us : 0.0;
+  std::printf(
+      "spawn-per-dispatch %.1f us/level, persistent pool %.1f us/level — %.1fx "
+      "cheaper (sink %llu)\n\n",
+      spawn_us, pool_us, ratio,
+      static_cast<unsigned long long>(sink.load(std::memory_order_relaxed)));
+  return ratio;
+}
+
+// ---------------------------------------------------------------------------
+// Deep, narrow state space: few processes with long programs. The frontier
+// stays in the hundreds while the exploration runs ~130 levels, so per-level
+// dispatch latency — not expansion throughput — dominates a parallel check.
+// ---------------------------------------------------------------------------
+
+class DeepNarrowProcess final : public algo::CloneableAutomaton<DeepNarrowProcess> {
+ public:
+  static constexpr int kSpinWrites = 40;
+
+  explicit DeepNarrowProcess(sim::Pid pid) : pid_(pid) {}
+
+  sim::Step propose() const override {
+    if (pc_ == 0) return sim::Step::crit_step(pid_, sim::CritKind::kTry);
+    if (pc_ <= kSpinWrites) return sim::Step::write(pid_, pid_, pc_);
+    switch (pc_ - kSpinWrites) {
+      case 1: return sim::Step::crit_step(pid_, sim::CritKind::kEnter);
+      case 2: return sim::Step::crit_step(pid_, sim::CritKind::kExit);
+      default: break;
+    }
+    return sim::Step::crit_step(pid_, sim::CritKind::kRem);
+  }
+
+  void advance(sim::Value) override {
+    if (pc_ < kSpinWrites + 4) ++pc_;
+  }
+
+  bool done() const override { return pc_ == kSpinWrites + 4; }
+
+  void hash_into(util::Hasher& hasher) const { hasher.add_all({pc_, pid_}); }
+
+ private:
+  sim::Pid pid_;
+  int pc_ = 0;
+};
+
+class DeepNarrowAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "deep-narrow-fixture"; }
+  int num_registers(int n) const override { return n; }
+  std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int) const override {
+    return std::make_unique<DeepNarrowProcess>(pid);
+  }
+};
+
 void bm_check_flyweight(benchmark::State& state, const std::string& name, int n) {
   const auto& info = algo::algorithm_by_name(name);
+  std::uint64_t peak = 0;
   for (auto _ : state) {
     check::CheckOptions options;
     options.max_states = 4'000'000;
     const auto result = check::check_algorithm(*info.algorithm, n, options);
     if (!result.ok) state.SkipWithError("check failed");
     benchmark::DoNotOptimize(result.states);
+    peak = result.peak_memory_bytes;
   }
+  // Deterministic per run, so the perf gate can track regressions of the
+  // engine's table footprint alongside real_time.
+  state.counters["peak_memory_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
 }
 
 void bm_check_legacy(benchmark::State& state, const std::string& name, int n) {
@@ -310,23 +472,55 @@ void bm_check_legacy(benchmark::State& state, const std::string& name, int n) {
   }
 }
 
+// The deep-narrow fixture under 4 workers: ~130 BFS levels whose frontier
+// peaks in the low thousands, so per-level pool dispatch latency dominates.
+// Mutual exclusion is deliberately not checked (the fixture's processes are
+// independent); progress must hold.
+void bm_check_deep_narrow(benchmark::State& state) {
+  DeepNarrowAlgorithm algorithm;
+  std::uint64_t peak = 0;
+  for (auto _ : state) {
+    check::CheckOptions options;
+    options.check_mutex = false;
+    options.workers = 4;
+    options.max_states = 4'000'000;
+    const auto result = check::check_algorithm(algorithm, 3, options);
+    if (!result.ok) state.SkipWithError("check failed");
+    benchmark::DoNotOptimize(result.states);
+    peak = result.peak_memory_bytes;
+  }
+  state.counters["peak_memory_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+}
+
 BENCHMARK_CAPTURE(bm_check_flyweight, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_check_flyweight, yang_anderson_n3, "yang-anderson", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_check_legacy, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_check_deep_narrow)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const double aggregate = engine_report();
+  const double memory_ratio = memory_report();
+  dispatch_report();  // informational: pool vs spawn dispatch latency
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  int rc = 0;
   if (aggregate < kAcceptanceFloor) {
     std::fprintf(stderr, "FAIL: aggregate n=3 speedup %.2fx below %.1fx floor\n",
                  aggregate, kAcceptanceFloor);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (memory_ratio < kMemoryReductionFloor) {
+    std::fprintf(stderr,
+                 "FAIL: yang-anderson n=4 peak memory only %.2fx below the PR-3 "
+                 "engine (floor %.1fx)\n",
+                 memory_ratio, kMemoryReductionFloor);
+    rc = 1;
+  }
+  return rc;
 }

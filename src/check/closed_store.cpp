@@ -1,0 +1,191 @@
+#include "check/closed_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace melb::check {
+
+namespace {
+
+// 64-bit-offset seek/tell: a spill file legitimately exceeds 2 GiB (the
+// regime this feature exists for), which overflows the long-based
+// std::fseek/std::ftell on LLP64 and 32-bit platforms.
+#if defined(_WIN32)
+int seek64(std::FILE* file, std::int64_t offset, int whence) {
+  return _fseeki64(file, offset, whence);
+}
+std::int64_t tell64(std::FILE* file) { return _ftelli64(file); }
+#else
+int seek64(std::FILE* file, std::int64_t offset, int whence) {
+  return fseeko(file, static_cast<off_t>(offset), whence);
+}
+std::int64_t tell64(std::FILE* file) { return static_cast<std::int64_t>(ftello(file)); }
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpillFile.
+// ---------------------------------------------------------------------------
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::int64_t SpillFile::append(const void* data, std::size_t bytes) {
+  if (file_ == nullptr) {
+    if (open_failed_) return -1;
+    file_ = std::tmpfile();
+    if (file_ == nullptr) {
+      open_failed_ = true;  // no temp storage: stay in RAM, never abort
+      return -1;
+    }
+  }
+  if (seek64(file_, 0, SEEK_END) != 0) return -1;
+  const std::int64_t offset = tell64(file_);
+  if (offset < 0) return -1;
+  if (std::fwrite(data, 1, bytes, file_) != bytes) return -1;
+  bytes_written_ += bytes;
+  return offset;
+}
+
+void SpillFile::read(std::int64_t offset, void* out, std::size_t bytes) const {
+  // Offsets only come from successful append()s, so file_ is open here. A
+  // failed read-back would silently corrupt a counterexample trace or the
+  // progress verdict — for a verification oracle that is strictly worse
+  // than dying loudly, so this aborts in every build type.
+  if (seek64(file_, offset, SEEK_SET) != 0 || std::fread(out, 1, bytes, file_) != bytes) {
+    std::fprintf(stderr,
+                 "melb::check::SpillFile: failed to read %zu spilled bytes at "
+                 "offset %lld — cannot continue without corrupting results\n",
+                 bytes, static_cast<long long>(offset));
+    std::abort();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ClosedStore.
+// ---------------------------------------------------------------------------
+
+void ClosedStore::append(std::uint32_t parent, std::uint8_t pid) {
+  const std::size_t offset = (size_ & (kChunkEntries - 1)) * kEntryBytes;
+  if (offset == 0) {
+    chunks_.emplace_back();
+    chunks_.back().data = std::make_unique<std::uint8_t[]>(kChunkEntries * kEntryBytes);
+  }
+  std::uint8_t* slot = chunks_.back().data.get() + offset;
+  std::memcpy(slot, &parent, sizeof(parent));
+  slot[4] = pid;
+  ++size_;
+}
+
+ClosedStore::Entry ClosedStore::entry(std::uint64_t idx) const {
+  const std::size_t chunk = static_cast<std::size_t>(idx >> kChunkBits);
+  const std::size_t offset = static_cast<std::size_t>(idx & (kChunkEntries - 1)) * kEntryBytes;
+  std::uint8_t raw[kEntryBytes];
+  if (chunks_[chunk].data != nullptr) {
+    std::memcpy(raw, chunks_[chunk].data.get() + offset, kEntryBytes);
+  } else {
+    spill_file_->read(chunks_[chunk].spill_offset + static_cast<std::int64_t>(offset), raw,
+                      kEntryBytes);
+  }
+  Entry e;
+  std::memcpy(&e.parent, raw, sizeof(e.parent));
+  e.pid = raw[4];
+  return e;
+}
+
+bool ClosedStore::has_spillable_chunk() const {
+  // Only full chunks spill; the tail chunk is still being appended to.
+  return !chunks_.empty() && next_spill_ + 1 < chunks_.size();
+}
+
+std::uint64_t ClosedStore::spill_oldest(SpillFile& file, std::size_t max_chunks) {
+  std::uint64_t freed = 0;
+  while (max_chunks-- > 0 && has_spillable_chunk()) {
+    Chunk& chunk = chunks_[next_spill_];
+    const std::int64_t offset = file.append(chunk.data.get(), kChunkEntries * kEntryBytes);
+    if (offset < 0) return freed;  // spill target unavailable: keep in RAM
+    chunk.spill_offset = offset;
+    chunk.data.reset();
+    spill_file_ = &file;
+    ++next_spill_;
+    freed += kChunkEntries * kEntryBytes;
+  }
+  return freed;
+}
+
+std::uint64_t ClosedStore::memory_bytes() const {
+  const std::size_t resident = chunks_.size() - next_spill_;
+  return resident * kChunkEntries * kEntryBytes + chunks_.capacity() * sizeof(Chunk);
+}
+
+// ---------------------------------------------------------------------------
+// EdgeStore.
+// ---------------------------------------------------------------------------
+
+std::uint8_t* EdgeStore::reserve(std::size_t bytes) {
+  if (chunks_.empty() || chunks_.back().used + bytes > kChunkBytes ||
+      chunks_.back().data == nullptr) {
+    chunks_.emplace_back();
+    chunks_.back().data = std::make_unique<std::uint8_t[]>(kChunkBytes);
+  }
+  return chunks_.back().data.get() + chunks_.back().used;
+}
+
+void EdgeStore::append(std::uint32_t from, std::uint32_t to, bool to_is_new) {
+  // Worst case: two 5-byte varints.
+  std::uint8_t buf[10];
+  std::size_t len = 0;
+  const std::uint64_t head =
+      (static_cast<std::uint64_t>(from - last_from_) << 1) | (to_is_new ? 0 : 1);
+  std::uint64_t v = head;
+  while (v >= 0x80) {
+    buf[len++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[len++] = static_cast<std::uint8_t>(v);
+  if (!to_is_new) {
+    const auto delta =
+        static_cast<std::int64_t>(to) - static_cast<std::int64_t>(from);
+    v = (static_cast<std::uint64_t>(delta) << 1) ^
+        static_cast<std::uint64_t>(delta >> 63);
+    while (v >= 0x80) {
+      buf[len++] = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    buf[len++] = static_cast<std::uint8_t>(v);
+  }
+  std::uint8_t* out = reserve(len);
+  std::memcpy(out, buf, len);
+  chunks_.back().used += static_cast<std::uint32_t>(len);
+  last_from_ = from;
+  ++count_;
+}
+
+bool EdgeStore::has_spillable_chunk() const {
+  return !chunks_.empty() && next_spill_ + 1 < chunks_.size();
+}
+
+std::uint64_t EdgeStore::spill_oldest(SpillFile& file, std::size_t max_chunks) {
+  std::uint64_t freed = 0;
+  while (max_chunks-- > 0 && has_spillable_chunk()) {
+    Chunk& chunk = chunks_[next_spill_];
+    const std::int64_t offset = file.append(chunk.data.get(), chunk.used);
+    if (offset < 0) return freed;
+    chunk.spill_offset = offset;
+    chunk.data.reset();
+    file_ = &file;
+    ++next_spill_;
+    freed += kChunkBytes;
+  }
+  return freed;
+}
+
+std::uint64_t EdgeStore::memory_bytes() const {
+  const std::size_t resident = chunks_.size() - next_spill_;
+  return resident * kChunkBytes + chunks_.capacity() * sizeof(Chunk);
+}
+
+}  // namespace melb::check

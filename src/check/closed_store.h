@@ -1,0 +1,187 @@
+// Cold storage for the model checker's closed (fully expanded) states.
+//
+// The flyweight engine used to keep a full 24-byte record plus a stride-n
+// automaton row for every state it ever discovered, even though everything
+// past the current BFS frontier is only ever read again for two purposes:
+// reconstructing a counterexample trace (walk the parent chain, then replay
+// the acting pids forward from the root) and the progress check's reverse
+// reachability (which needs edges, not states). So the engine now splits its
+// storage: the hot frontier keeps full expansion records for the current and
+// next level only, and everything closed drops to the two structures here —
+// in the spirit of SPIN's collapse compression and disk-based BFS checkers,
+// which cross the RAM-bound regime by keeping only fingerprints/frontiers
+// hot and spilling or compressing closed levels.
+//
+//  * ClosedStore: per state, a packed 5-byte (parent index, acting pid)
+//    record in fixed-size chunks — enough to rebuild any trace by replaying
+//    the parent chain through the interning pools' memoized δ.
+//  * EdgeStore: the transition list, delta-compressed to ~1-4 bytes per edge
+//    (vs 8 flat). Appends arrive in the serial sequencing order, so `from` is
+//    non-decreasing (varint delta) and a "new state" edge's target is
+//    implicit — targets are assigned consecutively, so a one-bit flag
+//    replaces the 4-byte index. Dedup edges store zigzag(to - from).
+//
+// Both stores spill their oldest chunks to an anonymous temp file when the
+// engine's tracked memory crosses CheckOptions::memory_limit_mb: chunks are
+// written once, freed from RAM, and read back on demand (ClosedStore::entry
+// seeks per record; EdgeStore::for_each streams chunk-at-a-time). Spilling
+// is a pure function of the append sequence and the limit — never of the
+// worker count — so spill points, peak_memory_bytes, and spilled_bytes stay
+// byte-identical across --workers values.
+//
+// Thread-safety: none. All mutation and all reads happen in the engine's
+// serial phases (sequencing, trace reconstruction, the progress pass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace melb::check {
+
+// Shared spill target: an unlinked temp file (std::tmpfile) that chunks are
+// appended to and read back from by offset. Lazily opened on first spill; if
+// the platform refuses a temp file, spilling is disabled and the stores
+// simply stay in RAM (degrade to the old behavior, never abort).
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Appends `bytes` bytes and returns their file offset, or -1 on failure.
+  std::int64_t append(const void* data, std::size_t bytes);
+  // Reads `bytes` bytes at `offset` (previously returned by append).
+  void read(std::int64_t offset, void* out, std::size_t bytes) const;
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool open_failed_ = false;
+  std::uint64_t bytes_written_ = 0;
+};
+
+// idx -> (parent idx, acting pid), append-only, chunked, oldest chunks
+// spillable. The root must be appended too (parent 0, pid 0xff) so indices
+// line up.
+class ClosedStore {
+ public:
+  static constexpr std::size_t kChunkBits = 16;  // 65536 entries = 320 KiB
+  static constexpr std::size_t kChunkEntries = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kEntryBytes = 5;
+
+  struct Entry {
+    std::uint32_t parent = 0;
+    std::uint8_t pid = 0;
+  };
+
+  void append(std::uint32_t parent, std::uint8_t pid);
+  Entry entry(std::uint64_t idx) const;  // reads the spill file if chunk spilled
+  std::uint64_t size() const { return size_; }
+
+  // Spills (at most) the oldest `max_chunks` still-resident full chunks.
+  // Returns the number of bytes moved out of RAM.
+  std::uint64_t spill_oldest(SpillFile& file, std::size_t max_chunks);
+  bool has_spillable_chunk() const;
+
+  std::uint64_t memory_bytes() const;  // RAM-resident chunks only
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;  // null once spilled
+    std::int64_t spill_offset = -1;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::uint64_t size_ = 0;
+  std::size_t next_spill_ = 0;  // first chunk not yet spilled
+  const SpillFile* spill_file_ = nullptr;
+};
+
+// Append-only delta-compressed transition list. Edges must be appended in
+// the engine's serial sequencing order (non-decreasing `from`; every new
+// state's creating edge appended exactly when its index is assigned).
+class EdgeStore {
+ public:
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 18;  // 256 KiB
+
+  // `to_is_new` marks the edge that created state `to` (targets of such
+  // edges are consecutive, starting at 1, and are not stored).
+  void append(std::uint32_t from, std::uint32_t to, bool to_is_new);
+
+  // Streams every edge, in append order, to fn(from, to). Reads spilled
+  // chunks back from the file sequentially (one chunk-sized buffer).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<std::uint8_t> scratch;
+    std::uint32_t from = 0;
+    std::uint32_t next_new = 1;
+    for (const auto& chunk : chunks_) {
+      const std::uint8_t* bytes = chunk.data.get();
+      if (bytes == nullptr) {
+        scratch.resize(chunk.used);
+        file_->read(chunk.spill_offset, scratch.data(), chunk.used);
+        bytes = scratch.data();
+      }
+      decode_chunk(bytes, chunk.used, from, next_new, fn);
+    }
+  }
+
+  std::uint64_t size() const { return count_; }
+
+  std::uint64_t spill_oldest(SpillFile& file, std::size_t max_chunks);
+  bool has_spillable_chunk() const;
+
+  std::uint64_t memory_bytes() const;  // RAM-resident chunks only
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;  // null once spilled
+    std::uint32_t used = 0;
+    std::int64_t spill_offset = -1;
+  };
+
+  template <class Fn>
+  static void decode_chunk(const std::uint8_t* bytes, std::size_t used,
+                           std::uint32_t& from, std::uint32_t& next_new, Fn&& fn) {
+    std::size_t pos = 0;
+    while (pos < used) {
+      const std::uint64_t head = get_varint(bytes, pos);
+      from += static_cast<std::uint32_t>(head >> 1);
+      std::uint32_t to;
+      if (head & 1) {
+        const std::uint64_t zz = get_varint(bytes, pos);
+        const auto delta = static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+        to = static_cast<std::uint32_t>(static_cast<std::int64_t>(from) + delta);
+      } else {
+        to = next_new++;
+      }
+      fn(from, to);
+    }
+  }
+
+  static std::uint64_t get_varint(const std::uint8_t* bytes, std::size_t& pos) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t b = bytes[pos++];
+      value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  std::uint8_t* reserve(std::size_t bytes);  // chunk tail with >= bytes free
+
+  std::vector<Chunk> chunks_;
+  std::uint64_t count_ = 0;
+  std::uint32_t last_from_ = 0;
+  std::size_t next_spill_ = 0;
+  const SpillFile* file_ = nullptr;
+};
+
+}  // namespace melb::check

@@ -1,6 +1,7 @@
 #include "check/model_checker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -9,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "check/closed_store.h"
 #include "check/intern.h"
 #include "check/state_set.h"
+#include "exp/pool.h"
 #include "exp/runner.h"
 #include "util/hash.h"
 
@@ -28,19 +31,42 @@ using sim::Value;
 constexpr std::uint64_t kNullAutomatonFp = 0x5eed;
 
 // Below this many frontier states a level is expanded inline even when
-// workers > 1: thread fan-out costs more than the work it would split.
+// workers > 1: pool dispatch costs more than the work it would split.
 constexpr std::size_t kMinParallelLevel = 256;
 
-// Packed per-state record; the automaton intern ids live in a parallel flat
-// array with stride n (SoA), register values in the RegisterFilePool.
-struct StateRecord {
-  std::uint64_t aut_hash = 0;    // XOR_p zobrist(regs + p, automaton fp_p)
-  std::uint32_t regfile = 0;     // RegisterFilePool id
-  std::uint32_t parent = 0;
-  std::uint8_t acting_pid = 0xff;  // step taken from parent; 0xff at the root
-  std::int8_t in_cs = 0;           // processes between enter and exit
-  std::uint8_t done_count = 0;     // participants that performed rem
-  std::uint8_t pad = 0;
+// Cap on candidates materialized per parallel batch (~32 MiB of Candidate
+// rows). Huge levels are expanded and sequenced batch by batch, in order, so
+// the per-level candidate scratch stays bounded no matter how wide the
+// frontier gets; visit order — and therefore every statistic — is unchanged.
+constexpr std::size_t kMaxBatchCandidates = std::size_t{1} << 20;
+
+// Hot frontier: full expansion records for the states of one BFS level.
+// Entry k is global state first + k — new states are sequenced into
+// consecutive indices, so the frontier never stores them explicitly.
+struct FrontierLevel {
+  std::uint32_t first = 0;
+  std::vector<std::uint64_t> aut_hash;   // XOR_p zobrist(regs + p, automaton fp_p)
+  std::vector<std::uint32_t> regfile;    // RegisterFilePool ids
+  std::vector<std::int8_t> in_cs;        // processes between enter and exit
+  std::vector<std::uint8_t> done_count;  // participants that performed rem
+  std::vector<std::uint32_t> automata;   // stride n: per-pid intern ids
+
+  std::size_t size() const { return regfile.size(); }
+
+  void reset(std::uint32_t first_index) {
+    first = first_index;
+    aut_hash.clear();
+    regfile.clear();
+    in_cs.clear();
+    done_count.clear();
+    automata.clear();
+  }
+
+  std::uint64_t memory_bytes() const {
+    return aut_hash.capacity() * sizeof(std::uint64_t) +
+           regfile.capacity() * sizeof(std::uint32_t) + in_cs.capacity() +
+           done_count.capacity() + automata.capacity() * sizeof(std::uint32_t);
+  }
 };
 
 // A successor proposal produced by phase 1, before deduplication.
@@ -70,6 +96,7 @@ class Engine {
         workers_(std::max(1, options.workers)),
         // States are indexed by uint32 and the top values are probe sentinels.
         max_states_(std::min<std::uint64_t>(options.max_states, 0xfff00000u)),
+        budget_bytes_(options.memory_limit_mb << 20),
         regpool_(regs_, workers_ > 1) {}
 
   CheckResult run();
@@ -82,15 +109,19 @@ class Engine {
   }
 
   void init_root();
-  void expand_state(std::uint32_t idx, Candidate* out, Value* scratch);
-  std::uint32_t append_state(const Candidate& cand, std::uint32_t parent);
-  void record_mutex_violation(std::uint32_t parent, Pid pid);
-  LevelOutcome serial_level(std::vector<std::uint32_t>& next_level);
-  LevelOutcome sequence_level(std::vector<std::uint32_t>& next_level);
+  void expand_state(std::size_t pos, Candidate* out, Value* scratch);
+  std::uint32_t append_state(const Candidate& cand, std::size_t parent_pos);
+  void record_mutex_violation(std::size_t parent_pos, Pid pid);
+  LevelOutcome serial_level();
+  LevelOutcome phased_level();
+  LevelOutcome sequence_batch(std::size_t batch_begin, std::size_t batch_count);
   std::vector<Step> trace_to(std::uint32_t idx) const;
-  Step step_into(std::uint32_t idx) const;
   void check_progress();
+  std::uint64_t tracked_bytes() const;
+  void note_peak();
+  void close_level();  // peak accounting + budget-driven spilling
   void finalize_stats();
+  exp::TaskPool& task_pool();
 
   const sim::Algorithm& algorithm_;
   const int n_;
@@ -98,35 +129,53 @@ class Engine {
   const int regs_;
   const int workers_;
   const std::uint64_t max_states_;
+  const std::uint64_t budget_bytes_;  // 0 = unlimited
   int num_participants_ = 0;
 
   std::vector<std::unique_ptr<AutomatonPool>> pools_;  // one per pid (null = out)
   RegisterFilePool regpool_;
   StripedStateSet visited_;
 
-  std::vector<StateRecord> records_;
-  std::vector<std::uint32_t> automata_;  // stride n_: state → per-pid intern ids
-  // Transition edges as a flat (from, to) list — one amortized 8-byte append
-  // per edge instead of a heap-allocated adjacency vector per state; the
-  // progress check builds its predecessor CSR from this in one pass.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  // Temperature-split state storage (see header comment).
+  FrontierLevel cur_;
+  FrontierLevel next_;
+  ClosedStore closed_;
+  EdgeStore edges_;
+  SpillFile spill_;
+  std::uint64_t total_states_ = 0;
   std::vector<std::uint32_t> terminals_;
 
-  // Per-level working storage (reused across levels).
-  std::vector<std::uint32_t> expand_;
+  // The root snapshot trace replay starts from.
+  std::vector<Value> root_regs_;
+  std::vector<std::uint32_t> root_automata_;
+
+  // Persistent work-stealing pool, created on the first parallel level and
+  // woken (not re-spawned) for every dispatch after that.
+  std::unique_ptr<exp::TaskPool> pool_;
+
+  // Per-level working storage (reused across levels; excluded from the peak
+  // accounting like per-worker scratch — the serial path never allocates it,
+  // and peak_memory_bytes must be identical for every worker count).
+  std::vector<std::uint32_t> expand_;  // positions in cur_ to expand
   std::vector<Candidate> cands_;
   std::vector<std::uint32_t> probe_;
   std::vector<std::uint32_t> slots_;  // probe slots (valid while slot_ok_)
   std::vector<std::vector<std::uint32_t>> buckets_{StripedStateSet::kStripes};
-  // Per stripe: did the table stay growth-free during this level's phase 2a?
+  // Per stripe: did the table stay growth-free during this batch's phase 2a?
   // If so, phase 2b may use the recorded slots directly (no re-probe).
   std::vector<std::uint8_t> slot_ok_ =
       std::vector<std::uint8_t>(StripedStateSet::kStripes, 0);
   std::vector<std::vector<Value>> scratch_;
 
+  std::uint64_t peak_bytes_ = 0;
   CheckResult result_;
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
+
+exp::TaskPool& Engine::task_pool() {
+  if (!pool_) pool_ = std::make_unique<exp::TaskPool>(workers_);
+  return *pool_;
+}
 
 void Engine::init_root() {
   std::vector<bool> participates(static_cast<std::size_t>(n_),
@@ -139,17 +188,17 @@ void Engine::init_root() {
     }
   }
 
-  std::vector<Value> init_regs(static_cast<std::size_t>(std::max(regs_, 1)), 0);
+  root_regs_.assign(static_cast<std::size_t>(std::max(regs_, 1)), 0);
   std::uint64_t regfp = 0;
   for (sim::Reg r = 0; r < regs_; ++r) {
     const Value v = algorithm_.register_init(r, n_);
-    init_regs[static_cast<std::size_t>(r)] = v;
+    root_regs_[static_cast<std::size_t>(r)] = v;
     regfp ^= util::zobrist_signed(static_cast<std::uint64_t>(r), v);
   }
-  const std::uint32_t regfile = regpool_.intern(init_regs.data(), regfp);
+  const std::uint32_t regfile = regpool_.intern(root_regs_.data(), regfp);
 
   pools_.resize(static_cast<std::size_t>(n_));
-  automata_.resize(static_cast<std::size_t>(n_), AutomatonPool::kNone);
+  root_automata_.assign(static_cast<std::size_t>(n_), AutomatonPool::kNone);
   std::uint64_t aut_hash = 0;
   for (Pid p = 0; p < n_; ++p) {
     if (participates[static_cast<std::size_t>(p)]) {
@@ -157,17 +206,21 @@ void Engine::init_root() {
           std::make_unique<AutomatonPool>(workers_ > 1, automaton_slot(p));
       const std::uint32_t id = pools_[static_cast<std::size_t>(p)]->intern_initial(
           algorithm_.make_process(p, n_));
-      automata_[static_cast<std::size_t>(p)] = id;
+      root_automata_[static_cast<std::size_t>(p)] = id;
       aut_hash ^= pools_[static_cast<std::size_t>(p)]->propose(id).zkey;
     } else {
       aut_hash ^= util::zobrist(automaton_slot(p), kNullAutomatonFp);
     }
   }
 
-  StateRecord root;
-  root.aut_hash = aut_hash;
-  root.regfile = regfile;
-  records_.push_back(root);
+  cur_.reset(0);
+  cur_.aut_hash.push_back(aut_hash);
+  cur_.regfile.push_back(regfile);
+  cur_.in_cs.push_back(0);
+  cur_.done_count.push_back(0);
+  cur_.automata.insert(cur_.automata.end(), root_automata_.begin(), root_automata_.end());
+  closed_.append(0, 0xff);
+  total_states_ = 1;
   visited_.find_or_reserve(regfp ^ aut_hash);
   visited_.commit(regfp ^ aut_hash, 0);
 
@@ -175,18 +228,22 @@ void Engine::init_root() {
                   std::vector<Value>(static_cast<std::size_t>(std::max(regs_, 1))));
 }
 
-// Compute all successor candidates of state `idx` into out[0..n). Touches
-// only the caller-owned candidate row plus the (internally locked when
-// threaded) interning pools, so parallel chunks can run on any worker.
-void Engine::expand_state(std::uint32_t idx, Candidate* out, Value* scratch) {
-  const StateRecord rec = records_[idx];
-  const std::uint64_t parent_regfp = regpool_.copy_to(rec.regfile, scratch);
+// Compute all successor candidates of the frontier state at `pos` into
+// out[0..n). Touches only the caller-owned candidate row plus the
+// (internally locked when threaded) interning pools, so parallel chunks can
+// run on any worker.
+void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
+  const std::uint64_t parent_aut_hash = cur_.aut_hash[pos];
+  const std::uint32_t parent_regfile = cur_.regfile[pos];
+  const std::int8_t parent_in_cs = cur_.in_cs[pos];
+  const std::uint8_t parent_done = cur_.done_count[pos];
+  const std::uint64_t parent_regfp = regpool_.copy_to(parent_regfile, scratch);
+  const std::uint32_t* row = cur_.automata.data() + pos * static_cast<std::size_t>(n_);
 
   for (Pid pid = 0; pid < n_; ++pid) {
     Candidate& cand = out[pid];
     cand.valid = 0;
-    const std::uint32_t aid =
-        automata_[static_cast<std::size_t>(idx) * n_ + static_cast<std::size_t>(pid)];
+    const std::uint32_t aid = row[pid];
     if (aid == AutomatonPool::kNone) continue;
     AutomatonPool& pool = *pools_[static_cast<std::size_t>(pid)];
     const auto expanded = pool.expand(aid, scratch);
@@ -194,9 +251,9 @@ void Engine::expand_state(std::uint32_t idx, Candidate* out, Value* scratch) {
     const Step& step = *expanded.step;
 
     std::uint64_t regfp = parent_regfp;
-    std::uint32_t regfile = rec.regfile;
-    std::int8_t in_cs = rec.in_cs;
-    std::uint8_t done_count = rec.done_count;
+    std::uint32_t regfile = parent_regfile;
+    std::int8_t in_cs = parent_in_cs;
+    std::uint8_t done_count = parent_done;
 
     if (step.type == StepType::kWrite || step.type == StepType::kRmw) {
       const auto reg = static_cast<std::size_t>(step.reg);
@@ -216,7 +273,7 @@ void Engine::expand_state(std::uint32_t idx, Candidate* out, Value* scratch) {
       if (step.crit == CritKind::kRem) ++done_count;
     }
 
-    const std::uint64_t aut_hash = rec.aut_hash ^ expanded.zkey_delta;
+    const std::uint64_t aut_hash = parent_aut_hash ^ expanded.zkey_delta;
     cand.fp = regfp ^ aut_hash;
     cand.aut_hash = aut_hash;
     cand.regfile = regfile;
@@ -228,38 +285,32 @@ void Engine::expand_state(std::uint32_t idx, Candidate* out, Value* scratch) {
   }
 }
 
-// Appends the candidate as a fresh state record (the caller has already
-// decided it is new) and returns its index.
-std::uint32_t Engine::append_state(const Candidate& cand, std::uint32_t parent) {
+// Appends the candidate as a fresh state (the caller has already decided it
+// is new): a 5-byte closed record plus a full record in the next frontier.
+// Returns its global index.
+std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos) {
   const std::size_t stride = static_cast<std::size_t>(n_);
-  const auto target = static_cast<std::uint32_t>(records_.size());
-  StateRecord rec;
-  rec.aut_hash = cand.aut_hash;
-  rec.regfile = cand.regfile;
-  rec.parent = parent;
-  rec.acting_pid = cand.pid;
-  rec.in_cs = cand.in_cs;
-  rec.done_count = cand.done_count;
-  records_.push_back(rec);
-  // Stage the new automaton row in a local buffer before appending: inserting
-  // a range that aliases the destination vector is undefined when the insert
-  // reallocates — exactly the dangling-reference class the old engine's BFS
-  // loop suffered from (automaton reference held across states.push_back).
-  std::uint32_t row[64];  // n_ <= 64 enforced in run()
-  const std::uint32_t* parent_row = automata_.data() + static_cast<std::size_t>(parent) * stride;
-  for (std::size_t k = 0; k < stride; ++k) row[k] = parent_row[k];
-  row[cand.pid] = cand.next_aut;
-  automata_.insert(automata_.end(), row, row + stride);
+  const auto target = static_cast<std::uint32_t>(total_states_);
+  ++total_states_;
+  closed_.append(cur_.first + static_cast<std::uint32_t>(parent_pos), cand.pid);
+  next_.aut_hash.push_back(cand.aut_hash);
+  next_.regfile.push_back(cand.regfile);
+  next_.in_cs.push_back(cand.in_cs);
+  next_.done_count.push_back(cand.done_count);
+  // Parent row lives in cur_, the destination in next_ — no self-aliasing
+  // insert (the hazard class the pre-flyweight engine suffered from).
+  const std::uint32_t* parent_row = cur_.automata.data() + parent_pos * stride;
+  next_.automata.insert(next_.automata.end(), parent_row, parent_row + stride);
+  next_.automata[next_.automata.size() - stride + cand.pid] = cand.next_aut;
   return target;
 }
 
-void Engine::record_mutex_violation(std::uint32_t parent, Pid pid) {
+void Engine::record_mutex_violation(std::size_t parent_pos, Pid pid) {
   result_.violation = "mutual exclusion violated: two processes in the critical section";
-  auto steps = trace_to(parent);
+  auto steps = trace_to(cur_.first + static_cast<std::uint32_t>(parent_pos));
   steps.push_back(*pools_[static_cast<std::size_t>(pid)]
-                       ->propose(automata_[static_cast<std::size_t>(parent) *
-                                               static_cast<std::size_t>(n_) +
-                                           static_cast<std::size_t>(pid)])
+                       ->propose(cur_.automata[parent_pos * static_cast<std::size_t>(n_) +
+                                               static_cast<std::size_t>(pid)])
                        .step);
   result_.counterexample = std::move(steps);
 }
@@ -269,14 +320,15 @@ void Engine::record_mutex_violation(std::uint32_t parent, Pid pid) {
 // candidate buffers, no bucketing. Visits candidates in exactly the same
 // (parent index, pid) order as the phased path, so every output — indices,
 // traces, dedup counts, table growth — is identical.
-Engine::LevelOutcome Engine::serial_level(std::vector<std::uint32_t>& next_level) {
+Engine::LevelOutcome Engine::serial_level() {
   Candidate row[64];  // n_ <= 64 enforced in run()
   Value* scratch = scratch_[0].data();
   const bool check_mutex = options_.check_mutex;
   LevelOutcome outcome = LevelOutcome::kContinue;
   for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
-    const std::uint32_t parent = expand_[ei];
-    expand_state(parent, row, scratch);
+    const std::size_t parent_pos = expand_[ei];
+    const std::uint32_t parent = cur_.first + static_cast<std::uint32_t>(parent_pos);
+    expand_state(parent_pos, row, scratch);
     for (Pid pid = 0; pid < n_; ++pid) {
       const Candidate& cand = row[pid];
       if (!cand.valid) continue;
@@ -290,60 +342,63 @@ Engine::LevelOutcome Engine::serial_level(std::vector<std::uint32_t>& next_level
         continue;
       }
       if (check_mutex && cand.in_cs > 1) {
-        record_mutex_violation(parent, pid);
+        record_mutex_violation(parent_pos, pid);
         outcome = LevelOutcome::kViolation;
         visited_.find_or_reserve(cand.fp);  // 2a reserved it before 2b aborted
         continue;
       }
       std::uint32_t target;
+      bool is_new = false;
       FlatStateSet& stripe = visited_.stripe(visited_.stripe_of(cand.fp));
       const auto probe = stripe.find_or_reserve(cand.fp);
       if (!probe.found) {
-        target = append_state(cand, parent);
+        target = append_state(cand, parent_pos);
         stripe.commit_slot(probe.slot, target);  // valid: no growth since probe
-        next_level.push_back(target);
+        is_new = true;
       } else {
         target = probe.idx;
         ++result_.dedup_hits;
       }
       if (target != parent) {  // ignore free-spin self-loops
-        edges_.emplace_back(parent, target);
+        if (options_.check_progress) edges_.append(parent, target, is_new);
         ++result_.transitions;
       }
-      if (records_.size() > max_states_) outcome = LevelOutcome::kExhausted;
+      if (total_states_ > max_states_) outcome = LevelOutcome::kExhausted;
     }
   }
   return outcome;
 }
 
-// Phase 2b: walk candidates in (parent index, pid) order — the serial BFS
-// order — assigning state indices, recording edges, and checking mutual
-// exclusion. Serial and deterministic by construction.
-Engine::LevelOutcome Engine::sequence_level(std::vector<std::uint32_t>& next_level) {
+// Phase 2b for one batch: walk its candidates in (parent index, pid) order —
+// the serial BFS order — assigning state indices, recording edges, and
+// checking mutual exclusion. Serial and deterministic by construction.
+Engine::LevelOutcome Engine::sequence_batch(std::size_t batch_begin,
+                                            std::size_t batch_count) {
   const std::size_t stride = static_cast<std::size_t>(n_);
-  for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
-    const std::uint32_t parent = expand_[ei];
+  for (std::size_t bi = 0; bi < batch_count; ++bi) {
+    const std::size_t parent_pos = expand_[batch_begin + bi];
+    const std::uint32_t parent = cur_.first + static_cast<std::uint32_t>(parent_pos);
     for (Pid pid = 0; pid < n_; ++pid) {
-      const std::size_t ci = ei * stride + static_cast<std::size_t>(pid);
+      const std::size_t ci = bi * stride + static_cast<std::size_t>(pid);
       const Candidate& cand = cands_[ci];
       if (!cand.valid) continue;
 
       if (options_.check_mutex && cand.in_cs > 1) {
-        record_mutex_violation(parent, pid);
+        record_mutex_violation(parent_pos, pid);
         return LevelOutcome::kViolation;
       }
 
       std::uint32_t target;
+      bool is_new = false;
       FlatStateSet& stripe = visited_.stripe(cand.stripe);
       if (probe_[ci] == kReservedNew) {
+        target = append_state(cand, parent_pos);
         if (slot_ok_[cand.stripe]) {
-          target = append_state(cand, parent);
           stripe.commit_slot(slots_[ci], target);
         } else {
-          target = append_state(cand, parent);
           stripe.commit(cand.fp, target);
         }
-        next_level.push_back(target);
+        is_new = true;
       } else if (probe_[ci] == kPendingDup) {
         target = slot_ok_[cand.stripe] ? stripe.idx_at(slots_[ci]) : stripe.lookup(cand.fp);
         ++result_.dedup_hits;
@@ -353,49 +408,123 @@ Engine::LevelOutcome Engine::sequence_level(std::vector<std::uint32_t>& next_lev
       }
 
       if (target != parent) {  // ignore free-spin self-loops
-        edges_.emplace_back(parent, target);
+        if (options_.check_progress) edges_.append(parent, target, is_new);
         ++result_.transitions;
       }
-      if (records_.size() > max_states_) return LevelOutcome::kExhausted;
+      if (total_states_ > max_states_) return LevelOutcome::kExhausted;
     }
   }
   return LevelOutcome::kContinue;
 }
 
-// The step taken from records_[idx].parent to reach idx: the memoized
-// propose() of the parent's interned automaton for the acting pid.
-Step Engine::step_into(std::uint32_t idx) const {
-  const StateRecord& rec = records_[idx];
-  if (rec.acting_pid == 0xff) return Step{};
-  const std::uint32_t aid =
-      automata_[static_cast<std::size_t>(rec.parent) * static_cast<std::size_t>(n_) +
-                rec.acting_pid];
-  return *pools_[rec.acting_pid]->propose(aid).step;
+// Parallel path: batches of candidates are generated on the pool (phase 1),
+// probed/reserved per stripe without locks (phase 2a), then sequenced
+// serially (phase 2b). After an abort the remaining batches still run
+// phases 1 and 2a — reservation side effects must match the serial drain.
+Engine::LevelOutcome Engine::phased_level() {
+  const std::size_t stride = static_cast<std::size_t>(n_);
+  const std::size_t per_batch =
+      std::max<std::size_t>(1, kMaxBatchCandidates / stride);
+  LevelOutcome outcome = LevelOutcome::kContinue;
+
+  for (std::size_t begin = 0; begin < expand_.size(); begin += per_batch) {
+    const std::size_t count = std::min(per_batch, expand_.size() - begin);
+    cands_.resize(count * stride);
+    probe_.resize(cands_.size());
+    slots_.resize(cands_.size());
+    const bool parallel = count >= kMinParallelLevel;
+    const std::size_t chunks =
+        parallel ? std::min(count, static_cast<std::size_t>(workers_) * 4) : 1;
+
+    // Phase 1: generate candidates in parallel chunks.
+    task_pool().run(chunks, [&](std::size_t chunk, int worker) {
+      const std::size_t cbegin = chunk * count / chunks;
+      const std::size_t cend = (chunk + 1) * count / chunks;
+      Value* scratch = scratch_[static_cast<std::size_t>(worker)].data();
+      for (std::size_t bi = cbegin; bi < cend; ++bi) {
+        expand_state(expand_[begin + bi], cands_.data() + bi * stride, scratch);
+      }
+    });
+
+    // Phase 2a: bucket candidates by visited-set stripe (in rank order),
+    // then probe/reserve each stripe independently — no locks, no races.
+    for (auto& bucket : buckets_) bucket.clear();
+    for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
+      if (cands_[ci].valid) {
+        const std::size_t stripe = visited_.stripe_of(cands_[ci].fp);
+        cands_[ci].stripe = static_cast<std::uint8_t>(stripe);
+        buckets_[stripe].push_back(static_cast<std::uint32_t>(ci));
+      }
+    }
+    task_pool().run(StripedStateSet::kStripes, [&](std::size_t s, int) {
+      FlatStateSet& stripe = visited_.stripe(s);
+      const std::uint32_t gen = stripe.generation();
+      for (const std::uint32_t ci : buckets_[s]) {
+        const auto probe = stripe.find_or_reserve(cands_[ci].fp);
+        probe_[ci] = !probe.found ? kReservedNew
+                     : probe.idx == FlatStateSet::kPending ? kPendingDup
+                                                           : probe.idx;
+        slots_[ci] = probe.slot;
+      }
+      slot_ok_[s] = stripe.generation() == gen ? std::uint8_t{1} : std::uint8_t{0};
+    });
+
+    // Phase 2b: deterministic sequencing (skipped after an abort — the
+    // reservations above are exactly the serial drain's side effects).
+    if (outcome == LevelOutcome::kContinue) {
+      outcome = sequence_batch(begin, count);
+    }
+  }
+  return outcome;
 }
 
+// Reconstructs the step sequence from the root to state `idx` by walking the
+// closed store's parent chain (reading spilled chunks back if needed), then
+// replaying the acting pids forward from the root snapshot through the
+// pools' memoized δ — the replay recomputes each Step instead of storing it.
 std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
-  std::vector<Step> steps;
+  std::vector<std::uint8_t> pids;
   while (idx != 0) {
-    steps.push_back(step_into(idx));
-    idx = records_[idx].parent;
+    const ClosedStore::Entry e = closed_.entry(idx);
+    pids.push_back(e.pid);
+    idx = e.parent;
   }
-  std::reverse(steps.begin(), steps.end());
+  std::reverse(pids.begin(), pids.end());
+
+  std::vector<Value> regs = root_regs_;
+  std::vector<std::uint32_t> automata = root_automata_;
+  std::vector<Step> steps;
+  steps.reserve(pids.size());
+  for (const std::uint8_t pid : pids) {
+    const auto expanded = pools_[pid]->expand(automata[pid], regs.data());
+    const Step& step = *expanded.step;
+    steps.push_back(step);
+    if (step.type == StepType::kWrite) {
+      regs[static_cast<std::size_t>(step.reg)] = step.value;
+    } else if (step.type == StepType::kRmw) {
+      Value& cell = regs[static_cast<std::size_t>(step.reg)];
+      cell = sim::apply_rmw(step, cell);
+    }
+    automata[pid] = expanded.next_id;
+  }
   return steps;
 }
 
 void Engine::check_progress() {
   // Reverse reachability from terminal states; anything unreached is a state
   // from which termination is impossible. The predecessor adjacency is built
-  // from the flat edge list as a CSR (counting sort by target).
-  std::vector<std::uint32_t> offsets(records_.size() + 1, 0);
-  for (const auto& [from, to] : edges_) ++offsets[to + 1];
+  // as a CSR by streaming the compressed edge list twice (counting sort by
+  // target).
+  std::vector<std::uint32_t> offsets(total_states_ + 1, 0);
+  edges_.for_each([&](std::uint32_t, std::uint32_t to) { ++offsets[to + 1]; });
   for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
   std::vector<std::uint32_t> preds(edges_.size());
   {
     std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (const auto& [from, to] : edges_) preds[cursor[to]++] = from;
+    edges_.for_each(
+        [&](std::uint32_t from, std::uint32_t to) { preds[cursor[to]++] = from; });
   }
-  std::vector<bool> can_finish(records_.size(), false);
+  std::vector<bool> can_finish(total_states_, false);
   std::deque<std::uint32_t> queue;
   for (std::uint32_t t : terminals_) {
     can_finish[t] = true;
@@ -412,7 +541,7 @@ void Engine::check_progress() {
       }
     }
   }
-  for (std::uint32_t idx = 0; idx < records_.size(); ++idx) {
+  for (std::uint32_t idx = 0; idx < total_states_; ++idx) {
     if (!can_finish[idx]) {
       result_.violation =
           "progress violated: state with no path to termination (livelock)";
@@ -422,24 +551,53 @@ void Engine::check_progress() {
   }
 }
 
+// Engine-owned tables currently resident in RAM. Deliberately excludes
+// per-worker scratch and the parallel path's candidate buffers (the serial
+// path has neither) so the figure is identical for every worker count.
+std::uint64_t Engine::tracked_bytes() const {
+  std::uint64_t bytes = closed_.memory_bytes() + edges_.memory_bytes() +
+                        visited_.memory_bytes() + regpool_.memory_bytes() +
+                        cur_.memory_bytes() + next_.memory_bytes() +
+                        terminals_.capacity() * sizeof(std::uint32_t) +
+                        expand_.capacity() * sizeof(std::uint32_t);
+  for (const auto& pool : pools_) {
+    if (pool) bytes += pool->memory_bytes();
+  }
+  return bytes;
+}
+
+void Engine::note_peak() { peak_bytes_ = std::max(peak_bytes_, tracked_bytes()); }
+
+// End-of-level bookkeeping: record the in-RAM high-water mark, then spill
+// closed/edge chunks until the tracked footprint fits the budget (edge
+// chunks first — they are only re-read once, by the progress pass). Spill
+// decisions are a pure function of deterministic byte counts, so they are
+// identical for every worker count.
+void Engine::close_level() {
+  note_peak();
+  if (budget_bytes_ == 0) return;
+  while (tracked_bytes() > budget_bytes_) {
+    std::uint64_t freed = 0;
+    if (edges_.has_spillable_chunk()) {
+      freed = edges_.spill_oldest(spill_, 8);
+    } else if (closed_.has_spillable_chunk()) {
+      freed = closed_.spill_oldest(spill_, 8);
+    }
+    if (freed == 0) break;  // nothing left to spill (or no temp storage)
+  }
+}
+
 void Engine::finalize_stats() {
-  result_.states = records_.size();
+  // Peak accounting only — no budget enforcement: the run is over, so
+  // spilling here would be dead I/O that inflates spilled_bytes.
+  note_peak();
+  result_.states = total_states_;
   result_.interned_regfiles = regpool_.size();
   for (const auto& pool : pools_) {
     if (pool) result_.interned_automata += pool->size();
   }
-
-  // Engine-owned tables only; deliberately excludes per-worker scratch so the
-  // figure is identical for every worker count.
-  std::uint64_t bytes = records_.capacity() * sizeof(StateRecord) +
-                        automata_.capacity() * sizeof(std::uint32_t) +
-                        visited_.memory_bytes() + regpool_.memory_bytes();
-  for (const auto& pool : pools_) {
-    if (pool) bytes += pool->memory_bytes();
-  }
-  bytes += edges_.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>);
-  result_.peak_memory_bytes = bytes;
-
+  result_.peak_memory_bytes = peak_bytes_;
+  result_.spilled_bytes = spill_.bytes_written();
   result_.wall_micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -448,76 +606,25 @@ void Engine::finalize_stats() {
 
 CheckResult Engine::run() {
   // Fixed-size per-state row buffers (and uint8 pid/done fields) cap n; the
-  // state space is astronomically out of reach long before this anyway.
+  // state space is astronomically out of reach long before that anyway.
   if (n_ > 64) throw std::invalid_argument("model checker supports at most n = 64");
   init_root();
 
-  std::vector<std::uint32_t> level{0};
-  std::vector<std::uint32_t> next_level;
   bool done = false;
-
-  while (!level.empty() && !done) {
+  while (cur_.size() != 0 && !done) {
     expand_.clear();
-    for (const std::uint32_t idx : level) {
-      if (records_[idx].done_count == num_participants_) {
-        terminals_.push_back(idx);
+    for (std::size_t pos = 0; pos < cur_.size(); ++pos) {
+      if (cur_.done_count[pos] == num_participants_) {
+        terminals_.push_back(cur_.first + static_cast<std::uint32_t>(pos));
       } else {
-        expand_.push_back(idx);
+        expand_.push_back(static_cast<std::uint32_t>(pos));
       }
     }
     if (expand_.empty()) break;
 
-    next_level.clear();
-    LevelOutcome outcome;
-    if (workers_ == 1) {
-      outcome = serial_level(next_level);
-    } else {
-      // Phase 1: generate candidates in parallel chunks.
-      const std::size_t count = expand_.size();
-      cands_.resize(count * static_cast<std::size_t>(n_));
-      probe_.resize(cands_.size());
-      slots_.resize(cands_.size());
-      const bool parallel = workers_ > 1 && count >= kMinParallelLevel;
-      const std::size_t chunks =
-          parallel ? std::min(count, static_cast<std::size_t>(workers_) * 4) : 1;
-      exp::run_indexed_tasks(
-          chunks, parallel ? workers_ : 1, [&](std::size_t chunk, int worker) {
-            const std::size_t begin = chunk * count / chunks;
-            const std::size_t end = (chunk + 1) * count / chunks;
-            Value* scratch = scratch_[static_cast<std::size_t>(worker)].data();
-            for (std::size_t ei = begin; ei < end; ++ei) {
-              expand_state(expand_[ei],
-                           cands_.data() + ei * static_cast<std::size_t>(n_), scratch);
-            }
-          });
-
-      // Phase 2a: bucket candidates by visited-set stripe (in rank order),
-      // then probe/reserve each stripe independently — no locks, no races.
-      for (auto& bucket : buckets_) bucket.clear();
-      for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
-        if (cands_[ci].valid) {
-          const std::size_t stripe = visited_.stripe_of(cands_[ci].fp);
-          cands_[ci].stripe = static_cast<std::uint8_t>(stripe);
-          buckets_[stripe].push_back(static_cast<std::uint32_t>(ci));
-        }
-      }
-      exp::run_indexed_tasks(
-          StripedStateSet::kStripes, parallel ? workers_ : 1, [&](std::size_t s, int) {
-            FlatStateSet& stripe = visited_.stripe(s);
-            const std::uint32_t gen = stripe.generation();
-            for (const std::uint32_t ci : buckets_[s]) {
-              const auto probe = stripe.find_or_reserve(cands_[ci].fp);
-              probe_[ci] = !probe.found ? kReservedNew
-                           : probe.idx == FlatStateSet::kPending ? kPendingDup
-                                                                 : probe.idx;
-              slots_[ci] = probe.slot;
-            }
-            slot_ok_[s] = stripe.generation() == gen ? std::uint8_t{1} : std::uint8_t{0};
-          });
-
-      // Phase 2b: deterministic sequencing.
-      outcome = sequence_level(next_level);
-    }
+    next_.reset(static_cast<std::uint32_t>(total_states_));
+    const bool parallel = workers_ > 1 && expand_.size() >= kMinParallelLevel;
+    const LevelOutcome outcome = parallel ? phased_level() : serial_level();
     switch (outcome) {
       case LevelOutcome::kViolation:
         finalize_stats();
@@ -529,7 +636,8 @@ CheckResult Engine::run() {
       case LevelOutcome::kContinue:
         break;
     }
-    level.swap(next_level);
+    close_level();
+    std::swap(cur_, next_);
   }
 
   if (options_.check_progress && !result_.exhausted_limit) {
@@ -553,28 +661,89 @@ CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
   return engine.run();
 }
 
-CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,
-                              const CheckOptions& options) {
-  CheckResult last;
-  for (unsigned mask = 1; mask < (1u << n); ++mask) {
-    CheckOptions subset_options = options;
-    subset_options.participants.clear();
-    std::string subset_desc;
-    for (Pid pid = 0; pid < n; ++pid) {
-      if (mask & (1u << pid)) {
-        subset_options.participants.push_back(pid);
-        if (!subset_desc.empty()) subset_desc += ',';
-        subset_desc += std::to_string(pid);
+namespace {
+
+CheckOptions subset_options(const CheckOptions& options, unsigned long long mask,
+                            int n, std::string* subset_desc) {
+  CheckOptions sub = options;
+  sub.participants.clear();
+  for (Pid pid = 0; pid < n; ++pid) {
+    if (mask & (1ull << pid)) {
+      sub.participants.push_back(pid);
+      if (subset_desc != nullptr) {
+        if (!subset_desc->empty()) *subset_desc += ',';
+        *subset_desc += std::to_string(pid);
       }
     }
-    CheckResult result = check_algorithm(algorithm, n, subset_options);
-    if (!result.ok) {
-      result.violation += " [participants {" + subset_desc + "}]";
-      return result;
-    }
-    last = std::move(result);
   }
-  return last;
+  return sub;
+}
+
+void annotate_subset(CheckResult& result, const CheckOptions& options,
+                     unsigned long long mask, int n) {
+  std::string subset_desc;
+  subset_options(options, mask, n, &subset_desc);
+  result.violation += " [participants {" + subset_desc + "}]";
+}
+
+}  // namespace
+
+CheckResult check_all_subsets(const sim::Algorithm& algorithm, int n,
+                              const CheckOptions& options) {
+  // 2^n - 1 subset checks are unreachable long before the shift overflows;
+  // fail fast instead of invoking undefined behavior.
+  if (n > 62) throw std::invalid_argument("check_all_subsets supports at most n = 62");
+  const unsigned long long total_masks = (1ull << n) - 1;  // masks 1..total
+  const int workers =
+      static_cast<int>(std::min<unsigned long long>(
+          static_cast<unsigned long long>(std::max(1, options.workers)), total_masks));
+
+  if (workers <= 1) {
+    CheckResult last;
+    for (unsigned long long mask = 1; mask <= total_masks; ++mask) {
+      CheckResult result = check_algorithm(algorithm, n, subset_options(options, mask, n, nullptr));
+      if (!result.ok) {
+        annotate_subset(result, options, mask, n);
+        return result;
+      }
+      last = std::move(result);
+    }
+    return last;
+  }
+
+  // The 2^n - 1 subset checks are independent, so they run as tasks on one
+  // shared pool (run_indexed_tasks spawns it once for the whole sweep); each
+  // check itself explores serially (a nested dispatch on the same pool would
+  // deadlock, and whole subsets are the better parallel grain here anyway).
+  // Worker-count determinism of check_algorithm makes every result
+  // byte-identical to its serial counterpart, and the merge below is ordered
+  // by mask, so the returned result — lowest failing subset, or the
+  // all-participants result — matches the serial loop exactly.
+  std::vector<CheckResult> results(static_cast<std::size_t>(total_masks));
+  std::vector<std::uint8_t> ran(static_cast<std::size_t>(total_masks), 0);
+  std::atomic<unsigned long long> first_fail{~0ull};
+  exp::run_indexed_tasks(static_cast<std::size_t>(total_masks), workers, [&](std::size_t t, int) {
+    const unsigned long long mask = t + 1;
+    // A failure at a lower mask already decides the outcome; skip the rest.
+    if (mask > first_fail.load(std::memory_order_relaxed)) return;
+    CheckOptions sub = subset_options(options, mask, n, nullptr);
+    sub.workers = 1;
+    results[t] = check_algorithm(algorithm, n, sub);
+    ran[t] = 1;
+    if (!results[t].ok) {
+      unsigned long long seen = first_fail.load(std::memory_order_relaxed);
+      while (mask < seen &&
+             !first_fail.compare_exchange_weak(seen, mask, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    if (ran[t] && !results[t].ok) {
+      annotate_subset(results[t], options, t + 1, n);
+      return std::move(results[t]);
+    }
+  }
+  return std::move(results.back());
 }
 
 }  // namespace melb::check

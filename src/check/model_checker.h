@@ -20,18 +20,26 @@
 // states); a collision would merge two distinct states, with probability
 // ~(states²)·2⁻⁶⁴ — negligible at the ≤10⁷ states this checker is meant for.
 //
-// Engine (the flyweight core): states are packed 24-byte records — a 32-bit
-// register-file intern id, a 32-bit automaton intern id per process, parent
-// back-pointer, and an XOR-composable automaton hash. Distinct process local
-// states are interned once per pid (check/intern.h) with memoized δ, state
-// fingerprints are zobrist hashes updated in O(1) from the parent
-// (util/hash.h), and the visited set is a striped flat open-addressing table
-// (check/state_set.h). Exploration is level-synchronous BFS: candidates are
-// generated in parallel (CheckOptions::workers, on the exp/ work-stealing
-// pool), deduplicated per stripe, then sequenced in (parent index, pid)
-// order — exactly the serial engine's order — so violations, traces
-// (lowest-index parent wins), and every CheckResult statistic are
-// byte-identical for any worker count.
+// Engine (the flyweight core): distinct process local states are interned
+// once per pid (check/intern.h) with memoized δ, state fingerprints are
+// zobrist hashes updated in O(1) from the parent (util/hash.h), and the
+// visited set is a striped flat open-addressing table (check/state_set.h).
+// State storage is split by temperature (check/closed_store.h): the hot
+// frontier keeps full expansion records (automaton hash, register-file id,
+// stride-n automaton intern ids, section counters) for the current and next
+// BFS level only, while every closed state drops to a packed 5-byte
+// (parent, acting pid) record; counterexample traces are reconstructed on
+// demand by replaying the parent chain through the memoized δ. Transitions
+// live in a delta-compressed edge stream (~1-4 bytes per edge). Under
+// CheckOptions::memory_limit_mb the engine spills closed and edge chunks to
+// a temp file instead of aborting, which is what pushes exhaustive checks
+// past the RAM-bound regime (yang-anderson n=5, ~10^8 states).
+// Exploration is level-synchronous BFS on a persistent exp::TaskPool (one
+// pool for the whole check, woken twice per level — no per-level thread
+// spawns): candidates are generated in parallel batches, deduplicated per
+// stripe, then sequenced in (parent index, pid) order — exactly the serial
+// engine's order — so violations, traces (lowest-index parent wins), and
+// every CheckResult statistic are byte-identical for any worker count.
 //
 // Thread-safety: check_algorithm keeps its entire frontier/state table in
 // locals and touches the Algorithm only through const methods, so concurrent
@@ -54,8 +62,18 @@ struct CheckOptions {
   bool check_mutex = true;
   bool check_progress = true;
   // Frontier-expansion workers; <=1 explores on the calling thread. Results
-  // are byte-identical for every value (see engine comment above).
+  // are byte-identical for every value (see engine comment above). In
+  // check_all_subsets, workers > 1 instead runs whole subset checks in
+  // parallel (each subset explored serially) on one shared pool.
   int workers = 1;
+  // Soft ceiling on the engine's tracked table memory, in MiB; 0 = no limit.
+  // When tracked memory crosses the ceiling the engine spills closed-state
+  // and edge chunks to an anonymous temp file (best effort — it degrades to
+  // in-RAM operation if no temp storage exists, and hot structures that
+  // cannot spill may still exceed the ceiling; the check never aborts on
+  // memory grounds). Spill points depend only on the options, never on the
+  // worker count, so all statistics stay byte-identical across workers.
+  std::uint64_t memory_limit_mb = 0;
   // Which pids take part; empty = all n. Non-participants take no steps.
   std::vector<sim::Pid> participants;
 };
@@ -76,7 +94,8 @@ struct CheckResult {
   std::uint64_t dedup_hits = 0;         // successor candidates already visited
   std::uint64_t interned_automata = 0;  // distinct process local states seen
   std::uint64_t interned_regfiles = 0;  // distinct register-file contents seen
-  std::uint64_t peak_memory_bytes = 0;  // engine-owned tables at their peak
+  std::uint64_t peak_memory_bytes = 0;  // engine-owned RAM tables at their peak
+  std::uint64_t spilled_bytes = 0;      // written to the spill file (0 = no spill)
   std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
 };
 

@@ -47,8 +47,12 @@ class FlatStateSet {
 
   // Looks up fp; reserves a kPending slot for it when absent. The returned
   // slot stays valid while generation() is unchanged (growth rehashes).
+  // Max load factor 3/4: zobrist fingerprints probe near-uniformly, so the
+  // slightly longer probe chains cost far less than the extra half-size
+  // table a 2/3 limit would force — the visited set is the one engine table
+  // that can neither shrink to the frontier nor spill to disk.
   Probe find_or_reserve(std::uint64_t fp) {
-    if (size_ * 3 >= fps_.size() * 2) grow();  // max load factor 2/3
+    if (size_ * 4 >= fps_.size() * 3) grow();
     std::size_t slot = slot_of(fp);
     while (idxs_[slot] != kEmpty) {
       if (fps_[slot] == fp) return {true, idxs_[slot], static_cast<std::uint32_t>(slot)};

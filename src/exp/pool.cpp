@@ -1,0 +1,106 @@
+#include "exp/pool.h"
+
+namespace melb::exp {
+
+TaskPool::TaskPool(int workers)
+    : workers_(workers < 1 ? 1 : workers), deques_(static_cast<std::size_t>(workers_)) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back(&TaskPool::worker_main, this, w);
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void TaskPool::run(std::size_t count, const std::function<void(std::size_t, int)>& task,
+                   std::atomic<bool>* cancel) {
+  if (count == 0) return;
+  if (workers_ == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel && cancel->load(std::memory_order_relaxed)) return;
+      task(i, 0);
+    }
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker from the previous epoch may still be inside drain() (about to
+    // find its deques empty); wait it out so the task pointer and deques are
+    // exclusively ours to reconfigure.
+    idle_cv_.wait(lock, [&] { return active_ == 0; });
+    for (std::size_t i = 0; i < count; ++i) {
+      deques_[i % static_cast<std::size_t>(workers_)].tasks.push_back(i);
+    }
+    task_ = &task;
+    cancel_ = cancel;
+    remaining_.store(count, std::memory_order_relaxed);
+    active_ = workers_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  drain(0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+}
+
+void TaskPool::worker_main(int me) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    drain(me);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) idle_cv_.notify_one();
+    }
+  }
+}
+
+void TaskPool::drain(int me) {
+  std::size_t idx = 0;
+  for (;;) {
+    bool found = false;
+    {
+      Deque& mine = deques_[static_cast<std::size_t>(me)];
+      const std::lock_guard<std::mutex> lock(mine.mutex);
+      if (!mine.tasks.empty()) {
+        idx = mine.tasks.back();
+        mine.tasks.pop_back();
+        found = true;
+      }
+    }
+    for (int victim = 1; !found && victim < workers_; ++victim) {
+      Deque& theirs = deques_[static_cast<std::size_t>((me + victim) % workers_)];
+      const std::lock_guard<std::mutex> lock(theirs.mutex);
+      if (!theirs.tasks.empty()) {
+        idx = theirs.tasks.front();
+        theirs.tasks.pop_front();
+        found = true;
+      }
+    }
+    if (!found) return;
+    if (!(cancel_ && cancel_->load(std::memory_order_relaxed))) (*task_)(idx, me);
+    // Cancelled tasks still count down: the barrier must release even when
+    // the epoch is abandoned mid-flight.
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace melb::exp

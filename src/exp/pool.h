@@ -1,0 +1,92 @@
+// TaskPool: a persistent, barrier-synchronized work-stealing thread pool.
+//
+// The pool's threads are spawned once, in the constructor, and reused for
+// every run() — unlike the spawn-per-call fan-out it replaces, which paid a
+// thread create + join per invocation. That cost was invisible for sweep
+// campaigns (one fan-out per campaign) but dominated deep, narrow state
+// spaces in the model checker, which dispatches the pool twice per BFS level:
+// a persistent pool turns each level's dispatch into a condition-variable
+// wake instead of N thread spawns (bench_model_checker measures both).
+//
+// Execution semantics are identical to run_indexed_tasks (exp/runner.h):
+// tasks 0..count-1 are distributed round-robin across per-worker deques; an
+// idle worker drains its own deque from the back (LIFO keeps its cache warm),
+// then steals from the front of the others (FIFO steals the oldest,
+// typically largest-granularity, work). `task(index, worker)` may run on any
+// worker in any order, so it must write only to index-owned or worker-owned
+// slots. The calling thread participates as worker 0, so a pool of W workers
+// spawns W-1 threads. run() blocks until every task has finished — the
+// barrier gives the caller a happens-before edge over all task effects, which
+// is what lets the checker's serial sequencing phase read worker-written
+// candidate buffers without extra synchronization.
+//
+// run() is not reentrant: calling run() from inside a task deadlocks (the
+// pool waits for its own workers to go idle). Subsystems that need nested
+// parallelism (check_all_subsets running whole checks per task) run the
+// inner work serially instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace melb::exp {
+
+class TaskPool {
+ public:
+  // Spawns workers-1 threads (the caller is worker 0). workers < 1 is
+  // clamped to 1, which makes run() a plain inline loop.
+  explicit TaskPool(int workers);
+
+  // Joins the worker threads. All run() calls must have returned.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  // Executes tasks 0..count-1 across the pool and blocks until all have run.
+  // If `cancel` becomes true, tasks not yet started are skipped (the barrier
+  // still waits for started tasks to finish).
+  void run(std::size_t count, const std::function<void(std::size_t, int)>& task,
+           std::atomic<bool>* cancel = nullptr);
+
+ private:
+  // Per-worker task queue; a mutex per deque is ample at the granularities
+  // the pool serves (sweep cells and frontier chunks run for micro- to
+  // milliseconds, not nanoseconds).
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_main(int me);
+  // Drains tasks (own deque, then stealing) until none are left.
+  void drain(int me);
+
+  const int workers_;
+  std::vector<Deque> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;  // workers wait here between epochs
+  std::condition_variable done_cv_;   // run() waits here for the barrier
+  std::condition_variable idle_cv_;   // run() waits here for stragglers
+  std::uint64_t epoch_ = 0;           // bumped per run(); guarded by mutex_
+  int active_ = 0;                    // workers still inside the current epoch
+  bool stop_ = false;
+
+  // Written in run() before the epoch bump, read by workers after observing
+  // the bump (mutex_ provides the edge).
+  const std::function<void(std::size_t, int)>* task_ = nullptr;
+  std::atomic<bool>* cancel_ = nullptr;
+  std::atomic<std::size_t> remaining_{0};  // unfinished tasks this epoch
+};
+
+}  // namespace melb::exp

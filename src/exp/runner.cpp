@@ -1,7 +1,6 @@
 #include "exp/runner.h"
 
 #include <chrono>
-#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -137,80 +136,14 @@ CellResult run_cell(const CampaignSpec& spec, const Cell& cell) {
   return result;
 }
 
-namespace {
-
-// Per-worker task queue. The owner pops from the back (LIFO keeps its cache
-// warm on freshly pushed work); thieves steal from the front (FIFO steals the
-// oldest — typically largest-granularity — work). A mutex per deque is ample
-// at the granularities the pool serves (sweep cells and frontier chunks run
-// for micro- to milliseconds, not nanoseconds).
-class TaskDeque {
- public:
-  void push(std::size_t idx) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push_back(idx);
-  }
-
-  bool pop_back(std::size_t& idx) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (tasks_.empty()) return false;
-    idx = tasks_.back();
-    tasks_.pop_back();
-    return true;
-  }
-
-  bool steal_front(std::size_t& idx) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (tasks_.empty()) return false;
-    idx = tasks_.front();
-    tasks_.pop_front();
-    return true;
-  }
-
- private:
-  std::mutex mutex_;
-  std::deque<std::size_t> tasks_;
-};
-
-}  // namespace
-
 void run_indexed_tasks(std::size_t count, int workers,
                        const std::function<void(std::size_t index, int worker)>& task,
                        std::atomic<bool>* cancel) {
   if (count == 0) return;
   if (workers < 1) workers = 1;
   if (static_cast<std::size_t>(workers) > count) workers = static_cast<int>(count);
-
-  if (workers == 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      if (cancel && cancel->load(std::memory_order_relaxed)) return;
-      task(i, 0);
-    }
-    return;
-  }
-
-  std::vector<TaskDeque> deques(static_cast<std::size_t>(workers));
-  for (std::size_t i = 0; i < count; ++i) {
-    deques[i % static_cast<std::size_t>(workers)].push(i);
-  }
-
-  auto worker_loop = [&](int me) {
-    std::size_t idx = 0;
-    for (;;) {
-      if (cancel && cancel->load(std::memory_order_relaxed)) return;
-      bool found = deques[static_cast<std::size_t>(me)].pop_back(idx);
-      for (int victim = 1; !found && victim < workers; ++victim) {
-        found = deques[static_cast<std::size_t>((me + victim) % workers)].steal_front(idx);
-      }
-      if (!found) return;
-      task(idx, me);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
-  for (auto& thread : threads) thread.join();
+  TaskPool pool(workers);
+  pool.run(count, task, cancel);
 }
 
 CampaignReport run_campaign(const CampaignSpec& spec, const RunOptions& options) {
@@ -230,9 +163,10 @@ CampaignReport run_campaign(const CampaignSpec& spec, const RunOptions& options)
   }
   report.workers_used = workers;
 
+  TaskPool pool(workers);
   std::mutex on_cell_mutex;
-  run_indexed_tasks(
-      cells.size(), workers,
+  pool.run(
+      cells.size(),
       [&](std::size_t idx, int) {
         report.cells[idx] = run_cell(spec, cells[idx]);
         if (options.on_cell) {

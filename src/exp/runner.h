@@ -16,20 +16,25 @@
 #include <cstddef>
 #include <functional>
 
+#include "exp/pool.h"
 #include "exp/report.h"
 
 namespace melb::exp {
 
-// The pool's primitive, exposed for other subsystems that need deterministic
-// fan-out over an index space (the model checker's parallel frontier
-// expansion runs on this): execute tasks 0..count-1 across `workers` threads
-// with per-worker deques and work stealing. `task(index, worker)` may run on
-// any worker in any order, so it must write only to index-owned (or
-// worker-owned) slots; `worker` is in [0, workers) for scratch-buffer
-// addressing. workers <= 1 (or count <= 1) runs inline on the calling thread
-// with worker == 0. Blocks until every task has run — thread joins give the
-// caller a happens-before edge over all task effects. If `cancel` becomes
-// true, tasks not yet started are skipped.
+// One-shot convenience over exp::TaskPool (exp/pool.h), kept for callers that
+// fan out once and do not amortize pool construction: execute tasks
+// 0..count-1 across `workers` threads with per-worker deques and work
+// stealing. `task(index, worker)` may run on any worker in any order, so it
+// must write only to index-owned (or worker-owned) slots; `worker` is in
+// [0, workers) for scratch-buffer addressing. workers <= 1 (or count <= 1)
+// runs inline on the calling thread with worker == 0. Blocks until every
+// task has run — the pool barrier gives the caller a happens-before edge
+// over all task effects. If `cancel` becomes true, tasks not yet started are
+// skipped.
+//
+// Repeated dispatchers (the model checker's per-BFS-level expansion, subset
+// sweeps) should construct a TaskPool once and call run() on it instead:
+// this wrapper spawns and joins fresh threads every call.
 void run_indexed_tasks(std::size_t count, int workers,
                        const std::function<void(std::size_t index, int worker)>& task,
                        std::atomic<bool>* cancel = nullptr);

@@ -1,16 +1,23 @@
-// Flyweight state-space engine tests: the flat visited set, worker-count
-// determinism of results/traces/statistics, checker conformance on the RMW
-// lock algorithms, and a wide-branching fixture that forces the state table
-// to reallocate many times mid-exploration (the regression surface for the
-// old engine's dangling automaton reference across states.push_back).
+// Flyweight state-space engine tests: the flat visited set, the closed
+// store / compressed edge stream (including disk spill round trips),
+// worker-count determinism of results/traces/statistics, counterexample
+// reconstruction by parent-chain replay (against a golden PR-3 trace and
+// across closed-chunk/spill boundaries), parallel check_all_subsets,
+// checker conformance on the RMW lock algorithms, and a wide-branching
+// fixture that forces the state table to reallocate many times
+// mid-exploration (the regression surface for the old engine's dangling
+// automaton reference across states.push_back).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "algo/automaton_base.h"
 #include "algo/registry.h"
+#include "check/closed_store.h"
 #include "check/model_checker.h"
 #include "check/state_set.h"
 #include "sim/execution.h"
@@ -91,6 +98,87 @@ TEST(StripedStateSet, RoutesAcrossStripesConsistently) {
 }
 
 // ---------------------------------------------------------------------------
+// ClosedStore / EdgeStore / SpillFile.
+// ---------------------------------------------------------------------------
+
+TEST(ClosedStore, EntriesSurviveChunkBoundariesAndSpill) {
+  check::ClosedStore store;
+  constexpr std::uint32_t kCount = 3 * check::ClosedStore::kChunkEntries / 2;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    store.append(i * 7, static_cast<std::uint8_t>(i % 64));
+  }
+  ASSERT_EQ(store.size(), kCount);
+  const std::uint64_t before = store.memory_bytes();
+
+  check::SpillFile spill;
+  EXPECT_TRUE(store.has_spillable_chunk());
+  const std::uint64_t freed = store.spill_oldest(spill, 1);
+  EXPECT_EQ(freed, check::ClosedStore::kChunkEntries * check::ClosedStore::kEntryBytes);
+  EXPECT_EQ(spill.bytes_written(), freed);
+  EXPECT_LT(store.memory_bytes(), before);
+  // The tail chunk is still being appended to and must never spill.
+  EXPECT_FALSE(store.has_spillable_chunk());
+
+  // Every entry — spilled chunk 0, resident chunk 1 — reads back intact.
+  for (std::uint32_t i = 0; i < kCount; i += 97) {
+    const auto e = store.entry(i);
+    EXPECT_EQ(e.parent, i * 7u) << i;
+    EXPECT_EQ(e.pid, i % 64) << i;
+  }
+  // Appending after a spill keeps working.
+  store.append(42, 7);
+  EXPECT_EQ(store.entry(kCount).parent, 42u);
+}
+
+TEST(EdgeStore, RoundTripsMixedNewAndDedupEdges) {
+  // Mimics the engine's contract: "new" edges target consecutive indices
+  // starting at 1; dedup edges revisit arbitrary earlier states; `from` is
+  // non-decreasing. Enough edges to cross several 256 KiB chunks.
+  check::EdgeStore store;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expected;
+  std::uint32_t next_new = 1;
+  std::uint32_t from = 0;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 400000; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    if ((rng >> 33) % 3 != 0) {
+      store.append(from, next_new, true);
+      expected.emplace_back(from, next_new);
+      ++next_new;
+    } else {
+      const std::uint32_t to = static_cast<std::uint32_t>((rng >> 20) % next_new);
+      store.append(from, to, false);
+      expected.emplace_back(from, to);
+    }
+    if ((rng >> 40) % 4 == 0) from += static_cast<std::uint32_t>((rng >> 50) % 3);
+  }
+  ASSERT_EQ(store.size(), expected.size());
+  // Far below the flat 8 bytes/edge (delta varints + implicit new targets).
+  EXPECT_LT(store.memory_bytes(), expected.size() * 4);
+
+  const auto verify = [&] {
+    std::size_t i = 0;
+    store.for_each([&](std::uint32_t f, std::uint32_t t) {
+      ASSERT_LT(i, expected.size());
+      EXPECT_EQ(f, expected[i].first) << i;
+      EXPECT_EQ(t, expected[i].second) << i;
+      ++i;
+    });
+    EXPECT_EQ(i, expected.size());
+  };
+  verify();
+
+  // Spill everything spillable and decode again — the stream must be
+  // byte-identical when read back from disk.
+  check::SpillFile spill;
+  ASSERT_TRUE(store.has_spillable_chunk());
+  const std::uint64_t before = store.memory_bytes();
+  EXPECT_GT(store.spill_oldest(spill, 1000), 0u);
+  EXPECT_LT(store.memory_bytes(), before);
+  verify();
+}
+
+// ---------------------------------------------------------------------------
 // Worker-count determinism: results, traces, and statistics byte-identical.
 // ---------------------------------------------------------------------------
 
@@ -104,6 +192,7 @@ void expect_identical(const check::CheckResult& a, const check::CheckResult& b) 
   EXPECT_EQ(a.interned_automata, b.interned_automata);
   EXPECT_EQ(a.interned_regfiles, b.interned_regfiles);
   EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
   ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
   if (a.counterexample) {
     EXPECT_EQ(*a.counterexample, *b.counterexample);
@@ -158,6 +247,186 @@ TEST(EngineDeterminism, StateLimitAcrossWorkerCounts) {
   const auto serial = run_with_workers("bakery", 3, 1, 50);
   const auto parallel = run_with_workers("bakery", 3, 4, 50);
   EXPECT_TRUE(serial.exhausted_limit);
+  expect_identical(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Trace reconstruction from the closed store. Traces are no longer read out
+// of full state records: the engine walks the packed (parent, pid) chain and
+// replays it through the memoized δ. These tests pin the replay to the PR-3
+// engine's output (golden steps), across worker counts, and across closed-
+// chunk and spill boundaries.
+// ---------------------------------------------------------------------------
+
+std::string trace_string(const check::CheckResult& result) {
+  std::string s;
+  if (!result.counterexample) return s;
+  for (const auto& step : *result.counterexample) s += to_string(step) + "|";
+  return s;
+}
+
+TEST(TraceReconstruction, MatchesPr3GoldenTrace) {
+  // Captured verbatim from the PR-3 engine (commit e176920):
+  // melb_cli check naive-broken 3.
+  const std::string kGolden =
+      "try_0|read_0(r0)|try_1|read_1(r0)|write_0(r0, 1)|enter_0|write_1(r0, 1)|"
+      "enter_1|";
+  for (int workers : {1, 2, 8}) {
+    const auto result = run_with_workers("naive-broken", 3, workers);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(trace_string(result), kGolden) << workers << " workers";
+  }
+}
+
+// Two unguarded processes with 300 spin-writes before the critical section:
+// the first mutex violation sits ~600 BFS levels deep, behind >80k states —
+// past a ClosedStore chunk boundary (65536 entries), so the parent-chain
+// walk crosses chunks (and, under a memory limit, reads spilled chunks back
+// from disk).
+class SlowEntrantProcess final : public algo::CloneableAutomaton<SlowEntrantProcess> {
+ public:
+  static constexpr int kSpinWrites = 300;
+
+  explicit SlowEntrantProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    if (pc_ == 0) return Step::crit_step(pid_, CritKind::kTry);
+    if (pc_ <= kSpinWrites) return Step::write(pid_, pid_, pc_);
+    switch (pc_ - kSpinWrites) {
+      case 1: return Step::crit_step(pid_, CritKind::kEnter);
+      case 2: return Step::crit_step(pid_, CritKind::kExit);
+      default: break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value) override {
+    if (pc_ < kSpinWrites + 4) ++pc_;
+  }
+
+  bool done() const override { return pc_ == kSpinWrites + 4; }
+
+  void hash_into(util::Hasher& hasher) const { hasher.add_all({pc_, pid_}); }
+
+ private:
+  Pid pid_;
+  int pc_ = 0;
+};
+
+class SlowEntrantAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "slow-entrant-fixture"; }
+  int num_registers(int n) const override { return n; }
+  std::unique_ptr<sim::Automaton> make_process(Pid pid, int) const override {
+    return std::make_unique<SlowEntrantProcess>(pid);
+  }
+};
+
+TEST(TraceReconstruction, DeepTraceAcrossChunkAndSpillBoundaries) {
+  SlowEntrantAlgorithm algorithm;
+  check::CheckOptions options;
+  options.max_states = 200'000;
+
+  const auto reference = check::check_algorithm(algorithm, 2, options);
+  ASSERT_FALSE(reference.ok);
+  EXPECT_NE(reference.violation.find("mutual exclusion"), std::string::npos);
+  ASSERT_TRUE(reference.counterexample.has_value());
+  // The violation sits past the first closed chunk, and the trace replays
+  // the full parent chain: 2 * (kSpinWrites + 2) steps.
+  EXPECT_GT(reference.states, check::ClosedStore::kChunkEntries);
+  EXPECT_EQ(reference.counterexample->size(),
+            2 * (SlowEntrantProcess::kSpinWrites + 2));
+
+  for (int workers : {2, 8}) {
+    auto parallel_options = options;
+    parallel_options.workers = workers;
+    expect_identical(reference, check::check_algorithm(algorithm, 2, parallel_options));
+  }
+
+  // A 1 MiB budget forces the early closed chunks out to disk before the
+  // violation is found; the reconstructed trace must not change.
+  for (int workers : {1, 4}) {
+    auto spill_options = options;
+    spill_options.memory_limit_mb = 1;
+    spill_options.workers = workers;
+    const auto spilled = check::check_algorithm(algorithm, 2, spill_options);
+    EXPECT_GT(spilled.spilled_bytes, 0u) << workers << " workers";
+    EXPECT_EQ(spilled.violation, reference.violation);
+    EXPECT_EQ(spilled.states, reference.states);
+    EXPECT_EQ(trace_string(spilled), trace_string(reference)) << workers << " workers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory limit: spilling changes where bytes live, never what is computed.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryLimit, SpillPreservesResultsAndShrinksPeak) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions unlimited;
+  unlimited.max_states = 4'000'000;
+  const auto reference = check::check_algorithm(*info.algorithm, 3, unlimited);
+  ASSERT_TRUE(reference.ok) << reference.violation;
+  ASSERT_EQ(reference.spilled_bytes, 0u);
+
+  auto limited = unlimited;
+  limited.memory_limit_mb = 1;
+  const auto spilled = check::check_algorithm(*info.algorithm, 3, limited);
+  EXPECT_TRUE(spilled.ok) << spilled.violation;
+  EXPECT_EQ(spilled.states, reference.states);
+  EXPECT_EQ(spilled.transitions, reference.transitions);
+  EXPECT_EQ(spilled.dedup_hits, reference.dedup_hits);
+  EXPECT_EQ(spilled.interned_automata, reference.interned_automata);
+  EXPECT_EQ(spilled.interned_regfiles, reference.interned_regfiles);
+  EXPECT_GT(spilled.spilled_bytes, 0u);
+  EXPECT_LT(spilled.peak_memory_bytes, reference.peak_memory_bytes);
+}
+
+TEST(MemoryLimit, SpillIsDeterministicAcrossWorkerCounts) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  options.memory_limit_mb = 1;
+  const auto serial = check::check_algorithm(*info.algorithm, 3, options);
+  ASSERT_TRUE(serial.ok) << serial.violation;
+  EXPECT_GT(serial.spilled_bytes, 0u);
+  for (int workers : {2, 4}) {
+    auto parallel_options = options;
+    parallel_options.workers = workers;
+    expect_identical(serial, check::check_algorithm(*info.algorithm, 3, parallel_options));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// check_all_subsets: the 2^n - 1 independent subset checks run on a shared
+// pool when workers > 1; results must match the serial mask-order loop.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSubsets, MatchesSerialOnCorrectAlgorithm) {
+  const auto& info = algo::algorithm_by_name("ttas-rmw");
+  check::CheckOptions serial_options;
+  serial_options.max_states = 4'000'000;
+  const auto serial = check::check_all_subsets(*info.algorithm, 3, serial_options);
+  ASSERT_TRUE(serial.ok) << serial.violation;
+  for (int workers : {2, 8}) {
+    auto parallel_options = serial_options;
+    parallel_options.workers = workers;
+    expect_identical(serial, check::check_all_subsets(*info.algorithm, 3, parallel_options));
+  }
+}
+
+TEST(ParallelSubsets, ReportsLowestFailingSubsetLikeSerial) {
+  // static-rr passes with all participants but livelocks on {1}; the
+  // parallel merge must return the same lowest failing subset, violation
+  // string, and trace as the serial mask-order scan.
+  const auto& info = algo::algorithm_by_name("static-rr");
+  const auto serial = check::check_all_subsets(*info.algorithm, 2);
+  check::CheckOptions parallel_options;
+  parallel_options.workers = 4;
+  const auto parallel = check::check_all_subsets(*info.algorithm, 2, parallel_options);
+  EXPECT_FALSE(serial.ok);
+  EXPECT_NE(serial.violation.find("[participants {1}]"), std::string::npos)
+      << serial.violation;
   expect_identical(serial, parallel);
 }
 

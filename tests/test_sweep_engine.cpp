@@ -17,6 +17,7 @@
 
 #include "algo/registry.h"
 #include "exp/campaign.h"
+#include "exp/pool.h"
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "sim/canonical.h"
@@ -263,6 +264,65 @@ TEST(SweepEngine, CompletedCellsOfCancelledSweepMatchFullRun) {
     EXPECT_EQ(partial.cells[i].steps, full.cells[i].steps) << i;
     EXPECT_EQ(partial.cells[i].status, full.cells[i].status) << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool: the persistent barrier-synchronized pool the sweep runner and
+// the model checker's per-level dispatch both ride.
+// ---------------------------------------------------------------------------
+
+TEST(TaskPool, RunsEveryTaskExactlyOnceAcrossManyReuses) {
+  // One pool, many dispatches — the checker wakes its pool twice per BFS
+  // level, so reuse (not construction) is the hot path.
+  exp::TaskPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 97);
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.run(count, [&](std::size_t idx, int worker) {
+      ASSERT_LT(idx, count);
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, 4);
+      hits[idx].fetch_add(1, std::memory_order_relaxed);
+    });
+    // The barrier returned, so every task's effect is visible here.
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "round " << round;
+    }
+  }
+}
+
+TEST(TaskPool, SingleWorkerRunsInline) {
+  exp::TaskPool pool(1);
+  int calls = 0;
+  pool.run(17, [&](std::size_t, int worker) {
+    EXPECT_EQ(worker, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 17);
+}
+
+TEST(TaskPool, CancelSkipsUnstartedTasks) {
+  exp::TaskPool pool(4);
+  std::atomic<bool> cancel{true};  // pre-set: every task is "not yet started"
+  std::atomic<int> executed{0};
+  pool.run(
+      64, [&](std::size_t, int) { executed.fetch_add(1); }, &cancel);
+  EXPECT_EQ(executed.load(), 0);
+
+  // The pool must stay usable after a cancelled epoch.
+  std::atomic<int> after{0};
+  pool.run(64, [&](std::size_t, int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(TaskPool, MoreTasksThanWorkersAndBarrierOrdering) {
+  exp::TaskPool pool(3);
+  std::vector<int> data(1000, 0);
+  pool.run(data.size(), [&](std::size_t idx, int) { data[idx] = static_cast<int>(idx); });
+  // Sequential consistency with the caller after the barrier:
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], static_cast<int>(i));
 }
 
 }  // namespace

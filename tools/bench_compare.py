@@ -7,9 +7,16 @@ by name; when a file carries several repetitions of one benchmark the median
 is used. The gate fails (exit 1) when any matched benchmark's median metric
 regresses by more than --threshold (default 0.25 = 25%).
 
+Two metrics are gated by default: real_time and the peak_memory_bytes
+counter the checker benches attach (a memory regression is as real a
+regression as a slowdown for a state-space engine). --metric can be repeated
+to override the set. A benchmark that lacks a metric on either side is
+simply not gated on that metric, so timing-only benchmarks coexist with
+counter-carrying ones.
+
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
-                     [--metric real_time]
+                     [--metric real_time --metric peak_memory_bytes]
     bench_compare.py --self-test
 
 Benchmarks present in only one file are reported but never fail the gate, so
@@ -57,9 +64,15 @@ def load_medians(path, metric):
 
 
 def bench_json(entries):
-    """Synthetic google-benchmark output: [(name, real_time), ...]."""
-    return {"benchmarks": [{"name": name, "run_type": "iteration",
-                            "real_time": value} for name, value in entries]}
+    """Synthetic google-benchmark output: [(name, real_time), ...] or
+    [(name, real_time, peak_memory_bytes), ...]."""
+    benches = []
+    for entry in entries:
+        bench = {"name": entry[0], "run_type": "iteration", "real_time": entry[1]}
+        if len(entry) > 2:
+            bench["peak_memory_bytes"] = entry[2]
+        benches.append(bench)
+    return {"benchmarks": benches}
 
 
 def self_test():
@@ -74,6 +87,14 @@ def self_test():
          "baseline-only benchmark is reported, not gated"),
         ([("a", 100.0)], [("brand_new", 5.0)], 0,
          "disjoint sets: nothing to gate"),
+        ([("a", 100.0, 1000.0)], [("a", 101.0, 1050.0)], 0,
+         "peak memory within threshold"),
+        ([("a", 100.0, 1000.0)], [("a", 101.0, 2000.0)], 1,
+         "peak memory regression fails even when real_time holds"),
+        ([("a", 100.0)], [("a", 101.0, 2000.0)], 0,
+         "metric present on one side only is not gated"),
+        ([("a", 100.0, 1000.0), ("b", 50.0)], [("a", 101.0, 990.0), ("b", 51.0)], 0,
+         "counter-carrying and timing-only benchmarks coexist"),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="bench_compare_selftest_") as tmpdir:
@@ -117,8 +138,9 @@ def main():
     parser.add_argument("current", nargs="?", help="current google-benchmark JSON")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
-    parser.add_argument("--metric", default="real_time",
-                        help="benchmark field to compare (default real_time)")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="benchmark field to compare; repeatable "
+                             "(default: real_time and peak_memory_bytes)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify this gate's contracts on synthetic inputs")
     args = parser.parse_args()
@@ -128,39 +150,49 @@ def main():
         fail_input("BASELINE and CURRENT are required (or use --self-test)")
     if args.threshold < 0:
         fail_input("--threshold must be >= 0")
+    metrics = args.metric or ["real_time", "peak_memory_bytes"]
 
-    base = load_medians(args.baseline, args.metric)
-    cur = load_medians(args.current, args.metric)
-    if not base:
+    regressions = []
+    gated = 0
+    any_base = any_cur = False
+    for metric in metrics:
+        base = load_medians(args.baseline, metric)
+        cur = load_medians(args.current, metric)
+        any_base = any_base or bool(base)
+        any_cur = any_cur or bool(cur)
+        shared = sorted(set(base) & set(cur))
+        if not shared and metric != metrics[0]:
+            continue  # optional counter nobody carries yet
+        gated += len(shared)
+        width = max((len(name) for name in shared), default=10)
+        print(f"metric: {metric}")
+        print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'current':>14}  ratio")
+        for name in shared:
+            ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+            flag = ""
+            if ratio > 1.0 + args.threshold:
+                regressions.append((metric, name, ratio))
+                flag = "  << REGRESSION"
+            print(f"{name.ljust(width)}  {base[name]:14.3f}  {cur[name]:14.3f}  "
+                  f"{ratio:5.2f}x{flag}")
+        for name in sorted(set(base) - set(cur)):
+            print(f"note: baseline-only benchmark (not gated): {name}")
+        for name in sorted(set(cur) - set(base)):
+            print(f"note: new benchmark (no baseline yet): {name}")
+        print()
+
+    if not any_base:
         fail_input(f"no usable benchmarks in {args.baseline}")
-    if not cur:
+    if not any_cur:
         fail_input(f"no usable benchmarks in {args.current}")
 
-    shared = sorted(set(base) & set(cur))
-    regressions = []
-    width = max((len(name) for name in shared), default=10)
-    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio")
-    for name in shared:
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
-        flag = ""
-        if ratio > 1.0 + args.threshold:
-            regressions.append((name, ratio))
-            flag = "  << REGRESSION"
-        print(f"{name.ljust(width)}  {base[name]:12.3f}  {cur[name]:12.3f}  "
-              f"{ratio:5.2f}x{flag}")
-
-    for name in sorted(set(base) - set(cur)):
-        print(f"note: baseline-only benchmark (not gated): {name}")
-    for name in sorted(set(cur) - set(base)):
-        print(f"note: new benchmark (no baseline yet): {name}")
-
     if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
-              f"{args.threshold:.0%} on median {args.metric}:")
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x baseline")
+        print(f"FAIL: {len(regressions)} benchmark metric(s) regressed beyond "
+              f"{args.threshold:.0%} of baseline median:")
+        for metric, name, ratio in regressions:
+            print(f"  {name} [{metric}]: {ratio:.2f}x baseline")
         return 1
-    print(f"\nOK: {len(shared)} benchmark(s) within {args.threshold:.0%} of baseline")
+    print(f"OK: {gated} benchmark metric(s) within {args.threshold:.0%} of baseline")
     return 0
 
 
