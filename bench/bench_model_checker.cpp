@@ -13,10 +13,14 @@
 // engine finishes at interactive latency (legacy rate is estimated under a
 // state cap so the bench stays fast), the engine's peak table memory per
 // row (with a 3x-reduction floor vs the pre-closed-store engine on
-// yang-anderson n=4), and the per-level dispatch cost of the persistent
-// exp::TaskPool vs spawning threads per dispatch (what every BFS level paid
-// before the pool). Wall-clock timings and peak_memory_bytes counters for
-// the perf gate are registered with google-benchmark.
+// yang-anderson n=4), the delayed-duplicate-detection row (E13: the visited
+// set's RAM-mandatory residency must be level-window bounded, and the
+// progress pass must stay chunk-bounded instead of materializing the old
+// O(states + edges) CSR — both floors enforced at identical exploration
+// counts), and the per-level dispatch cost of the persistent exp::TaskPool
+// vs spawning threads per dispatch (what every BFS level paid before the
+// pool). Wall-clock timings and peak_memory_bytes counters for the perf
+// gate are registered with google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -320,8 +324,9 @@ double engine_report() {
 
 // Memory acceptance: one uncapped yang-anderson n=4 exploration (the
 // 5.9M-state space PR-3 measured at ~773 MiB) must fit in a 3x smaller peak
-// with the frontier/closed-store split. Returns the reduction ratio.
-double memory_report() {
+// with the frontier/closed-store split. Returns the reduction ratio and the
+// result (E13 reuses it as the hash-table-mode reference).
+double memory_report(check::CheckResult& hash_result) {
   benchx::print_header(
       "E11: checker memory — hot frontier + packed closed store",
       "Uncapped yang-anderson n=4; peak_memory_bytes = engine-owned RAM\n"
@@ -341,7 +346,93 @@ double memory_report() {
       static_cast<unsigned long long>(result.states),
       fmt_mib(result.peak_memory_bytes).c_str(), fmt_mib(kPr3YangAndersonN4PeakBytes).c_str(),
       ratio, kMemoryReductionFloor);
+  hash_result = result;
   return ratio;
+}
+
+// Delayed-duplicate-detection acceptance (E13). The same uncapped
+// yang-anderson n=4 space under --ddd with a 96 MiB budget must (a) explore
+// the exact same space — states, transitions, dedup hits — as hash-table
+// mode, (b) keep the visited set's RAM-mandatory part (hash table + window
+// arrays, NOT the spillable runs) at least kDddVisitedFloor smaller than the
+// hash table that grows with total states, and (c) keep the progress pass's
+// transient memory at least kProgressFloor below the predecessor CSR it
+// replaced (4 B/edge + 4 B/state). Returns false if any check fails.
+constexpr double kDddVisitedFloor = 3.0;
+constexpr double kProgressFloor = 8.0;
+
+bool ddd_report(const check::CheckResult& hash_result) {
+  benchx::print_header(
+      "E13: delayed duplicate detection — level-window visited set +\n"
+      "external-memory progress pass",
+      "Uncapped yang-anderson n=4 under --ddd --memory-limit-mb 96: dedup by\n"
+      "sort-merge against spilled fingerprint runs; the visited structure's\n"
+      "resident bytes are bounded by the level window, not total states, and\n"
+      "the progress pass streams edges in reverse instead of building a CSR.");
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 8'000'000;
+  options.ddd = true;
+  options.memory_limit_mb = 96;
+  const auto result = check::check_algorithm(*info.algorithm, 4, options);
+
+  bool ok = true;
+  if (result.states != hash_result.states ||
+      result.transitions != hash_result.transitions ||
+      result.dedup_hits != hash_result.dedup_hits) {
+    std::fprintf(stderr,
+                 "FAIL: DDD exploration diverged from hash-table mode "
+                 "(states %llu vs %llu, transitions %llu vs %llu, dedup %llu vs %llu)\n",
+                 static_cast<unsigned long long>(result.states),
+                 static_cast<unsigned long long>(hash_result.states),
+                 static_cast<unsigned long long>(result.transitions),
+                 static_cast<unsigned long long>(hash_result.transitions),
+                 static_cast<unsigned long long>(result.dedup_hits),
+                 static_cast<unsigned long long>(hash_result.dedup_hits));
+    ok = false;
+  }
+  const double visited_ratio =
+      result.peak_visited_bytes > 0
+          ? static_cast<double>(hash_result.peak_visited_bytes) /
+                static_cast<double>(result.peak_visited_bytes)
+          : 0.0;
+  // The CSR the progress pass materialized before this PR.
+  const std::uint64_t csr_bytes =
+      (hash_result.states + 1) * 4 + hash_result.transitions * 4;
+  const double progress_ratio =
+      result.progress_peak_bytes > 0
+          ? static_cast<double>(csr_bytes) /
+                static_cast<double>(result.progress_peak_bytes)
+          : 0.0;
+  std::printf(
+      "yang-anderson n=4: %llu states at identical counts to hash mode\n"
+      "visited-set resident peak: hash %s MiB (grows with states) vs DDD %s MiB\n"
+      "  (level-window bound) — %.2fx smaller (floor %.1fx); %llu sorted runs,\n"
+      "  %s MiB spilled, total engine peak %s MiB\n"
+      "progress pass: %s MiB transient (1 bit/state + one decoded edge chunk)\n"
+      "  vs the retired CSR's %s MiB — %.2fx smaller (floor %.1fx)\n\n",
+      static_cast<unsigned long long>(result.states),
+      fmt_mib(hash_result.peak_visited_bytes).c_str(),
+      fmt_mib(result.peak_visited_bytes).c_str(), visited_ratio, kDddVisitedFloor,
+      static_cast<unsigned long long>(result.ddd_runs),
+      fmt_mib(result.spilled_bytes).c_str(), fmt_mib(result.peak_memory_bytes).c_str(),
+      fmt_mib(result.progress_peak_bytes).c_str(), fmt_mib(csr_bytes).c_str(),
+      progress_ratio, kProgressFloor);
+  if (visited_ratio < kDddVisitedFloor) {
+    std::fprintf(stderr,
+                 "FAIL: DDD visited-set residency only %.2fx below hash mode "
+                 "(floor %.1fx)\n",
+                 visited_ratio, kDddVisitedFloor);
+    ok = false;
+  }
+  if (progress_ratio < kProgressFloor) {
+    std::fprintf(stderr,
+                 "FAIL: progress pass transient only %.2fx below the CSR "
+                 "(floor %.1fx)\n",
+                 progress_ratio, kProgressFloor);
+    ok = false;
+  }
+  return ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -493,19 +584,46 @@ void bm_check_deep_narrow(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(peak));
 }
 
+// Delayed duplicate detection on yang-anderson n=3 under a 4 MiB budget: the
+// perf gate tracks its wall time plus where the bytes live (total peak and
+// the level-window-bounded visited residency).
+void bm_check_ddd(benchmark::State& state) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  std::uint64_t peak = 0;
+  std::uint64_t visited_peak = 0;
+  for (auto _ : state) {
+    check::CheckOptions options;
+    options.max_states = 4'000'000;
+    options.ddd = true;
+    options.memory_limit_mb = 4;
+    const auto result = check::check_algorithm(*info.algorithm, 3, options);
+    if (!result.ok) state.SkipWithError("check failed");
+    benchmark::DoNotOptimize(result.states);
+    peak = result.peak_memory_bytes;
+    visited_peak = result.peak_visited_bytes;
+  }
+  state.counters["peak_memory_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+  state.counters["peak_visited_bytes"] =
+      benchmark::Counter(static_cast<double>(visited_peak));
+}
+
 BENCHMARK_CAPTURE(bm_check_flyweight, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_check_flyweight, yang_anderson_n3, "yang-anderson", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_check_legacy, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_check_ddd)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_check_deep_narrow)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const double aggregate = engine_report();
-  const double memory_ratio = memory_report();
+  check::CheckResult hash_n4;
+  const double memory_ratio = memory_report(hash_n4);
+  const bool ddd_ok = ddd_report(hash_n4);
   dispatch_report();  // informational: pool vs spawn dispatch latency
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -522,5 +640,6 @@ int main(int argc, char** argv) {
                  memory_ratio, kMemoryReductionFloor);
     rc = 1;
   }
+  if (!ddd_ok) rc = 1;  // diagnostics already printed by ddd_report
   return rc;
 }

@@ -1,5 +1,6 @@
 #include "check/closed_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -129,7 +130,12 @@ std::uint8_t* EdgeStore::reserve(std::size_t bytes) {
   if (chunks_.empty() || chunks_.back().used + bytes > kChunkBytes ||
       chunks_.back().data == nullptr) {
     chunks_.emplace_back();
-    chunks_.back().data = std::make_unique<std::uint8_t[]>(kChunkBytes);
+    Chunk& chunk = chunks_.back();
+    chunk.data = std::make_unique<std::uint8_t[]>(kChunkBytes);
+    // Decode state at the chunk's first byte: the caller has not yet updated
+    // last_from_/next_new_ for the edge it is about to write.
+    chunk.start_from = last_from_;
+    chunk.start_new = next_new_;
   }
   return chunks_.back().data.get() + chunks_.back().used;
 }
@@ -160,7 +166,9 @@ void EdgeStore::append(std::uint32_t from, std::uint32_t to, bool to_is_new) {
   std::uint8_t* out = reserve(len);
   std::memcpy(out, buf, len);
   chunks_.back().used += static_cast<std::uint32_t>(len);
+  ++chunks_.back().edges;
   last_from_ = from;
+  if (to_is_new) next_new_ = to + 1;  // targets of new edges are consecutive
   ++count_;
 }
 
@@ -186,6 +194,71 @@ std::uint64_t EdgeStore::spill_oldest(SpillFile& file, std::size_t max_chunks) {
 std::uint64_t EdgeStore::memory_bytes() const {
   const std::size_t resident = chunks_.size() - next_spill_;
   return resident * kChunkBytes + chunks_.capacity() * sizeof(Chunk);
+}
+
+// ---------------------------------------------------------------------------
+// FingerprintRuns.
+// ---------------------------------------------------------------------------
+
+void FingerprintRuns::append_run(const std::uint64_t* fps, const std::uint32_t* idxs,
+                                 std::size_t count) {
+  runs_.emplace_back();
+  Run& run = runs_.back();
+  run.chunks.reserve((count + kChunkRecords - 1) / kChunkRecords);
+  for (std::size_t begin = 0; begin < count; begin += kChunkRecords) {
+    const std::size_t records = std::min(kChunkRecords, count - begin);
+    run.chunks.emplace_back();
+    Chunk& chunk = run.chunks.back();
+    chunk.records = static_cast<std::uint32_t>(records);
+    chunk.first_fp = fps[begin];
+    chunk.last_fp = fps[begin + records - 1];
+    chunk.data = std::make_unique<std::uint8_t[]>(records * kRecordBytes);
+    for (std::size_t r = 0; r < records; ++r) {
+      std::memcpy(chunk.data.get() + r * kRecordBytes, fps + begin + r,
+                  sizeof(std::uint64_t));
+      std::memcpy(chunk.data.get() + r * kRecordBytes + sizeof(std::uint64_t),
+                  idxs + begin + r, sizeof(std::uint32_t));
+    }
+  }
+  total_ += count;
+  resident_data_bytes_ += count * kRecordBytes;
+  chunk_struct_bytes_ += run.chunks.capacity() * sizeof(Chunk);
+}
+
+bool FingerprintRuns::has_spillable_chunk() const {
+  for (std::size_t r = spill_run_; r < runs_.size(); ++r) {
+    const std::size_t first = r == spill_run_ ? spill_chunk_ : 0;
+    if (first < runs_[r].chunks.size()) return true;
+  }
+  return false;
+}
+
+std::uint64_t FingerprintRuns::spill_oldest(SpillFile& file, std::size_t max_chunks) {
+  std::uint64_t freed = 0;
+  while (max_chunks > 0 && spill_run_ < runs_.size()) {
+    Run& run = runs_[spill_run_];
+    if (spill_chunk_ >= run.chunks.size()) {
+      ++spill_run_;
+      spill_chunk_ = 0;
+      continue;
+    }
+    Chunk& chunk = run.chunks[spill_chunk_];
+    const std::size_t bytes = chunk.records * kRecordBytes;
+    const std::int64_t offset = file.append(chunk.data.get(), bytes);
+    if (offset < 0) return freed;  // spill target unavailable: keep in RAM
+    chunk.spill_offset = offset;
+    chunk.data.reset();
+    file_ = &file;
+    resident_data_bytes_ -= bytes;
+    ++spill_chunk_;
+    --max_chunks;
+    freed += bytes;
+  }
+  return freed;
+}
+
+std::uint64_t FingerprintRuns::memory_bytes() const {
+  return runs_.capacity() * sizeof(Run) + chunk_struct_bytes_ + resident_data_bytes_;
 }
 
 }  // namespace melb::check

@@ -7,7 +7,7 @@
 // the acting pids forward from the root) and the progress check's reverse
 // reachability (which needs edges, not states). So the engine now splits its
 // storage: the hot frontier keeps full expansion records for the current and
-// next level only, and everything closed drops to the two structures here —
+// next level only, and everything closed drops to the structures here —
 // in the spirit of SPIN's collapse compression and disk-based BFS checkers,
 // which cross the RAM-bound regime by keeping only fingerprints/frontiers
 // hot and spilling or compressing closed levels.
@@ -19,24 +19,40 @@
 //    (vs 8 flat). Appends arrive in the serial sequencing order, so `from` is
 //    non-decreasing (varint delta) and a "new state" edge's target is
 //    implicit — targets are assigned consecutively, so a one-bit flag
-//    replaces the 4-byte index. Dedup edges store zigzag(to - from).
+//    replaces the 4-byte index. Dedup edges store zigzag(to - from). Each
+//    chunk records its starting decode state (from, next implicit target),
+//    so the stream can also be walked chunk-by-chunk in REVERSE — which is
+//    what the progress pass's external-memory reverse BFS streams instead of
+//    materializing a predecessor CSR (see for_each_reverse).
+//  * FingerprintRuns: sorted runs of (fingerprint, state index) records —
+//    the cold half of delayed duplicate detection (CheckOptions::ddd). Each
+//    BFS level that slides out of the engine's hot window is flushed here as
+//    one ascending-fingerprint run; a level's candidate fingerprints are then
+//    deduplicated by a sort-merge of the (sorted) unknown candidates against
+//    every run. Runs are immutable once appended, so all of their chunks are
+//    spillable, which is what removes the visited table's ~12 B/state RAM
+//    floor.
 //
-// Both stores spill their oldest chunks to an anonymous temp file when the
-// engine's tracked memory crosses CheckOptions::memory_limit_mb: chunks are
-// written once, freed from RAM, and read back on demand (ClosedStore::entry
-// seeks per record; EdgeStore::for_each streams chunk-at-a-time). Spilling
-// is a pure function of the append sequence and the limit — never of the
-// worker count — so spill points, peak_memory_bytes, and spilled_bytes stay
+// All three stores spill their oldest chunks to an anonymous temp file when
+// the engine's tracked memory crosses CheckOptions::memory_limit_mb: chunks
+// are written once, freed from RAM, and read back on demand
+// (ClosedStore::entry seeks per record; EdgeStore::for_each* and
+// FingerprintRuns::merge stream chunk-at-a-time). Spilling is a pure
+// function of the append sequence and the limit — never of the worker
+// count — so spill points, peak_memory_bytes, and spilled_bytes stay
 // byte-identical across --workers values.
 //
 // Thread-safety: none. All mutation and all reads happen in the engine's
-// serial phases (sequencing, trace reconstruction, the progress pass).
+// serial phases (sequencing, the sort-merge dedup, trace reconstruction, the
+// progress pass).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace melb::check {
@@ -131,6 +147,39 @@ class EdgeStore {
     }
   }
 
+  // Streams every edge in REVERSE append order, to fn(from, to). Chunks are
+  // visited last-to-first; each is decoded forward from its recorded start
+  // state into a per-chunk buffer that is replayed backwards, so the whole
+  // walk needs one chunk of compressed bytes plus one chunk's decoded edges
+  // in RAM — never the full edge list. Returns the peak scratch bytes used
+  // (decode buffer + spill read-back buffer) so callers can account for the
+  // pass's transient memory.
+  template <class Fn>
+  std::uint64_t for_each_reverse(Fn&& fn) const {
+    std::vector<std::uint8_t> scratch;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> buffer;
+    for (std::size_t c = chunks_.size(); c-- > 0;) {
+      const Chunk& chunk = chunks_[c];
+      const std::uint8_t* bytes = chunk.data.get();
+      if (bytes == nullptr) {
+        scratch.resize(chunk.used);
+        file_->read(chunk.spill_offset, scratch.data(), chunk.used);
+        bytes = scratch.data();
+      }
+      buffer.clear();
+      buffer.reserve(chunk.edges);  // exact: no doubling overshoot
+      std::uint32_t from = chunk.start_from;
+      std::uint32_t next_new = chunk.start_new;
+      decode_chunk(bytes, chunk.used, from, next_new,
+                   [&](std::uint32_t f, std::uint32_t t) { buffer.emplace_back(f, t); });
+      for (std::size_t i = buffer.size(); i-- > 0;) {
+        fn(buffer[i].first, buffer[i].second);
+      }
+    }
+    return buffer.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>) +
+           scratch.capacity();
+  }
+
   std::uint64_t size() const { return count_; }
 
   std::uint64_t spill_oldest(SpillFile& file, std::size_t max_chunks);
@@ -143,6 +192,13 @@ class EdgeStore {
     std::unique_ptr<std::uint8_t[]> data;  // null once spilled
     std::uint32_t used = 0;
     std::int64_t spill_offset = -1;
+    // Decode state at the first byte of this chunk (running `from` value and
+    // next implicit new-state target) — what lets a chunk decode standalone,
+    // which reverse streaming needs — plus the chunk's edge count so the
+    // reverse walk can size its decode buffer exactly.
+    std::uint32_t start_from = 0;
+    std::uint32_t start_new = 1;
+    std::uint32_t edges = 0;
   };
 
   template <class Fn>
@@ -180,7 +236,115 @@ class EdgeStore {
   std::vector<Chunk> chunks_;
   std::uint64_t count_ = 0;
   std::uint32_t last_from_ = 0;
+  std::uint32_t next_new_ = 1;  // next implicit new-state target
   std::size_t next_spill_ = 0;
+  const SpillFile* file_ = nullptr;
+};
+
+// Sorted fingerprint runs for delayed duplicate detection: each run is an
+// immutable array of (fingerprint, state index) records, strictly ascending
+// by fingerprint — one run per BFS level evicted from the engine's hot
+// window. Distinct runs may not overlap in content (a state is interned into
+// exactly one level), but their fingerprint RANGES interleave arbitrarily,
+// so a lookup must consult every run.
+//
+// merge() is the delayed-duplicate-detection primitive: given the batch's
+// unknown candidate fingerprints, sorted ascending, it performs one
+// two-pointer sort-merge per run — skipping chunks whose [first_fp, last_fp]
+// range misses every remaining query — and reports each query found together
+// with its stored state index (which the engine needs to emit the dedup
+// edge). Spilled chunks are read back one at a time into a scratch buffer,
+// so a merge over N spilled states needs O(chunk) RAM.
+//
+// Thread-safety: none (serial engine phases only).
+class FingerprintRuns {
+ public:
+  static constexpr std::size_t kRecordBytes = 12;  // fp (8 LE) + idx (4 LE)
+  // ~64 KiB chunks: big enough to amortize spill I/O, small enough that the
+  // merge's read-back scratch stays negligible.
+  static constexpr std::size_t kChunkRecords = 5461;
+
+  // Appends one run of `count` records with strictly ascending fingerprints.
+  // count == 0 records an empty run (a BFS level can close with no new
+  // states); merge() skips it but run_count() still reports it.
+  void append_run(const std::uint64_t* fps, const std::uint32_t* idxs,
+                  std::size_t count);
+
+  std::size_t run_count() const { return runs_.size(); }
+  std::uint64_t size() const { return total_; }  // records across all runs
+
+  // Sort-merge lookup. `queries` must be sorted ascending by fingerprint and
+  // duplicate-free; `on_hit(payload, idx)` fires for every query whose
+  // fingerprint is present in some run, where `payload` is the query's
+  // second field (the engine passes candidate positions through it).
+  template <class Fn>
+  void merge(const std::pair<std::uint64_t, std::uint32_t>* queries,
+             std::size_t count, Fn&& on_hit) const {
+    if (count == 0 || total_ == 0) return;
+    std::vector<std::uint8_t> scratch;
+    for (const Run& run : runs_) {
+      std::size_t q = 0;  // per run: a fingerprint lives in at most one run
+      for (const Chunk& chunk : run.chunks) {
+        if (q >= count) break;
+        if (chunk.last_fp < queries[q].first) continue;  // chunk below queries
+        while (q < count && queries[q].first < chunk.first_fp) ++q;
+        if (q >= count) break;
+        const std::uint8_t* bytes = chunk.data.get();
+        if (bytes == nullptr) {
+          scratch.resize(chunk.records * kRecordBytes);
+          file_->read(chunk.spill_offset, scratch.data(),
+                      chunk.records * kRecordBytes);
+          bytes = scratch.data();
+        }
+        std::size_t r = 0;
+        while (r < chunk.records && q < count) {
+          std::uint64_t fp;
+          std::memcpy(&fp, bytes + r * kRecordBytes, sizeof(fp));
+          if (fp < queries[q].first) {
+            ++r;
+          } else if (fp > queries[q].first) {
+            ++q;
+          } else {
+            std::uint32_t idx;
+            std::memcpy(&idx, bytes + r * kRecordBytes + sizeof(fp), sizeof(idx));
+            on_hit(queries[q].second, idx);
+            ++r;
+            ++q;
+          }
+        }
+      }
+    }
+  }
+
+  // Spills (at most) `max_chunks` still-resident chunks, oldest run first.
+  // Unlike the other stores, every chunk is spillable immediately: runs are
+  // immutable once appended. Returns the bytes moved out of RAM.
+  std::uint64_t spill_oldest(SpillFile& file, std::size_t max_chunks);
+  bool has_spillable_chunk() const;
+
+  std::uint64_t memory_bytes() const;  // RAM-resident chunks only
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;  // null once spilled
+    std::uint32_t records = 0;
+    std::uint64_t first_fp = 0;  // range for merge-time chunk skipping
+    std::uint64_t last_fp = 0;
+    std::int64_t spill_offset = -1;
+  };
+  struct Run {
+    std::vector<Chunk> chunks;
+  };
+
+  std::vector<Run> runs_;
+  std::uint64_t total_ = 0;
+  // Accounting kept incrementally (append adds, spill subtracts): tracked_
+  // bytes polls memory_bytes() on the spill hot path, so it must not walk
+  // every chunk of every run.
+  std::uint64_t resident_data_bytes_ = 0;
+  std::uint64_t chunk_struct_bytes_ = 0;
+  std::size_t spill_run_ = 0;    // spill cursor: next run …
+  std::size_t spill_chunk_ = 0;  // … and next chunk within it
   const SpillFile* file_ = nullptr;
 };
 

@@ -97,6 +97,11 @@ class Engine {
         // States are indexed by uint32 and the top values are probe sentinels.
         max_states_(std::min<std::uint64_t>(options.max_states, 0xfff00000u)),
         budget_bytes_(options.memory_limit_mb << 20),
+        ddd_(options.ddd),
+        ddd_window_(static_cast<std::size_t>(std::max(1, options.ddd_window))),
+        batch_cap_(options.batch_candidates != 0
+                       ? static_cast<std::size_t>(options.batch_candidates)
+                       : kMaxBatchCandidates),
         regpool_(regs_, workers_ > 1) {}
 
   CheckResult run();
@@ -115,11 +120,17 @@ class Engine {
   LevelOutcome serial_level();
   LevelOutcome phased_level();
   LevelOutcome sequence_batch(std::size_t batch_begin, std::size_t batch_count);
+  void ddd_resolve();  // phase 2a.5: window binary search + run sort-merge
+  void commit_old_index(std::size_t ci, std::uint32_t idx);
+  void fold_level_into_window();
+  void evict_oldest_level();  // oldest window array becomes a sorted run
   std::vector<Step> trace_to(std::uint32_t idx) const;
   void check_progress();
   std::uint64_t tracked_bytes() const;
+  std::uint64_t visited_resident_bytes() const;
   void note_peak();
-  void close_level();  // peak accounting + budget-driven spilling
+  void close_level();  // peak accounting + window rotation + spilling
+  void relieve_memory_pressure();
   void finalize_stats();
   exp::TaskPool& task_pool();
 
@@ -130,6 +141,9 @@ class Engine {
   const int workers_;
   const std::uint64_t max_states_;
   const std::uint64_t budget_bytes_;  // 0 = unlimited
+  const bool ddd_;
+  const std::size_t ddd_window_;
+  const std::size_t batch_cap_;  // candidates per expansion batch
   int num_participants_ = 0;
 
   std::vector<std::unique_ptr<AutomatonPool>> pools_;  // one per pid (null = out)
@@ -144,6 +158,23 @@ class Engine {
   SpillFile spill_;
   std::uint64_t total_states_ = 0;
   std::vector<std::uint32_t> terminals_;
+
+  // Delayed duplicate detection (ddd_ only). The visited_ table above holds
+  // just the in-flight level; each completed level becomes a sorted (fp,
+  // idx) array in window_, and arrays evicted from the window become
+  // immutable sorted runs_ that batch queries sort-merge against.
+  struct WindowLevel {
+    std::vector<std::uint64_t> fps;   // sorted ascending, unique
+    std::vector<std::uint32_t> idxs;  // parallel to fps
+    std::uint64_t memory_bytes() const {
+      return fps.capacity() * sizeof(std::uint64_t) +
+             idxs.capacity() * sizeof(std::uint32_t);
+    }
+  };
+  std::deque<WindowLevel> window_;
+  FingerprintRuns runs_;
+  std::vector<std::uint64_t> level_fps_;   // creation order, current level
+  std::vector<std::uint32_t> level_idxs_;
 
   // The root snapshot trace replay starts from.
   std::vector<Value> root_regs_;
@@ -166,8 +197,12 @@ class Engine {
   std::vector<std::uint8_t> slot_ok_ =
       std::vector<std::uint8_t>(StripedStateSet::kStripes, 0);
   std::vector<std::vector<Value>> scratch_;
+  // DDD scratch: run-merge queries (fp, candidate position) and the
+  // level-fold sort buffer share this storage.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> queries_;
 
   std::uint64_t peak_bytes_ = 0;
+  std::uint64_t peak_visited_bytes_ = 0;
   CheckResult result_;
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
@@ -221,8 +256,16 @@ void Engine::init_root() {
   cur_.automata.insert(cur_.automata.end(), root_automata_.begin(), root_automata_.end());
   closed_.append(0, 0xff);
   total_states_ = 1;
-  visited_.find_or_reserve(regfp ^ aut_hash);
-  visited_.commit(regfp ^ aut_hash, 0);
+  if (ddd_) {
+    // The root is "level 0 completed": it enters the window as a one-entry
+    // sorted array, and the hash table stays reserved for in-flight levels.
+    window_.emplace_back();
+    window_.back().fps.push_back(regfp ^ aut_hash);
+    window_.back().idxs.push_back(0);
+  } else {
+    visited_.find_or_reserve(regfp ^ aut_hash);
+    visited_.commit(regfp ^ aut_hash, 0);
+  }
 
   scratch_.assign(static_cast<std::size_t>(workers_),
                   std::vector<Value>(static_cast<std::size_t>(std::max(regs_, 1))));
@@ -302,6 +345,10 @@ std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos
   const std::uint32_t* parent_row = cur_.automata.data() + parent_pos * stride;
   next_.automata.insert(next_.automata.end(), parent_row, parent_row + stride);
   next_.automata[next_.automata.size() - stride + cand.pid] = cand.next_aut;
+  if (ddd_) {
+    level_fps_.push_back(cand.fp);
+    level_idxs_.push_back(target);
+  }
   return target;
 }
 
@@ -417,14 +464,17 @@ Engine::LevelOutcome Engine::sequence_batch(std::size_t batch_begin,
   return LevelOutcome::kContinue;
 }
 
-// Parallel path: batches of candidates are generated on the pool (phase 1),
-// probed/reserved per stripe without locks (phase 2a), then sequenced
+// Batched path: candidates are generated on the pool (phase 1),
+// probed/reserved per stripe without locks (phase 2a), in DDD mode resolved
+// against the window arrays and the sorted runs (phase 2a.5), then sequenced
 // serially (phase 2b). After an abort the remaining batches still run
 // phases 1 and 2a — reservation side effects must match the serial drain.
+// Hash-table mode reaches this path only with workers > 1; DDD mode always
+// runs it (delayed dedup needs the batch buffers even serially, and a
+// 1-worker TaskPool dispatch is an inline loop).
 Engine::LevelOutcome Engine::phased_level() {
   const std::size_t stride = static_cast<std::size_t>(n_);
-  const std::size_t per_batch =
-      std::max<std::size_t>(1, kMaxBatchCandidates / stride);
+  const std::size_t per_batch = std::max<std::size_t>(1, batch_cap_ / stride);
   LevelOutcome outcome = LevelOutcome::kContinue;
 
   for (std::size_t begin = 0; begin < expand_.size(); begin += per_batch) {
@@ -432,7 +482,7 @@ Engine::LevelOutcome Engine::phased_level() {
     cands_.resize(count * stride);
     probe_.resize(cands_.size());
     slots_.resize(cands_.size());
-    const bool parallel = count >= kMinParallelLevel;
+    const bool parallel = workers_ > 1 && count >= kMinParallelLevel;
     const std::size_t chunks =
         parallel ? std::min(count, static_cast<std::size_t>(workers_) * 4) : 1;
 
@@ -469,13 +519,98 @@ Engine::LevelOutcome Engine::phased_level() {
       slot_ok_[s] = stripe.generation() == gen ? std::uint8_t{1} : std::uint8_t{0};
     });
 
-    // Phase 2b: deterministic sequencing (skipped after an abort — the
-    // reservations above are exactly the serial drain's side effects).
+    // Phase 2a.5 + 2b: resolve delayed duplicates, then sequence
+    // deterministically (both skipped after an abort — the reservations
+    // above are exactly the serial drain's side effects).
     if (outcome == LevelOutcome::kContinue) {
+      if (ddd_) ddd_resolve();
       outcome = sequence_batch(begin, count);
+    }
+    // DDD batches are deterministic checkpoints in every mode (the serial
+    // engine runs them too), so budget pressure can be relieved mid-level —
+    // a giant level must not pin every window array and run chunk in RAM.
+    // Skipped once aborted: the result is decided, so per-batch relief would
+    // only add spill I/O (close_level still does its end-of-level pass).
+    if (ddd_ && budget_bytes_ != 0 && outcome == LevelOutcome::kContinue) {
+      note_peak();
+      relieve_memory_pressure();
     }
   }
   return outcome;
+}
+
+// Phase 2a.5 (DDD only): every candidate that reserved a brand-new slot in
+// phase 2a is either a duplicate of a state outside the hash table — in a
+// window array or a sorted run — or genuinely new. Window arrays are binary
+// searched (newest level first); the rest of the queries are sorted and
+// sort-merged against the runs in one pass. Hits are committed into the hot
+// slot so the batch's pending twins and all later batches of the level
+// resolve to the same index, exactly as they would against the full hash
+// table.
+void Engine::ddd_resolve() {
+  queries_.clear();
+  for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
+    if (!cands_[ci].valid || probe_[ci] != kReservedNew) continue;
+    const std::uint64_t fp = cands_[ci].fp;
+    std::uint32_t found = kReservedNew;
+    for (auto level = window_.rbegin(); level != window_.rend(); ++level) {
+      const auto& fps = level->fps;
+      const auto pos = std::lower_bound(fps.begin(), fps.end(), fp);
+      if (pos != fps.end() && *pos == fp) {
+        found = level->idxs[static_cast<std::size_t>(pos - fps.begin())];
+        break;
+      }
+    }
+    if (found != kReservedNew) {
+      probe_[ci] = found;
+      commit_old_index(ci, found);
+    } else {
+      queries_.emplace_back(fp, static_cast<std::uint32_t>(ci));
+    }
+  }
+  if (queries_.empty()) return;
+  std::sort(queries_.begin(), queries_.end());
+  runs_.merge(queries_.data(), queries_.size(),
+              [&](std::uint32_t ci, std::uint32_t idx) {
+                probe_[ci] = idx;
+                commit_old_index(ci, idx);
+              });
+}
+
+// Fills a phase-2a reservation with the index of an already-closed state.
+void Engine::commit_old_index(std::size_t ci, std::uint32_t idx) {
+  FlatStateSet& stripe = visited_.stripe(cands_[ci].stripe);
+  if (slot_ok_[cands_[ci].stripe]) {
+    stripe.commit_slot(slots_[ci], idx);
+  } else {
+    stripe.commit(cands_[ci].fp, idx);
+  }
+}
+
+// Sorts the completed level's (fp, idx) records into a window array and
+// resets the per-level dedup state.
+void Engine::fold_level_into_window() {
+  queries_.resize(level_fps_.size());
+  for (std::size_t i = 0; i < level_fps_.size(); ++i) {
+    queries_[i] = {level_fps_[i], level_idxs_[i]};
+  }
+  std::sort(queries_.begin(), queries_.end());
+  window_.emplace_back();
+  WindowLevel& level = window_.back();
+  level.fps.reserve(queries_.size());
+  level.idxs.reserve(queries_.size());
+  for (const auto& [fp, idx] : queries_) {
+    level.fps.push_back(fp);
+    level.idxs.push_back(idx);
+  }
+  level_fps_.clear();
+  level_idxs_.clear();
+}
+
+void Engine::evict_oldest_level() {
+  WindowLevel& level = window_.front();
+  runs_.append_run(level.fps.data(), level.idxs.data(), level.fps.size());
+  window_.pop_front();
 }
 
 // Reconstructs the step sequence from the root to state `idx` by walking the
@@ -512,37 +647,44 @@ std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
 
 void Engine::check_progress() {
   // Reverse reachability from terminal states; anything unreached is a state
-  // from which termination is impossible. The predecessor adjacency is built
-  // as a CSR by streaming the compressed edge list twice (counting sort by
-  // target).
-  std::vector<std::uint32_t> offsets(total_states_ + 1, 0);
-  edges_.for_each([&](std::uint32_t, std::uint32_t to) { ++offsets[to + 1]; });
-  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
-  std::vector<std::uint32_t> preds(edges_.size());
-  {
-    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    edges_.for_each(
-        [&](std::uint32_t from, std::uint32_t to) { preds[cursor[to]++] = from; });
+  // from which termination is impossible. External-memory formulation: one
+  // bit per state plus chunk-sized streaming buffers — no predecessor CSR
+  // (which cost 4 B/edge + 4 B/state, the last per-run structure that grew
+  // with the explored space). Each sweep streams the compressed edge list in
+  // REVERSE append order: `from` is non-increasing within a sweep and almost
+  // all edges point forward (from < to), so a marking propagates down an
+  // entire forward chain in a single sweep. Extra sweeps are only forced by
+  // back edges (to < from, i.e. a dedup edge into an earlier state on every
+  // path to termination); the loop runs until a sweep changes nothing or —
+  // the common OK case — everything is marked.
+  const std::size_t words = static_cast<std::size_t>((total_states_ + 63) / 64);
+  std::vector<std::uint64_t> can_finish(words, 0);
+  const auto is_marked = [&](std::uint32_t idx) {
+    return ((can_finish[idx >> 6] >> (idx & 63)) & 1u) != 0;
+  };
+  std::uint64_t marked = 0;
+  for (const std::uint32_t t : terminals_) {
+    can_finish[t >> 6] |= std::uint64_t{1} << (t & 63);
+    ++marked;
   }
-  std::vector<bool> can_finish(total_states_, false);
-  std::deque<std::uint32_t> queue;
-  for (std::uint32_t t : terminals_) {
-    can_finish[t] = true;
-    queue.push_back(t);
+  std::uint64_t scratch_peak = 0;
+  bool changed = marked > 0;
+  while (changed && marked < total_states_) {
+    changed = false;
+    const std::uint64_t scratch =
+        edges_.for_each_reverse([&](std::uint32_t from, std::uint32_t to) {
+          if (is_marked(to) && !is_marked(from)) {
+            can_finish[from >> 6] |= std::uint64_t{1} << (from & 63);
+            ++marked;
+            changed = true;
+          }
+        });
+    scratch_peak = std::max(scratch_peak, scratch);
   }
-  while (!queue.empty()) {
-    const std::uint32_t idx = queue.front();
-    queue.pop_front();
-    for (std::uint32_t k = offsets[idx]; k < offsets[idx + 1]; ++k) {
-      const std::uint32_t pred = preds[k];
-      if (!can_finish[pred]) {
-        can_finish[pred] = true;
-        queue.push_back(pred);
-      }
-    }
-  }
+  result_.progress_peak_bytes = words * sizeof(std::uint64_t) + scratch_peak;
+  if (marked == total_states_) return;
   for (std::uint32_t idx = 0; idx < total_states_; ++idx) {
-    if (!can_finish[idx]) {
+    if (!is_marked(idx)) {
       result_.violation =
           "progress violated: state with no path to termination (livelock)";
       result_.counterexample = trace_to(idx);
@@ -563,27 +705,69 @@ std::uint64_t Engine::tracked_bytes() const {
   for (const auto& pool : pools_) {
     if (pool) bytes += pool->memory_bytes();
   }
+  if (ddd_) {
+    bytes += runs_.memory_bytes() +
+             level_fps_.capacity() * sizeof(std::uint64_t) +
+             level_idxs_.capacity() * sizeof(std::uint32_t);
+    for (const auto& level : window_) bytes += level.memory_bytes();
+  }
   return bytes;
 }
 
-void Engine::note_peak() { peak_bytes_ = std::max(peak_bytes_, tracked_bytes()); }
+// The dedup structure's RAM-mandatory part: the hash table plus (DDD) the
+// window and in-flight level arrays — everything except the spillable runs.
+// This is the figure that is O(states) in hash-table mode but bounded by the
+// level window under DDD.
+std::uint64_t Engine::visited_resident_bytes() const {
+  std::uint64_t bytes = visited_.memory_bytes();
+  if (ddd_) {
+    bytes += level_fps_.capacity() * sizeof(std::uint64_t) +
+             level_idxs_.capacity() * sizeof(std::uint32_t);
+    for (const auto& level : window_) bytes += level.memory_bytes();
+  }
+  return bytes;
+}
 
-// End-of-level bookkeeping: record the in-RAM high-water mark, then spill
-// closed/edge chunks until the tracked footprint fits the budget (edge
-// chunks first — they are only re-read once, by the progress pass). Spill
-// decisions are a pure function of deterministic byte counts, so they are
-// identical for every worker count.
+void Engine::note_peak() {
+  peak_bytes_ = std::max(peak_bytes_, tracked_bytes());
+  peak_visited_bytes_ = std::max(peak_visited_bytes_, visited_resident_bytes());
+}
+
+// End-of-level bookkeeping: record the in-RAM high-water mark, rotate the
+// completed level into the DDD window (evicting beyond-window levels as
+// sorted runs), then relieve budget pressure. Every decision is a pure
+// function of deterministic byte counts, so it is identical for every
+// worker count.
 void Engine::close_level() {
   note_peak();
+  if (ddd_) {
+    fold_level_into_window();
+    visited_.clear();  // the hash table only ever holds one in-flight level
+    while (window_.size() > ddd_window_) evict_oldest_level();
+  }
+  relieve_memory_pressure();
+}
+
+// Spills chunks until the tracked footprint fits the budget. Priority
+// follows re-read frequency: edge chunks first (streamed once more, by the
+// progress pass), then closed chunks (random-read only for traces), then
+// fingerprint-run chunks (re-read by every level's merge); as a last resort
+// DDD evicts hot window arrays into runs so their bytes become spillable
+// too. Shared by close_level and the DDD path's batch checkpoints.
+void Engine::relieve_memory_pressure() {
   if (budget_bytes_ == 0) return;
   while (tracked_bytes() > budget_bytes_) {
-    std::uint64_t freed = 0;
     if (edges_.has_spillable_chunk()) {
-      freed = edges_.spill_oldest(spill_, 8);
+      if (edges_.spill_oldest(spill_, 8) == 0) break;  // no temp storage
     } else if (closed_.has_spillable_chunk()) {
-      freed = closed_.spill_oldest(spill_, 8);
+      if (closed_.spill_oldest(spill_, 8) == 0) break;
+    } else if (runs_.has_spillable_chunk()) {
+      if (runs_.spill_oldest(spill_, 8) == 0) break;
+    } else if (ddd_ && !window_.empty()) {
+      evict_oldest_level();  // makes those bytes spillable next iteration
+    } else {
+      break;  // nothing left to spill
     }
-    if (freed == 0) break;  // nothing left to spill (or no temp storage)
   }
 }
 
@@ -597,7 +781,9 @@ void Engine::finalize_stats() {
     if (pool) result_.interned_automata += pool->size();
   }
   result_.peak_memory_bytes = peak_bytes_;
+  result_.peak_visited_bytes = peak_visited_bytes_;
   result_.spilled_bytes = spill_.bytes_written();
+  result_.ddd_runs = runs_.run_count();
   result_.wall_micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -623,8 +809,9 @@ CheckResult Engine::run() {
     if (expand_.empty()) break;
 
     next_.reset(static_cast<std::uint32_t>(total_states_));
-    const bool parallel = workers_ > 1 && expand_.size() >= kMinParallelLevel;
-    const LevelOutcome outcome = parallel ? phased_level() : serial_level();
+    const bool phased =
+        ddd_ || (workers_ > 1 && expand_.size() >= kMinParallelLevel);
+    const LevelOutcome outcome = phased ? phased_level() : serial_level();
     switch (outcome) {
       case LevelOutcome::kViolation:
         finalize_stats();

@@ -17,29 +17,53 @@
 // exactly why its Θ(n) canonical cost does not contradict Theorem 7.5.
 //
 // States are deduplicated by 64-bit fingerprint of (registers, automaton
-// states); a collision would merge two distinct states, with probability
-// ~(states²)·2⁻⁶⁴ — negligible at the ≤10⁷ states this checker is meant for.
+// states); a collision would silently merge two distinct states. The
+// birthday bound ~states²·2⁻⁶⁵ is negligible through the 10⁷-state regime
+// (~5·10⁻⁶) but grows to the low percents at the 10⁹-state scale DDD
+// unlocks — certification runs up there should treat a pass as
+// high-confidence, not proof (a wider fingerprint is the known remedy and
+// would double the run records; see docs/checker-architecture.md).
 //
-// Engine (the flyweight core): distinct process local states are interned
-// once per pid (check/intern.h) with memoized δ, state fingerprints are
-// zobrist hashes updated in O(1) from the parent (util/hash.h), and the
-// visited set is a striped flat open-addressing table (check/state_set.h).
-// State storage is split by temperature (check/closed_store.h): the hot
-// frontier keeps full expansion records (automaton hash, register-file id,
-// stride-n automaton intern ids, section counters) for the current and next
-// BFS level only, while every closed state drops to a packed 5-byte
-// (parent, acting pid) record; counterexample traces are reconstructed on
-// demand by replaying the parent chain through the memoized δ. Transitions
-// live in a delta-compressed edge stream (~1-4 bytes per edge). Under
-// CheckOptions::memory_limit_mb the engine spills closed and edge chunks to
-// a temp file instead of aborting, which is what pushes exhaustive checks
-// past the RAM-bound regime (yang-anderson n=5, ~10^8 states).
+// The full engine design — interning, fingerprints, the frontier/closed
+// temperature split, edge-stream compression, the spill protocol, delayed
+// duplicate detection, the external-memory progress pass, and the
+// worker-determinism contract, with per-structure bytes/state — is written
+// down in docs/checker-architecture.md. In brief:
+//
+//  * Flyweight core: distinct process local states are interned once per pid
+//    (check/intern.h) with memoized δ, state fingerprints are zobrist hashes
+//    updated in O(1) from the parent (util/hash.h), and within-level dedup
+//    uses a striped flat open-addressing table (check/state_set.h).
+//  * Temperature split (check/closed_store.h): full expansion records exist
+//    only for the current and next BFS level; every closed state drops to a
+//    packed 5-byte (parent, acting pid) record, transitions live in a
+//    delta-compressed edge stream (~1-4 B/edge), and counterexample traces
+//    are reconstructed on demand by replaying the parent chain through the
+//    memoized δ. Under CheckOptions::memory_limit_mb, cold chunks spill to a
+//    temp file instead of aborting.
+//  * Delayed duplicate detection (CheckOptions::ddd): the visited table no
+//    longer holds every fingerprint forever. It is cleared per BFS level;
+//    the most recent `ddd_window` levels stay as sorted in-RAM (fp, idx)
+//    arrays, and older levels are flushed as sorted runs
+//    (check/closed_store.h FingerprintRuns) that each level's unknown
+//    candidates are deduplicated against by one sort-merge pass — runs are
+//    spillable, so no RAM structure grows with total states.
+//  * Progress pass: external-memory reverse BFS. Instead of materializing a
+//    predecessor CSR (4 B/edge + 4 B/state), the pass keeps one bit per
+//    state and streams the compressed edge list in reverse (chunk-at-a-time,
+//    including spilled chunks) until the can-finish marking reaches a
+//    fixpoint.
+//
 // Exploration is level-synchronous BFS on a persistent exp::TaskPool (one
-// pool for the whole check, woken twice per level — no per-level thread
-// spawns): candidates are generated in parallel batches, deduplicated per
-// stripe, then sequenced in (parent index, pid) order — exactly the serial
-// engine's order — so violations, traces (lowest-index parent wins), and
-// every CheckResult statistic are byte-identical for any worker count.
+// pool for the whole check, woken per phase — no per-level thread spawns):
+// candidates are generated in parallel batches, deduplicated per stripe,
+// then sequenced in (parent index, pid) order — exactly the serial engine's
+// order. Determinism contract: every CheckResult field except wall_micros is
+// a pure function of (algorithm, n, options minus workers); violations,
+// traces (lowest-index parent wins), statistics, and spill points are
+// byte-identical for every worker count. DDD mode additionally produces the
+// same states/transitions/dedup_hits/interned_* counts as hash-table mode —
+// only the memory statistics differ.
 //
 // Thread-safety: check_algorithm keeps its entire frontier/state table in
 // locals and touches the Algorithm only through const methods, so concurrent
@@ -62,18 +86,38 @@ struct CheckOptions {
   bool check_mutex = true;
   bool check_progress = true;
   // Frontier-expansion workers; <=1 explores on the calling thread. Results
-  // are byte-identical for every value (see engine comment above). In
+  // are byte-identical for every value (see determinism contract above). In
   // check_all_subsets, workers > 1 instead runs whole subset checks in
   // parallel (each subset explored serially) on one shared pool.
   int workers = 1;
   // Soft ceiling on the engine's tracked table memory, in MiB; 0 = no limit.
-  // When tracked memory crosses the ceiling the engine spills closed-state
-  // and edge chunks to an anonymous temp file (best effort — it degrades to
-  // in-RAM operation if no temp storage exists, and hot structures that
-  // cannot spill may still exceed the ceiling; the check never aborts on
-  // memory grounds). Spill points depend only on the options, never on the
-  // worker count, so all statistics stay byte-identical across workers.
+  // When tracked memory crosses the ceiling the engine spills closed-state,
+  // edge, and (in DDD mode) fingerprint-run chunks to an anonymous temp file
+  // (best effort — it degrades to in-RAM operation if no temp storage
+  // exists, and hot structures that cannot spill may still exceed the
+  // ceiling; the check never aborts on memory grounds). Spill points depend
+  // only on the options, never on the worker count, so all statistics stay
+  // byte-identical across workers.
   std::uint64_t memory_limit_mb = 0;
+  // Delayed duplicate detection: dedupe each BFS level against sorted
+  // fingerprint runs (sort-merge) instead of one ever-growing hash table.
+  // Same results and exploration statistics as hash-table mode; the visited
+  // structure's RAM becomes bounded by the level window instead of by total
+  // states, and its cold part (the runs) spills under memory_limit_mb.
+  // Slower per state (every level pays a merge over all closed
+  // fingerprints), so worth it exactly when the visited table is what no
+  // longer fits in RAM.
+  bool ddd = false;
+  // DDD only: how many completed recent levels stay hot as sorted in-RAM
+  // arrays (candidates hitting them skip the run merge). Clamped to >= 1.
+  // Purely a performance knob — any value yields identical results.
+  int ddd_window = 2;
+  // Cap on successor candidates materialized per expansion batch; 0 = the
+  // engine default (1M). A testing/tuning knob: smaller caps force levels to
+  // split into many batches (each DDD batch pays its own run merge). Any
+  // value yields identical results for a fixed option set, but the cap is
+  // part of the batching schedule, so compare runs only at equal caps.
+  std::uint64_t batch_candidates = 0;
   // Which pids take part; empty = all n. Non-participants take no steps.
   std::vector<sim::Pid> participants;
 };
@@ -96,6 +140,16 @@ struct CheckResult {
   std::uint64_t interned_regfiles = 0;  // distinct register-file contents seen
   std::uint64_t peak_memory_bytes = 0;  // engine-owned RAM tables at their peak
   std::uint64_t spilled_bytes = 0;      // written to the spill file (0 = no spill)
+  // High-water mark of the dedup structure's RAM-mandatory part: the visited
+  // hash table, plus (DDD) the window arrays — but not the spillable runs.
+  // Hash-table mode: grows with total states. DDD mode: bounded by the
+  // widest level in the window — the number the DDD bench row tracks.
+  std::uint64_t peak_visited_bytes = 0;
+  // Transient RAM of the progress pass: the 1-bit-per-state marking plus the
+  // reverse edge-stream scratch (one chunk decoded at a time). Replaces the
+  // old 4 B/edge + 4 B/state predecessor CSR. 0 when the pass did not run.
+  std::uint64_t progress_peak_bytes = 0;
+  std::uint64_t ddd_runs = 0;           // sorted fingerprint runs formed (DDD only)
   std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
 };
 

@@ -1,5 +1,6 @@
 #include "check/state_set.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace melb::check {
@@ -33,6 +34,15 @@ void FlatStateSet::commit(std::uint64_t fp, std::uint32_t idx) {
   assert(false && "commit of a fingerprint that was never reserved");
 }
 
+void FlatStateSet::clear() {
+  // Slot emptiness is defined by idxs_ == kEmpty alone (fps_ is only read
+  // for occupied slots), so the 8-byte array keeps its stale contents — the
+  // wipe runs per stripe at every DDD level boundary.
+  std::fill(idxs_.begin(), idxs_.end(), kEmpty);
+  size_ = 0;
+  ++generation_;
+}
+
 void FlatStateSet::grow() {
   ++generation_;
   std::vector<std::uint64_t> old_fps = std::move(fps_);
@@ -51,6 +61,10 @@ void FlatStateSet::grow() {
 }
 
 StripedStateSet::StripedStateSet() : stripes_(kStripes) {}
+
+void StripedStateSet::clear() {
+  for (auto& s : stripes_) s.clear();
+}
 
 std::size_t StripedStateSet::size() const {
   std::size_t total = 0;

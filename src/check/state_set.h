@@ -22,6 +22,16 @@
 // function of the worker count — so table growth, memory accounting, and
 // dedup statistics are byte-identical for every --workers value; parallelism
 // comes from expanding different stripes on different workers with no locks.
+//
+// Two occupancy regimes:
+//  * Hash-table mode (the default engine): the set holds every fingerprint
+//    ever visited — O(states) RAM, ~12 B/state at load 3/4.
+//  * DDD mode (CheckOptions::ddd): the set is only the LEVEL-LOCAL dedup
+//    table — it is clear()ed at every BFS level boundary and holds just the
+//    current level's candidate fingerprints, while older levels live in
+//    sorted window arrays and spillable FingerprintRuns (closed_store.h).
+//    clear() keeps the allocated capacity, so resident bytes are bounded by
+//    the widest level seen, never by total states.
 #pragma once
 
 #include <cstddef>
@@ -49,8 +59,9 @@ class FlatStateSet {
   // slot stays valid while generation() is unchanged (growth rehashes).
   // Max load factor 3/4: zobrist fingerprints probe near-uniformly, so the
   // slightly longer probe chains cost far less than the extra half-size
-  // table a 2/3 limit would force — the visited set is the one engine table
-  // that can neither shrink to the frontier nor spill to disk.
+  // table a 2/3 limit would force — this table is RAM-mandatory in both
+  // regimes (all states in hash-table mode, the widest level under DDD), so
+  // density is worth a few extra probes.
   Probe find_or_reserve(std::uint64_t fp) {
     if (size_ * 4 >= fps_.size() * 3) grow();
     std::size_t slot = slot_of(fp);
@@ -86,6 +97,11 @@ class FlatStateSet {
   // Bumped on every growth/rehash; callers compare it to decide whether a
   // recorded Probe::slot is still addressable.
   std::uint32_t generation() const { return generation_; }
+
+  // Empties the set but keeps its capacity (an O(capacity) wipe, no
+  // deallocation) and bumps the generation: previously recorded slots are
+  // invalid afterwards. DDD mode calls this at every BFS level boundary.
+  void clear();
 
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return fps_.size(); }
@@ -138,6 +154,9 @@ class StripedStateSet {
   std::uint32_t lookup(std::uint64_t fp) const {
     return stripes_[stripe_of(fp)].lookup(fp);
   }
+
+  // Empties every stripe, keeping capacities (see FlatStateSet::clear).
+  void clear();
 
   std::size_t size() const;
   std::size_t memory_bytes() const;

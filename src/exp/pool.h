@@ -24,6 +24,20 @@
 // pool waits for its own workers to go idle). Subsystems that need nested
 // parallelism (check_all_subsets running whole checks per task) run the
 // inner work serially instead.
+//
+// Thread-safety and determinism contract: run() must only be called from
+// one thread at a time (the checker and the campaign runner each own their
+// pool; nothing shares one). The pool guarantees every task executes
+// exactly once and the barrier orders all task effects before run()
+// returns, but it guarantees NOTHING about which worker runs which task or
+// in what order — callers that promise worker-count-invariant output (the
+// sweep engine's byte-identical reports, the checker's determinism
+// contract, see docs/checker-architecture.md) must therefore write only to
+// index-owned slots and do any order-sensitive reduction serially after the
+// barrier. A pool constructed with workers <= 1 degrades run() to a plain
+// inline loop on the caller (no threads are ever spawned), which is what
+// lets serial and parallel call sites share one code path with identical
+// side effects.
 #pragma once
 
 #include <atomic>

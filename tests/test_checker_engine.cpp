@@ -179,6 +179,169 @@ TEST(EdgeStore, RoundTripsMixedNewAndDedupEdges) {
 }
 
 // ---------------------------------------------------------------------------
+// FingerprintRuns: the sort-merge half of delayed duplicate detection.
+// ---------------------------------------------------------------------------
+
+using Query = std::pair<std::uint64_t, std::uint32_t>;
+
+std::vector<Query> merge_hits(const check::FingerprintRuns& runs,
+                              const std::vector<Query>& queries) {
+  std::vector<Query> hits;  // (payload, idx), sorted by payload — the merge
+  runs.merge(queries.data(), queries.size(),  // reports hits grouped per run
+             [&](std::uint32_t payload, std::uint32_t idx) {
+               hits.emplace_back(payload, idx);
+             });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(FingerprintRuns, MergeFindsDuplicatesStraddlingRunAndChunkBoundaries) {
+  // Two runs with interleaved fingerprint ranges, each long enough to span
+  // multiple chunks: run A holds even fps, run B odd fps, so every chunk of
+  // each run overlaps the other run's range and a query batch can contain
+  // adjacent duplicates that live in *different* runs.
+  constexpr std::size_t kCount = 2 * check::FingerprintRuns::kChunkRecords + 100;
+  std::vector<std::uint64_t> even_fps(kCount), odd_fps(kCount);
+  std::vector<std::uint32_t> even_idx(kCount), odd_idx(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    even_fps[i] = 2 * i;
+    even_idx[i] = static_cast<std::uint32_t>(i);
+    odd_fps[i] = 2 * i + 1;
+    odd_idx[i] = static_cast<std::uint32_t>(1'000'000 + i);
+  }
+  check::FingerprintRuns runs;
+  runs.append_run(even_fps.data(), even_idx.data(), kCount);
+  runs.append_run(odd_fps.data(), odd_idx.data(), kCount);
+  EXPECT_EQ(runs.run_count(), 2u);
+  EXPECT_EQ(runs.size(), 2 * kCount);
+
+  // Queries: the exact records on both sides of every chunk boundary
+  // (positions kChunkRecords-1 / kChunkRecords in each run), an adjacent
+  // even/odd pair that straddles the two runs, the global first/last
+  // records, and misses (below, between, above).
+  const std::size_t cb = check::FingerprintRuns::kChunkRecords;
+  std::vector<Query> queries = {
+      {0, 0},                        // first record of run A
+      {2 * (cb - 1), 1},             // last record of run A chunk 0
+      {2 * cb, 2},                   // first record of run A chunk 1
+      {2 * cb + 1, 3},               // …and its odd twin in run B chunk 1
+      {2 * (kCount - 1), 4},         // last record of run A
+      {2 * (kCount - 1) + 1, 5},     // last record of run B
+      {2 * kCount + 2, 6},           // miss: above both runs
+      {2 * kCount + 9, 7},           // miss
+  };
+  const auto hits = merge_hits(runs, queries);
+  ASSERT_EQ(hits.size(), 6u);
+  EXPECT_EQ(hits[0], Query(0, 0u));
+  EXPECT_EQ(hits[1], Query(1, static_cast<std::uint32_t>(cb - 1)));
+  EXPECT_EQ(hits[2], Query(2, static_cast<std::uint32_t>(cb)));
+  EXPECT_EQ(hits[4], Query(4, static_cast<std::uint32_t>(kCount - 1)));
+  // Run B hits carry run B's index space.
+  EXPECT_EQ(hits[3], Query(3, static_cast<std::uint32_t>(1'000'000 + cb)));
+  EXPECT_EQ(hits[5], Query(5, static_cast<std::uint32_t>(1'000'000 + kCount - 1)));
+}
+
+TEST(FingerprintRuns, EmptyRunsAreRecordedAndMergeSkipsThem) {
+  check::FingerprintRuns runs;
+  runs.append_run(nullptr, nullptr, 0);  // a BFS level with no new states
+  const std::uint64_t fps[] = {5, 9};
+  const std::uint32_t idxs[] = {50, 90};
+  runs.append_run(fps, idxs, 2);
+  runs.append_run(nullptr, nullptr, 0);
+  EXPECT_EQ(runs.run_count(), 3u);
+  EXPECT_EQ(runs.size(), 2u);
+
+  const std::vector<Query> queries = {{4, 0}, {5, 1}, {9, 2}, {10, 3}};
+  const auto hits = merge_hits(runs, queries);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], Query(1, 50u));
+  EXPECT_EQ(hits[1], Query(2, 90u));
+
+  // Merging an empty query batch against empty-run-bearing storage is a
+  // no-op, not a crash.
+  EXPECT_TRUE(merge_hits(runs, {}).empty());
+}
+
+TEST(FingerprintRuns, SpilledChunksMergeIdentically) {
+  constexpr std::size_t kCount = 3 * check::FingerprintRuns::kChunkRecords / 2;
+  std::vector<std::uint64_t> fps(kCount);
+  std::vector<std::uint32_t> idxs(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    fps[i] = 3 * i + 1;
+    idxs[i] = static_cast<std::uint32_t>(i * 7);
+  }
+  check::FingerprintRuns runs;
+  runs.append_run(fps.data(), idxs.data(), kCount);
+
+  std::vector<Query> queries;
+  for (std::size_t i = 0; i < kCount; i += 53) {
+    queries.emplace_back(3 * i + 1, static_cast<std::uint32_t>(i));
+  }
+  queries.emplace_back(3 * kCount + 5, 0xdeadu);  // miss above the run
+  const auto before = merge_hits(runs, queries);
+  ASSERT_EQ(before.size(), queries.size() - 1);
+
+  // Unlike ClosedStore/EdgeStore, every run chunk is spillable — runs are
+  // immutable — so the resident bytes drop to (near) zero.
+  check::SpillFile spill;
+  ASSERT_TRUE(runs.has_spillable_chunk());
+  const std::uint64_t resident_before = runs.memory_bytes();
+  EXPECT_EQ(runs.spill_oldest(spill, 1000),
+            kCount * check::FingerprintRuns::kRecordBytes);
+  EXPECT_FALSE(runs.has_spillable_chunk());
+  EXPECT_LT(runs.memory_bytes(), resident_before / 2);
+
+  EXPECT_EQ(merge_hits(runs, queries), before);
+}
+
+// ---------------------------------------------------------------------------
+// EdgeStore reverse streaming (the progress pass's access pattern).
+// ---------------------------------------------------------------------------
+
+TEST(EdgeStore, ReverseStreamIsExactlyTheForwardStreamReversed) {
+  check::EdgeStore store;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expected;
+  std::uint32_t next_new = 1;
+  std::uint32_t from = 0;
+  std::uint64_t rng = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < 300000; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    if ((rng >> 33) % 3 != 0) {
+      store.append(from, next_new, true);
+      expected.emplace_back(from, next_new);
+      ++next_new;
+    } else {
+      const std::uint32_t to = static_cast<std::uint32_t>((rng >> 20) % next_new);
+      store.append(from, to, false);
+      expected.emplace_back(from, to);
+    }
+    if ((rng >> 40) % 4 == 0) from += static_cast<std::uint32_t>((rng >> 50) % 3);
+  }
+
+  const auto verify_reverse = [&] {
+    std::size_t i = expected.size();
+    const std::uint64_t scratch =
+        store.for_each_reverse([&](std::uint32_t f, std::uint32_t t) {
+          ASSERT_GT(i, 0u);
+          --i;
+          EXPECT_EQ(f, expected[i].first) << i;
+          EXPECT_EQ(t, expected[i].second) << i;
+        });
+    EXPECT_EQ(i, 0u);
+    // The walk's transient memory is chunk-sized, not edge-list-sized.
+    EXPECT_GT(scratch, 0u);
+    EXPECT_LT(scratch, expected.size() * sizeof(std::pair<std::uint32_t, std::uint32_t>));
+  };
+  verify_reverse();
+
+  // Spilled chunks decode standalone from their recorded start state.
+  check::SpillFile spill;
+  ASSERT_TRUE(store.has_spillable_chunk());
+  EXPECT_GT(store.spill_oldest(spill, 1000), 0u);
+  verify_reverse();
+}
+
+// ---------------------------------------------------------------------------
 // Worker-count determinism: results, traces, and statistics byte-identical.
 // ---------------------------------------------------------------------------
 
@@ -192,7 +355,28 @@ void expect_identical(const check::CheckResult& a, const check::CheckResult& b) 
   EXPECT_EQ(a.interned_automata, b.interned_automata);
   EXPECT_EQ(a.interned_regfiles, b.interned_regfiles);
   EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.peak_visited_bytes, b.peak_visited_bytes);
+  EXPECT_EQ(a.progress_peak_bytes, b.progress_peak_bytes);
   EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.ddd_runs, b.ddd_runs);
+  ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
+  if (a.counterexample) {
+    EXPECT_EQ(*a.counterexample, *b.counterexample);
+  }
+}
+
+// DDD and hash-table mode differ in where bytes live (peak/visited/spill
+// statistics), but the exploration itself — results, traces, and every
+// counting statistic — must be identical.
+void expect_same_exploration(const check::CheckResult& a, const check::CheckResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.exhausted_limit, b.exhausted_limit);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.dedup_hits, b.dedup_hits);
+  EXPECT_EQ(a.interned_automata, b.interned_automata);
+  EXPECT_EQ(a.interned_regfiles, b.interned_regfiles);
   ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
   if (a.counterexample) {
     EXPECT_EQ(*a.counterexample, *b.counterexample);
@@ -428,6 +612,178 @@ TEST(ParallelSubsets, ReportsLowestFailingSubsetLikeSerial) {
   EXPECT_NE(serial.violation.find("[participants {1}]"), std::string::npos)
       << serial.violation;
   expect_identical(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Delayed duplicate detection: the sort-merge visited set must explore the
+// exact same space as the hash table — states, transitions, dedup hits,
+// interning, traces — with its RAM-mandatory part bounded by the level
+// window instead of total states.
+// ---------------------------------------------------------------------------
+
+TEST(DelayedDedup, MatchesHashTableModeAcrossWorkerCounts) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions hash_options;
+  hash_options.max_states = 4'000'000;
+  const auto reference = check::check_algorithm(*info.algorithm, 3, hash_options);
+  ASSERT_TRUE(reference.ok) << reference.violation;
+
+  auto ddd_options = hash_options;
+  ddd_options.ddd = true;
+  const auto ddd_serial = check::check_algorithm(*info.algorithm, 3, ddd_options);
+  expect_same_exploration(reference, ddd_serial);
+  EXPECT_GT(ddd_serial.ddd_runs, 0u);
+  // The point of the mode: the visited structure no longer scales with
+  // total states (the hash table held all 59k fingerprints; the DDD hot
+  // window holds about a level's worth).
+  EXPECT_LT(ddd_serial.peak_visited_bytes, reference.peak_visited_bytes / 4);
+
+  for (int workers : {2, 4, 8}) {
+    auto parallel = ddd_options;
+    parallel.workers = workers;
+    expect_identical(ddd_serial, check::check_algorithm(*info.algorithm, 3, parallel));
+  }
+}
+
+TEST(DelayedDedup, YangAndersonN4StateCountsAcrossWorkerCounts) {
+  // The ISSUE's acceptance fixture at gtest scale: yang-anderson n=4 under a
+  // 2M-state cap (the full 5.9M-state run is the cli.check_ddd_determinism
+  // ctest entry and the Release CI step). The cap also exercises the
+  // exhaustion abort drain through the DDD batch pipeline.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions hash_options;
+  hash_options.max_states = 2'000'000;
+  const auto reference = check::check_algorithm(*info.algorithm, 4, hash_options);
+  EXPECT_TRUE(reference.exhausted_limit);
+
+  auto ddd_options = hash_options;
+  ddd_options.ddd = true;
+  check::CheckResult ddd_serial;
+  for (int workers : {1, 2, 4, 8}) {
+    auto options = ddd_options;
+    options.workers = workers;
+    const auto result = check::check_algorithm(*info.algorithm, 4, options);
+    expect_same_exploration(reference, result);
+    if (workers == 1) {
+      ddd_serial = result;
+    } else {
+      expect_identical(ddd_serial, result);  // full stats, not just counts
+    }
+  }
+}
+
+TEST(DelayedDedup, RunFlushMidLevelUnderBudget) {
+  // A small batch cap slices every wide level into many batches, and a 1 MiB
+  // budget forces the pressure-relief path at those batch checkpoints: hot
+  // window levels are evicted into runs (and run chunks spilled) while the
+  // level that queries them is still in flight. Exploration must not notice.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions hash_options;
+  hash_options.max_states = 4'000'000;
+  const auto reference = check::check_algorithm(*info.algorithm, 3, hash_options);
+
+  auto relaxed = hash_options;
+  relaxed.ddd = true;
+  const auto unpressured = check::check_algorithm(*info.algorithm, 3, relaxed);
+
+  auto squeezed = relaxed;
+  squeezed.batch_candidates = 2048;
+  squeezed.memory_limit_mb = 1;
+  const auto pressured = check::check_algorithm(*info.algorithm, 3, squeezed);
+  expect_same_exploration(reference, pressured);
+  EXPECT_GT(pressured.spilled_bytes, 0u);
+  // Pressure evicts window levels that would otherwise have stayed hot, so
+  // more sorted runs form than the no-budget rotation produces.
+  EXPECT_GT(pressured.ddd_runs, unpressured.ddd_runs);
+
+  for (int workers : {2, 4}) {
+    auto parallel = squeezed;
+    parallel.workers = workers;
+    expect_identical(pressured, check::check_algorithm(*info.algorithm, 3, parallel));
+  }
+}
+
+TEST(DelayedDedup, WindowSizeIsAPurePerformanceKnob) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto reference = check::check_algorithm(*info.algorithm, 3, options);
+  for (int window : {1, 3, 16}) {
+    auto ddd_options = options;
+    ddd_options.ddd = true;
+    ddd_options.ddd_window = window;
+    expect_same_exploration(reference,
+                            check::check_algorithm(*info.algorithm, 3, ddd_options));
+  }
+}
+
+TEST(DelayedDedup, ViolationTracesMatchHashTableMode) {
+  // Mutex violation: the golden-trace fixture must reconstruct the same
+  // counterexample whether the duplicate detection was immediate or delayed.
+  const auto hash_result = run_with_workers("naive-broken", 3, 1);
+  check::CheckOptions ddd_options;
+  ddd_options.max_states = 4'000'000;
+  ddd_options.ddd = true;
+  for (int workers : {1, 4}) {
+    ddd_options.workers = workers;
+    const auto result = check::check_algorithm(
+        *algo::algorithm_by_name("naive-broken").algorithm, 3, ddd_options);
+    expect_same_exploration(hash_result, result);
+  }
+
+  // Livelock violation on a participation subset (empty-terminal-set path
+  // through the external-memory progress pass).
+  check::CheckOptions subset_options;
+  subset_options.participants = {1};
+  const auto& info = algo::algorithm_by_name("static-rr");
+  const auto hash_livelock = check::check_algorithm(*info.algorithm, 2, subset_options);
+  subset_options.ddd = true;
+  const auto ddd_livelock = check::check_algorithm(*info.algorithm, 2, subset_options);
+  EXPECT_FALSE(ddd_livelock.ok);
+  expect_same_exploration(hash_livelock, ddd_livelock);
+}
+
+TEST(DelayedDedup, DeepTraceWithBudgetMatchesHash) {
+  // The SlowEntrant fixture's violation sits ~600 levels deep behind a
+  // closed-chunk boundary; with DDD plus a 1 MiB budget the parent-chain
+  // replay reads spilled closed chunks while the dedup ran entirely on
+  // sort-merged runs.
+  SlowEntrantAlgorithm algorithm;
+  check::CheckOptions options;
+  options.max_states = 200'000;
+  const auto reference = check::check_algorithm(algorithm, 2, options);
+  ASSERT_FALSE(reference.ok);
+
+  options.ddd = true;
+  options.memory_limit_mb = 1;
+  for (int workers : {1, 4}) {
+    options.workers = workers;
+    const auto result = check::check_algorithm(algorithm, 2, options);
+    EXPECT_GT(result.spilled_bytes, 0u) << workers << " workers";
+    expect_same_exploration(reference, result);
+  }
+}
+
+TEST(ProgressPass, ExternalMemoryFootprintIsSurfacedAndSmall) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto result = check::check_algorithm(*info.algorithm, 3, options);
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.progress_peak_bytes, 0u);
+  // The pass keeps one bit per state plus chunk-bounded scratch (one decoded
+  // edge chunk at a time): an absolute bound that does not grow with the
+  // edge count, unlike the predecessor CSR it replaced (4 B per edge + 4 B
+  // per state — the asymptotic comparison at scale is bench_model_checker's
+  // E13 report, where the CSR would be ~97 MiB on yang-anderson n=4).
+  const std::uint64_t chunk_scratch_bound =
+      check::EdgeStore::kChunkBytes * (sizeof(std::uint32_t) * 2 + 1);
+  EXPECT_LT(result.progress_peak_bytes, result.states / 8 + chunk_scratch_bound);
+
+  auto no_progress = options;
+  no_progress.check_progress = false;
+  EXPECT_EQ(check::check_algorithm(*info.algorithm, 3, no_progress).progress_peak_bytes,
+            0u);
 }
 
 // ---------------------------------------------------------------------------

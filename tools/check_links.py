@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links (stdlib only).
+
+Usage:
+    check_links.py [--root DIR] PATH [PATH ...]
+    check_links.py --self-test
+
+Each PATH is a markdown file or a directory scanned recursively for *.md.
+The checker validates every inline link `[text](target)` and reference
+definition `[label]: target`:
+
+  * `http(s)://`, `mailto:` and other scheme-qualified targets are skipped —
+    this tool gates *intra-repo* links only, so docs cannot rot silently when
+    files move, while staying hermetic (no network).
+  * Relative paths must exist on disk, resolved against the linking file's
+    directory (or against --root when the target starts with `/`).
+  * `#anchor` fragments — bare or after a markdown path — must match a
+    heading of the target file, using GitHub's slugification (lowercase,
+    punctuation stripped, spaces to hyphens, `-N` suffixes for duplicates).
+
+Fenced code blocks and inline code spans are ignored, so `grep -q "[ok](x)"`
+in a shell example is not treated as a link. Exits nonzero listing every dead
+link as file:line.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+INLINE_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE = re.compile(r"^\s*(```|~~~)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+
+
+def github_slug(title, seen):
+    """GitHub's anchor slug for a heading title (with duplicate -N suffixes)."""
+    slug = re.sub(r"[^\w\- ]", "", title.lower().strip()).replace(" ", "-")
+    if slug not in seen:
+        seen[slug] = 0
+        return slug
+    seen[slug] += 1
+    return f"{slug}-{seen[slug]}"
+
+
+def iter_markdown_lines(text):
+    """Yields (line_number, line) outside fenced code blocks, code spans cut."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, CODE_SPAN.sub("", line)
+
+
+def heading_slugs(path):
+    seen = {}
+    slugs = set()
+    with open(path, encoding="utf-8") as handle:
+        for _, line in iter_markdown_lines(handle.read()):
+            match = HEADING.match(line)
+            if match:
+                slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def extract_links(text):
+    """Yields (line_number, target) for every link-shaped construct."""
+    for number, line in iter_markdown_lines(text):
+        for match in INLINE_LINK.finditer(line):
+            yield number, match.group(1)
+        match = REFERENCE_DEF.match(line)
+        if match:
+            yield number, match.group(1)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for line, target in extract_links(text):
+        if SCHEME.match(target):
+            continue  # external: out of scope
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (
+                os.path.join(root, base.lstrip("/"))
+                if base.startswith("/")
+                else os.path.join(os.path.dirname(path), base)
+            )
+            resolved = os.path.normpath(resolved)
+            if not os.path.exists(resolved):
+                errors.append(f"{path}:{line}: dead link `{target}` "
+                              f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = path  # pure-anchor link into this file
+        if fragment:
+            if not (os.path.isfile(resolved) and resolved.endswith(".md")):
+                continue  # anchors into non-markdown targets: not checkable
+            if fragment.lower() not in heading_slugs(resolved):
+                errors.append(f"{path}:{line}: dead anchor `{target}` "
+                              f"(no heading #{fragment} in {resolved})")
+    return errors
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for directory, _, names in sorted(os.walk(path)):
+                files.extend(os.path.join(directory, name)
+                             for name in sorted(names) if name.endswith(".md"))
+        else:
+            files.append(path)
+    return files
+
+
+def run(paths, root):
+    errors = []
+    files = collect_files(paths)
+    for path in files:
+        if not os.path.isfile(path):
+            errors.append(f"{path}: no such file")
+            continue
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {len(files)} file(s), {len(errors)} dead link(s)")
+    return 1 if errors else 0
+
+
+def self_test():
+    """Pins the contract: dead paths/anchors fail, valid and external pass."""
+    failures = []
+
+    def expect(name, condition):
+        if not condition:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        docs = os.path.join(tmp, "docs")
+        os.mkdir(docs)
+        with open(os.path.join(tmp, "target.md"), "w", encoding="utf-8") as f:
+            f.write("# Real Heading\n\n## Dots. And (Parens)!\n\n## Dup\n\n## Dup\n")
+        with open(os.path.join(docs, "good.md"), "w", encoding="utf-8") as f:
+            f.write(
+                "[up](../target.md) and [anchor](../target.md#real-heading)\n"
+                "[punct](../target.md#dots-and-parens) [dup2](../target.md#dup-1)\n"
+                "[self](#local) [ext](https://example.com/nope) <!-- skipped -->\n"
+                "[root](/target.md)\n"
+                "```sh\ngrep -q \"[not](a-link.md)\" log  # fenced: ignored\n```\n"
+                "and `[not](inline-code.md)` either\n"
+                "\n# Local\n"
+            )
+        expect("valid links pass", run([docs], tmp) == 0)
+        expect("file arg works", run([os.path.join(docs, "good.md")], tmp) == 0)
+
+        with open(os.path.join(docs, "bad.md"), "w", encoding="utf-8") as f:
+            f.write("[gone](missing.md)\n[bad anchor](../target.md#nope)\n"
+                    "[ref]: also-missing.md\n")
+        expect("dead path/anchor/reference fail", run([docs], tmp) == 1)
+        os.remove(os.path.join(docs, "bad.md"))
+
+        expect("missing input fails", run([os.path.join(tmp, "nope.md")], tmp) == 1)
+
+    if failures:
+        print("SELF-TEST FAILED: " + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("self-test ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", help="markdown files or directories")
+    parser.add_argument("--root", default=".",
+                        help="repo root for absolute (`/…`) link targets")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in contract tests and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.paths:
+        parser.error("no paths given (or use --self-test)")
+    return run(args.paths, os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@
 //                [--encode FILE] [--dump]
 //   melb_cli decode <algorithm> <E-file>
 //   melb_cli check <algorithm> <n> [--subsets] [--max-states K] [--workers W]
-//                  [--memory-limit-mb M] [--check-determinism]
+//                  [--memory-limit-mb M] [--ddd] [--ddd-window L]
+//                  [--check-determinism]
 //   melb_cli cost <algorithm> <n>
 //   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
 //                  [--workers W] [--faithful] [--no-lb] [--max-steps K]
@@ -196,7 +197,10 @@ std::string check_signature(const check::CheckResult& result) {
   s += ";automata=" + std::to_string(result.interned_automata);
   s += ";regfiles=" + std::to_string(result.interned_regfiles);
   s += ";peak_memory=" + std::to_string(result.peak_memory_bytes);
+  s += ";visited_peak=" + std::to_string(result.peak_visited_bytes);
+  s += ";progress_peak=" + std::to_string(result.progress_peak_bytes);
   s += ";spilled=" + std::to_string(result.spilled_bytes);
+  s += ";ddd_runs=" + std::to_string(result.ddd_runs);
   s += ";trace=";
   if (result.counterexample) {
     for (const auto& step : *result.counterexample) s += to_string(step) + "|";
@@ -212,7 +216,8 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
   const double secs = static_cast<double>(result.wall_micros) / 1e6;
   std::printf("stats: %llu states, %llu transitions, %.0f states/sec, "
               "%llu dedup hits, %llu automata + %llu register files interned, "
-              "%.2f MiB peak, %.2f MiB spilled\n",
+              "%.2f MiB peak, %.2f MiB visited peak, %.2f MiB spilled, "
+              "%llu ddd runs\n",
               static_cast<unsigned long long>(result.states),
               static_cast<unsigned long long>(result.transitions),
               secs > 0 ? static_cast<double>(result.states) / secs : 0.0,
@@ -220,7 +225,9 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
               static_cast<unsigned long long>(result.interned_automata),
               static_cast<unsigned long long>(result.interned_regfiles),
               static_cast<double>(result.peak_memory_bytes) / (1024.0 * 1024.0),
-              static_cast<double>(result.spilled_bytes) / (1024.0 * 1024.0));
+              static_cast<double>(result.peak_visited_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(result.spilled_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(result.ddd_runs));
   if (!result.ok && result.counterexample) {
     std::printf("counterexample (%zu steps):\n", result.counterexample->size());
     for (const auto& step : *result.counterexample) {
@@ -238,6 +245,8 @@ int cmd_check(const Args& args) {
   options.workers = std::stoi(args.get("workers", "1"));
   options.memory_limit_mb =
       static_cast<std::uint64_t>(std::stoull(args.get("memory-limit-mb", "0")));
+  options.ddd = args.has("ddd");
+  options.ddd_window = std::stoi(args.get("ddd-window", "2"));
 
   const auto run_check = [&](const check::CheckOptions& opts) {
     return args.has("subsets") ? check::check_all_subsets(*info.algorithm, n, opts)
@@ -404,7 +413,8 @@ void usage() {
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
       "  check <alg> <n> [--subsets] [--max-states K] [--workers W]\n"
-      "        [--memory-limit-mb M] [--check-determinism]\n"
+      "        [--memory-limit-mb M] [--ddd] [--ddd-window L] "
+      "[--check-determinism]\n"
       "  cost <alg> <n>\n"
       "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
       "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
