@@ -17,7 +17,9 @@
 // set's RAM-mandatory residency must be level-window bounded, and the
 // progress pass must stay chunk-bounded instead of materializing the old
 // O(states + edges) CSR — both floors enforced at identical exploration
-// counts), and the per-level dispatch cost of the persistent exp::TaskPool
+// counts), the pid-symmetry quotient row (E14: storing only orbit
+// representatives must cut yang-anderson n=4 by at least 3x at an unchanged
+// verdict), and the per-level dispatch cost of the persistent exp::TaskPool
 // vs spawning threads per dispatch (what every BFS level paid before the
 // pool). Wall-clock timings and peak_memory_bytes counters for the perf
 // gate are registered with google-benchmark.
@@ -435,6 +437,48 @@ bool ddd_report(const check::CheckResult& hash_result) {
   return ok;
 }
 
+// Pid-symmetry acceptance (E14). The same uncapped yang-anderson n=4 space
+// under --symmetry must (a) reach the same verdict as plain mode, and (b)
+// store at least kSymmetryReductionFloor fewer states — the quotient under
+// the 8-element tree-automorphism group (the true orbit count is 7.99x
+// smaller). Returns the reduction ratio; main gates on the floor.
+constexpr double kSymmetryReductionFloor = 3.0;
+
+double symmetry_report(const check::CheckResult& hash_result) {
+  benchx::print_header(
+      "E14: pid-symmetry reduction — orbit representatives only",
+      "Uncapped yang-anderson n=4 under --symmetry: successors are\n"
+      "canonicalized under the root-fixing tree-automorphism group before\n"
+      "fingerprinting; one byte of witness per closed state lets trace replay\n"
+      "recover concrete executions through the inverse permutation chain.");
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 8'000'000;
+  options.symmetry = true;
+  const auto result = check::check_algorithm(*info.algorithm, 4, options);
+  if (!result.ok || result.ok != hash_result.ok) {
+    std::fprintf(stderr, "FAIL: symmetry verdict diverged from plain mode (%s)\n",
+                 result.violation.c_str());
+    return 0.0;
+  }
+  const double ratio = result.states > 0
+                           ? static_cast<double>(hash_result.states) /
+                                 static_cast<double>(result.states)
+                           : 0.0;
+  std::printf(
+      "yang-anderson n=4: group of %llu, %llu states / %llu transitions vs plain "
+      "%llu / %llu\n"
+      "  — %.2fx fewer states (acceptance floor %.1fx), peak %s MiB vs plain %s MiB\n\n",
+      static_cast<unsigned long long>(result.symmetry_group),
+      static_cast<unsigned long long>(result.states),
+      static_cast<unsigned long long>(result.transitions),
+      static_cast<unsigned long long>(hash_result.states),
+      static_cast<unsigned long long>(hash_result.transitions), ratio,
+      kSymmetryReductionFloor, fmt_mib(result.peak_memory_bytes).c_str(),
+      fmt_mib(hash_result.peak_memory_bytes).c_str());
+  return ratio;
+}
+
 // ---------------------------------------------------------------------------
 // Per-level dispatch cost: spawn-per-dispatch (what every BFS level paid
 // before exp::TaskPool) vs waking a persistent pool. Tiny tasks isolate the
@@ -608,6 +652,28 @@ void bm_check_ddd(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(visited_peak));
 }
 
+// Symmetry reduction on the wall clock: the canonicalization pays O(|G|) per
+// candidate to store a |G|-times-smaller quotient. The perf gate tracks the
+// wall time alongside the stored-state count per row.
+void bm_check_symmetry(benchmark::State& state, const std::string& name, int n) {
+  const auto& info = algo::algorithm_by_name(name);
+  std::uint64_t states = 0;
+  std::uint64_t peak = 0;
+  for (auto _ : state) {
+    check::CheckOptions options;
+    options.max_states = 4'000'000;
+    options.symmetry = true;
+    const auto result = check::check_algorithm(*info.algorithm, n, options);
+    if (!result.ok) state.SkipWithError("check failed");
+    benchmark::DoNotOptimize(result.states);
+    states = result.states;
+    peak = result.peak_memory_bytes;
+  }
+  state.counters["states"] = benchmark::Counter(static_cast<double>(states));
+  state.counters["peak_memory_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+}
+
 BENCHMARK_CAPTURE(bm_check_flyweight, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_check_flyweight, yang_anderson_n3, "yang-anderson", 3)
@@ -616,6 +682,10 @@ BENCHMARK_CAPTURE(bm_check_legacy, bakery_n3, "bakery", 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_check_ddd)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_check_deep_narrow)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_check_symmetry, yang_anderson_n3, "yang-anderson", 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_check_symmetry, mcs_n3, "mcs-rmw", 3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
@@ -624,6 +694,7 @@ int main(int argc, char** argv) {
   check::CheckResult hash_n4;
   const double memory_ratio = memory_report(hash_n4);
   const bool ddd_ok = ddd_report(hash_n4);
+  const double symmetry_ratio = symmetry_report(hash_n4);
   dispatch_report();  // informational: pool vs spawn dispatch latency
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -641,5 +712,12 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   if (!ddd_ok) rc = 1;  // diagnostics already printed by ddd_report
+  if (symmetry_ratio < kSymmetryReductionFloor) {
+    std::fprintf(stderr,
+                 "FAIL: yang-anderson n=4 symmetry reduction only %.2fx "
+                 "(floor %.1fx)\n",
+                 symmetry_ratio, kSymmetryReductionFloor);
+    rc = 1;
+  }
   return rc;
 }

@@ -44,7 +44,8 @@ const std::vector<AlgorithmInfo>& all_algorithms() {
     list.push_back({std::make_shared<McsLockAlgorithm>(), true, true, true,
                     "Theta(n), FIFO, local spins — the O(1)-RMR queue lock"});
     list.push_back({std::make_shared<StaticRoundRobinAlgorithm>(), false, true, false,
-                    "Theta(n) — cheaper than the bound because it is not livelock-free"});
+                    "Theta(n) — cheaper than the bound because it is not livelock-free",
+                    /*pid_symmetric=*/false});
     list.push_back({std::make_shared<NaiveBrokenLock>(), true, false, false,
                     "violates mutual exclusion (validator/checker test case)"});
     return list;

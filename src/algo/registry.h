@@ -26,6 +26,11 @@ struct AlgorithmInfo {
                                // outside the register-only lower bound's scope
   // Expected canonical SC cost growth, for documentation/report labeling.
   std::string cost_note;
+  // Is the algorithm invariant under renaming the processes? True for every
+  // real mutex algorithm; false for entries whose behavior bakes in concrete
+  // pids (static-rr grants the turn in pid order). The checker refuses
+  // --symmetry when false — the quotient would merge inequivalent states.
+  bool pid_symmetric = true;
 };
 
 // Every algorithm in the library, including the deliberately limited ones.

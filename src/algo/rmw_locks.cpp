@@ -1,6 +1,8 @@
 #include "algo/rmw_locks.h"
 
 #include "algo/automaton_base.h"
+#include "sim/symmetry.h"
+#include "util/permutation.h"
 
 namespace melb::algo {
 
@@ -73,6 +75,13 @@ class TtasProcess final : public CloneableAutomaton<TtasProcess> {
     hasher.add_all({static_cast<std::int64_t>(pc_), pid_});
   }
 
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int) const override {
+    auto copy = std::make_unique<TtasProcess>(sigma.at(pid_));
+    copy->pc_ = pc_;
+    return copy;
+  }
+
  private:
   enum class Pc : std::uint8_t { kTry, kSpin, kCas, kEnter, kExit, kRelease, kRem, kDone };
   Pid pid_;
@@ -139,6 +148,14 @@ class TicketProcess final : public CloneableAutomaton<TicketProcess> {
 
   void hash_into(util::Hasher& hasher) const {
     hasher.add_all({static_cast<std::int64_t>(pc_), pid_, ticket_});
+  }
+
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int) const override {
+    auto copy = std::make_unique<TicketProcess>(sigma.at(pid_));
+    copy->pc_ = pc_;
+    copy->ticket_ = ticket_;  // tickets are pid-independent counters
+    return copy;
   }
 
  private:
@@ -257,6 +274,15 @@ class McsProcess final : public CloneableAutomaton<McsProcess> {
     hasher.add_all({static_cast<std::int64_t>(pc_), pid_, pred_, succ_});
   }
 
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int) const override {
+    auto copy = std::make_unique<McsProcess>(sigma.at(pid_), n_);
+    copy->pc_ = pc_;
+    copy->pred_ = pred_ == 0 ? 0 : sigma.at(pred_ - 1) + 1;
+    copy->succ_ = succ_ == 0 ? 0 : sigma.at(succ_ - 1) + 1;
+    return copy;
+  }
+
  private:
   enum class Pc : std::uint8_t {
     kTry,
@@ -287,18 +313,49 @@ class McsProcess final : public CloneableAutomaton<McsProcess> {
   int succ_ = 0;
 };
 
+// Full S_n on the MCS queue: the tail stays put but stores 0-or-pid+1,
+// while the per-process next/locked cells relocate with their owner.
+class McsSymmetry final : public sim::PidSymmetry {
+ public:
+  bool valid(const util::Permutation&, int) const override { return true; }
+
+  Reg map_register(const util::Permutation& sigma, Reg r, int n) const override {
+    if (r == 0) return 0;                               // tail
+    if (r <= n) return 1 + sigma.at(r - 1);             // next[p]
+    return 1 + n + sigma.at(r - 1 - n);                 // locked[p]
+  }
+
+  sim::SlotValueKind value_kind(Reg r, int n) const override {
+    return r <= n ? sim::SlotValueKind::kPidPlusOne     // tail and next[p]
+                  : sim::SlotValueKind::kPlain;         // locked[p] is 0/1
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<sim::Automaton> TtasLockAlgorithm::make_process(sim::Pid pid, int) const {
   return std::make_unique<TtasProcess>(pid);
 }
 
+const sim::PidSymmetry& TtasLockAlgorithm::pid_symmetry() const {
+  return sim::shared_register_symmetry();
+}
+
 std::unique_ptr<sim::Automaton> TicketLockAlgorithm::make_process(sim::Pid pid, int) const {
   return std::make_unique<TicketProcess>(pid);
 }
 
+const sim::PidSymmetry& TicketLockAlgorithm::pid_symmetry() const {
+  return sim::shared_register_symmetry();
+}
+
 std::unique_ptr<sim::Automaton> McsLockAlgorithm::make_process(sim::Pid pid, int n) const {
   return std::make_unique<McsProcess>(pid, n);
+}
+
+const sim::PidSymmetry& McsLockAlgorithm::pid_symmetry() const {
+  static const McsSymmetry instance;
+  return instance;
 }
 
 }  // namespace melb::algo

@@ -22,6 +22,8 @@ class TtasLockAlgorithm final : public sim::Algorithm {
   std::string name() const override { return "ttas-rmw"; }
   int num_registers(int) const override { return 1; }
   std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+  // Full S_n: the lock word is a shared 0/1 flag.
+  const sim::PidSymmetry& pid_symmetry() const override;
 };
 
 class TicketLockAlgorithm final : public sim::Algorithm {
@@ -29,6 +31,8 @@ class TicketLockAlgorithm final : public sim::Algorithm {
   std::string name() const override { return "ticket-rmw"; }
   int num_registers(int) const override { return 2; }  // next, serving
   std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+  // Full S_n: both registers are pid-independent counters.
+  const sim::PidSymmetry& pid_symmetry() const override;
 };
 
 class McsLockAlgorithm final : public sim::Algorithm {
@@ -41,6 +45,9 @@ class McsLockAlgorithm final : public sim::Algorithm {
     return reg >= 1 + n ? reg - (1 + n) : -1;
   }
   std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+  // Full S_n: tail/next cells rename their pid+1 payloads, per-process
+  // cells relocate with their owner.
+  const sim::PidSymmetry& pid_symmetry() const override;
 };
 
 }  // namespace melb::algo

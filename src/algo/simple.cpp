@@ -1,6 +1,8 @@
 #include "algo/simple.h"
 
 #include "algo/automaton_base.h"
+#include "sim/symmetry.h"
+#include "util/permutation.h"
 
 namespace melb::algo {
 
@@ -132,6 +134,13 @@ class NaiveBrokenProcess final : public CloneableAutomaton<NaiveBrokenProcess> {
     hasher.add_all({static_cast<std::int64_t>(pc_), pid_});
   }
 
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int) const override {
+    auto copy = std::make_unique<NaiveBrokenProcess>(sigma.at(pid_));
+    copy->pc_ = pc_;
+    return copy;
+  }
+
  private:
   enum class Pc : std::uint8_t { kTry, kCheck, kGrab, kEnter, kExit, kRelease, kRem, kDone };
 
@@ -148,6 +157,10 @@ std::unique_ptr<sim::Automaton> StaticRoundRobinAlgorithm::make_process(sim::Pid
 
 std::unique_ptr<sim::Automaton> NaiveBrokenLock::make_process(sim::Pid pid, int) const {
   return std::make_unique<NaiveBrokenProcess>(pid);
+}
+
+const sim::PidSymmetry& NaiveBrokenLock::pid_symmetry() const {
+  return sim::shared_register_symmetry();
 }
 
 }  // namespace melb::algo

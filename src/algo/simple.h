@@ -28,6 +28,10 @@ class NaiveBrokenLock final : public sim::Algorithm {
   std::string name() const override { return "naive-broken"; }
   int num_registers(int) const override { return 1; }
   std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+  // Full S_n: the lock word is a shared 0/1 flag. The violation itself is
+  // symmetric, so symmetry-reduced checks still find it (and the replayed
+  // counterexample concretizes pids through the witness chain).
+  const sim::PidSymmetry& pid_symmetry() const override;
 };
 
 }  // namespace melb::algo

@@ -20,4 +20,43 @@ std::vector<TreeHop> tree_path(sim::Pid pid, int n) {
   return path;
 }
 
+namespace {
+
+// Map the subtree rooted at v onto the subtree rooted at w, preferring the
+// unswapped child orientation. Writes the subtree's entries into map; a
+// failed orientation is fully overwritten by the other (both assign exactly
+// the nodes under v), so no explicit undo is needed.
+bool map_subtree(int v, int w, int span, int n, const util::Permutation& sigma,
+                 std::vector<int>& map) {
+  if (v >= span) {  // leaf row
+    const int i = v - span;
+    const int j = w - span;
+    if (i < n) {
+      if (j != sigma.at(i)) return false;  // occupied leaf must follow sigma
+    } else if (j < n) {
+      return false;  // empty leaf cannot land on an occupied one
+    }
+    map[static_cast<std::size_t>(v)] = w;
+    return true;
+  }
+  for (int swap : {0, 1}) {
+    if (map_subtree(2 * v, 2 * w + swap, span, n, sigma, map) &&
+        map_subtree(2 * v + 1, 2 * w + (1 - swap), span, n, sigma, map)) {
+      map[static_cast<std::size_t>(v)] = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> tree_automorphism(const util::Permutation& sigma,
+                                                  int n) {
+  const int span = tree_leaf_span(n);
+  std::vector<int> map(static_cast<std::size_t>(2 * span), 0);
+  if (!map_subtree(1, 1, span, n, sigma, map)) return std::nullopt;
+  return map;
+}
+
 }  // namespace melb::algo

@@ -7,9 +7,11 @@
 // it releases them root-to-leaf on exit.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "sim/types.h"
+#include "util/permutation.h"
 
 namespace melb::algo {
 
@@ -26,5 +28,16 @@ int tree_internal_nodes(int n);
 
 // Leaf-to-root path for process pid among n processes (entry order).
 std::vector<TreeHop> tree_path(sim::Pid pid, int n);
+
+// The complete-binary-tree automorphism realizing the pid permutation sigma,
+// if one exists: a map m over heap indices [1, 2 * tree_leaf_span(n)) with
+// m[1] = 1, each node's children mapping to its image's children (possibly
+// swapped), occupied leaf span+i mapping to span+sigma(i), and empty leaves
+// mapping among themselves. Deterministic (the unswapped orientation is
+// preferred at every node), so the same sigma always yields the same map.
+// Returns nullopt when sigma is not realizable on the tree — such sigma are
+// not symmetries of the tournament algorithms. m[0] is unused.
+std::optional<std::vector<int>> tree_automorphism(const util::Permutation& sigma,
+                                                  int n);
 
 }  // namespace melb::algo

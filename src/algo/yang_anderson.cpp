@@ -2,6 +2,8 @@
 
 #include "algo/automaton_base.h"
 #include "algo/tree.h"
+#include "sim/symmetry.h"
+#include "util/permutation.h"
 
 namespace melb::algo {
 
@@ -141,6 +143,20 @@ class YangAndersonProcess final : public CloneableAutomaton<YangAndersonProcess>
     hasher.add_all({static_cast<std::int64_t>(pc_), pid_, hop_, rival_});
   }
 
+  // Relabel for pid sigma(pid_): hop_ is a *level* index and tree
+  // automorphisms preserve levels, so it copies verbatim (the per-level
+  // node and arrival side are recomputed from the new pid's own path);
+  // rival_ stores 0-or-pid+1 and renames like the registers it mirrors.
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int n) const override {
+    if (!tree_automorphism(sigma, n).has_value()) return nullptr;
+    auto copy = std::make_unique<YangAndersonProcess>(sigma.at(pid_), n);
+    copy->pc_ = pc_;
+    copy->hop_ = hop_;
+    copy->rival_ = rival_ == 0 ? 0 : sigma.at(rival_ - 1) + 1;
+    return copy;
+  }
+
  private:
   enum class Pc : std::uint8_t {
     kTry,
@@ -193,6 +209,41 @@ class YangAndersonProcess final : public CloneableAutomaton<YangAndersonProcess>
   int rival_ = 0;
 };
 
+// The pid permutations that act on the arbitration tree are exactly those
+// realizable as complete-binary-tree automorphisms (|G| = 2^(span-1) pruned
+// by leaf occupancy): node registers relocate with their node — a C slot's
+// new side is the image child's heap parity — and hold 0-or-pid+1 payloads,
+// while the P spin matrix is fixed per level with its pid column permuted.
+class YangAndersonSymmetry final : public sim::PidSymmetry {
+ public:
+  bool valid(const util::Permutation& sigma, int n) const override {
+    return tree_automorphism(sigma, n).has_value();
+  }
+
+  Reg map_register(const util::Permutation& sigma, Reg r, int n) const override {
+    const int internal = tree_internal_nodes(n);
+    if (r >= 3 * internal) {
+      const int lvl = (r - 3 * internal) / n;
+      const int p = (r - 3 * internal) % n;
+      return 3 * internal + lvl * n + sigma.at(p);
+    }
+    const auto map = tree_automorphism(sigma, n);
+    const int v = r / 3 + 1;
+    const int k = r % 3;
+    const int mv = (*map)[static_cast<std::size_t>(v)];
+    if (k == 2) return 3 * (mv - 1) + 2;  // T register travels with the node
+    // C[v][k] follows the child it announces for; the image side is the
+    // mapped child's heap parity.
+    const int side = (*map)[static_cast<std::size_t>(2 * v + k)] & 1;
+    return 3 * (mv - 1) + side;
+  }
+
+  sim::SlotValueKind value_kind(Reg r, int n) const override {
+    return r < 3 * tree_internal_nodes(n) ? sim::SlotValueKind::kPidPlusOne
+                                          : sim::SlotValueKind::kPlain;
+  }
+};
+
 }  // namespace
 
 int YangAndersonAlgorithm::num_registers(int n) const {
@@ -207,6 +258,11 @@ sim::Pid YangAndersonAlgorithm::register_owner(sim::Reg reg, int n) const {
 
 std::unique_ptr<sim::Automaton> YangAndersonAlgorithm::make_process(sim::Pid pid, int n) const {
   return std::make_unique<YangAndersonProcess>(pid, n);
+}
+
+const sim::PidSymmetry& YangAndersonAlgorithm::pid_symmetry() const {
+  static const YangAndersonSymmetry instance;
+  return instance;
 }
 
 }  // namespace melb::algo

@@ -50,6 +50,9 @@ class YangAndersonAlgorithm final : public sim::Algorithm {
   // the algorithm cheap in DSM/SC terms); node registers are remote to all.
   sim::Pid register_owner(sim::Reg reg, int n) const override;
   std::unique_ptr<sim::Automaton> make_process(sim::Pid pid, int n) const override;
+  // Tree-automorphism pid symmetries (permutations the arbitration tree can
+  // realize); see tree_automorphism in algo/tree.h.
+  const sim::PidSymmetry& pid_symmetry() const override;
 };
 
 }  // namespace melb::algo

@@ -69,31 +69,33 @@ void SpillFile::read(std::int64_t offset, void* out, std::size_t bytes) const {
 // ClosedStore.
 // ---------------------------------------------------------------------------
 
-void ClosedStore::append(std::uint32_t parent, std::uint8_t pid) {
-  const std::size_t offset = (size_ & (kChunkEntries - 1)) * kEntryBytes;
+void ClosedStore::append(std::uint32_t parent, std::uint8_t pid, std::uint8_t witness) {
+  const std::size_t offset = (size_ & (kChunkEntries - 1)) * entry_bytes_;
   if (offset == 0) {
     chunks_.emplace_back();
-    chunks_.back().data = std::make_unique<std::uint8_t[]>(kChunkEntries * kEntryBytes);
+    chunks_.back().data = std::make_unique<std::uint8_t[]>(kChunkEntries * entry_bytes_);
   }
   std::uint8_t* slot = chunks_.back().data.get() + offset;
   std::memcpy(slot, &parent, sizeof(parent));
   slot[4] = pid;
+  if (entry_bytes_ > kEntryBytes) slot[5] = witness;
   ++size_;
 }
 
 ClosedStore::Entry ClosedStore::entry(std::uint64_t idx) const {
   const std::size_t chunk = static_cast<std::size_t>(idx >> kChunkBits);
-  const std::size_t offset = static_cast<std::size_t>(idx & (kChunkEntries - 1)) * kEntryBytes;
-  std::uint8_t raw[kEntryBytes];
+  const std::size_t offset = static_cast<std::size_t>(idx & (kChunkEntries - 1)) * entry_bytes_;
+  std::uint8_t raw[kEntryBytes + 1];
   if (chunks_[chunk].data != nullptr) {
-    std::memcpy(raw, chunks_[chunk].data.get() + offset, kEntryBytes);
+    std::memcpy(raw, chunks_[chunk].data.get() + offset, entry_bytes_);
   } else {
     spill_file_->read(chunks_[chunk].spill_offset + static_cast<std::int64_t>(offset), raw,
-                      kEntryBytes);
+                      entry_bytes_);
   }
   Entry e;
   std::memcpy(&e.parent, raw, sizeof(e.parent));
   e.pid = raw[4];
+  if (entry_bytes_ > kEntryBytes) e.witness = raw[5];
   return e;
 }
 
@@ -106,20 +108,20 @@ std::uint64_t ClosedStore::spill_oldest(SpillFile& file, std::size_t max_chunks)
   std::uint64_t freed = 0;
   while (max_chunks-- > 0 && has_spillable_chunk()) {
     Chunk& chunk = chunks_[next_spill_];
-    const std::int64_t offset = file.append(chunk.data.get(), kChunkEntries * kEntryBytes);
+    const std::int64_t offset = file.append(chunk.data.get(), kChunkEntries * entry_bytes_);
     if (offset < 0) return freed;  // spill target unavailable: keep in RAM
     chunk.spill_offset = offset;
     chunk.data.reset();
     spill_file_ = &file;
     ++next_spill_;
-    freed += kChunkEntries * kEntryBytes;
+    freed += kChunkEntries * entry_bytes_;
   }
   return freed;
 }
 
 std::uint64_t ClosedStore::memory_bytes() const {
   const std::size_t resident = chunks_.size() - next_spill_;
-  return resident * kChunkEntries * kEntryBytes + chunks_.capacity() * sizeof(Chunk);
+  return resident * kChunkEntries * entry_bytes_ + chunks_.capacity() * sizeof(Chunk);
 }
 
 // ---------------------------------------------------------------------------

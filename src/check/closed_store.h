@@ -83,19 +83,28 @@ class SpillFile {
 
 // idx -> (parent idx, acting pid), append-only, chunked, oldest chunks
 // spillable. The root must be appended too (parent 0, pid 0xff) so indices
-// line up.
+// line up. Under symmetry reduction (set_witness_mode) every entry carries a
+// sixth byte: the index of the group element whose inverse maps the stored
+// orbit representative back to the concrete successor the parent produced —
+// what trace replay composes along the parent chain to recover concrete pids.
 class ClosedStore {
  public:
   static constexpr std::size_t kChunkBits = 16;  // 65536 entries = 320 KiB
   static constexpr std::size_t kChunkEntries = std::size_t{1} << kChunkBits;
-  static constexpr std::size_t kEntryBytes = 5;
+  static constexpr std::size_t kEntryBytes = 5;  // default (parent, pid) mode
 
   struct Entry {
     std::uint32_t parent = 0;
     std::uint8_t pid = 0;
+    std::uint8_t witness = 0;  // group-element index; 0 = identity
   };
 
-  void append(std::uint32_t parent, std::uint8_t pid);
+  // Switches to 6-byte (parent, pid, witness) entries. Must be called before
+  // the first append.
+  void set_witness_mode() { entry_bytes_ = kEntryBytes + 1; }
+  std::size_t entry_bytes() const { return entry_bytes_; }
+
+  void append(std::uint32_t parent, std::uint8_t pid, std::uint8_t witness = 0);
   Entry entry(std::uint64_t idx) const;  // reads the spill file if chunk spilled
   std::uint64_t size() const { return size_; }
 
@@ -114,6 +123,7 @@ class ClosedStore {
 
   std::vector<Chunk> chunks_;
   std::uint64_t size_ = 0;
+  std::size_t entry_bytes_ = kEntryBytes;
   std::size_t next_spill_ = 0;  // first chunk not yet spilled
   const SpillFile* spill_file_ = nullptr;
 };

@@ -11,6 +11,13 @@ std::uint32_t AutomatonPool::intern_initial(std::unique_ptr<sim::Automaton> auto
   return intern_locked(std::move(automaton));
 }
 
+std::pair<std::uint32_t, std::uint64_t> AutomatonPool::intern_external(
+    std::unique_ptr<sim::Automaton> automaton) {
+  const MaybeLock lock(mutex());
+  const std::uint32_t id = intern_locked(std::move(automaton));
+  return {id, records_[id].zkey};
+}
+
 std::uint32_t AutomatonPool::intern_locked(std::unique_ptr<sim::Automaton> automaton) {
   const std::uint64_t fp = automaton->fingerprint();
   const auto it = by_fp_.find(fp);

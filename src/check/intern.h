@@ -161,6 +161,21 @@ class AutomatonPool {
   // Interns the process's initial automaton (takes ownership); returns id.
   std::uint32_t intern_initial(std::unique_ptr<sim::Automaton> automaton);
 
+  // Interns an automaton produced outside this pool (a relabeled local state
+  // from another pid's pool, for symmetry reduction); returns (id, zkey).
+  // Idempotent per distinct local state, so interned counts stay
+  // worker-invariant no matter which thread relabels first.
+  std::pair<std::uint32_t, std::uint64_t> intern_external(
+      std::unique_ptr<sim::Automaton> automaton);
+
+  // The interned automaton object itself (for relabeling). The pointer is
+  // stable for the pool's lifetime; records are written once before their id
+  // is handed out, so the read is safe after the lock drops.
+  const sim::Automaton* automaton(std::uint32_t id) const {
+    const MaybeLock lock(mutex());
+    return records_[id].automaton.get();
+  }
+
   // The memoized step/done/fingerprint key of an interned local state.
   ProposeInfo propose(std::uint32_t id) const {
     const MaybeLock lock(mutex());

@@ -15,7 +15,9 @@
 #include "check/state_set.h"
 #include "exp/pool.h"
 #include "exp/runner.h"
+#include "sim/symmetry.h"
 #include "util/hash.h"
+#include "util/permutation.h"
 
 namespace melb::check {
 
@@ -80,6 +82,9 @@ struct Candidate {
   std::uint8_t done_count = 0;
   std::uint8_t valid = 0;
   std::uint8_t stripe = 0;     // visited-set stripe (filled in bucketing)
+  // Symmetry only: index of the group element that maps the concrete
+  // successor to this (canonicalized) candidate; 0 = already canonical.
+  std::uint8_t witness = 0;
 };
 
 // Phase-2a probe outcomes stored per candidate (real indices otherwise).
@@ -99,6 +104,7 @@ class Engine {
         budget_bytes_(options.memory_limit_mb << 20),
         ddd_(options.ddd),
         ddd_window_(static_cast<std::size_t>(std::max(1, options.ddd_window))),
+        sym_(options.symmetry),
         batch_cap_(options.batch_candidates != 0
                        ? static_cast<std::size_t>(options.batch_candidates)
                        : kMaxBatchCandidates),
@@ -114,9 +120,20 @@ class Engine {
   }
 
   void init_root();
-  void expand_state(std::size_t pos, Candidate* out, Value* scratch);
+  void expand_state(std::size_t pos, Candidate* out, Value* scratch, int worker);
   std::uint32_t append_state(const Candidate& cand, std::size_t parent_pos);
   void record_mutex_violation(std::size_t parent_pos, Pid pid);
+
+  // Pid-symmetry reduction (sym_ only).
+  struct RelEntry {
+    std::uint32_t id = AutomatonPool::kNone;  // kNone = not yet relabeled
+    std::uint64_t zkey = 0;
+  };
+  void build_symmetry_group(const std::vector<bool>& participates);
+  RelEntry relabel(int worker, std::size_t g, Pid p, std::uint32_t aid);
+  std::uint64_t perm_reg_zobrist(std::size_t g, sim::Reg r, Value v) const;
+  void symmetry_parent_hashes(const std::uint32_t* row, const Value* scratch,
+                              int worker);
   LevelOutcome serial_level();
   LevelOutcome phased_level();
   LevelOutcome sequence_batch(std::size_t batch_begin, std::size_t batch_count);
@@ -124,6 +141,17 @@ class Engine {
   void commit_old_index(std::size_t ci, std::uint32_t idx);
   void fold_level_into_window();
   void evict_oldest_level();  // oldest window array becomes a sorted run
+  // Forward replay of the closed chain to `idx`: the concrete steps plus the
+  // final concrete register/automaton snapshot and the accumulated pid
+  // relabeling (stored representative pids → concrete pids; identity unless
+  // symmetry is on).
+  struct Replay {
+    std::vector<Step> steps;
+    std::vector<Value> regs;
+    std::vector<std::uint32_t> automata;
+    util::Permutation relabel;
+  };
+  Replay replay_to(std::uint32_t idx) const;
   std::vector<Step> trace_to(std::uint32_t idx) const;
   void check_progress();
   std::uint64_t tracked_bytes() const;
@@ -143,6 +171,7 @@ class Engine {
   const std::uint64_t budget_bytes_;  // 0 = unlimited
   const bool ddd_;
   const std::size_t ddd_window_;
+  const bool sym_;
   const std::size_t batch_cap_;  // candidates per expansion batch
   int num_participants_ = 0;
 
@@ -179,6 +208,21 @@ class Engine {
   // The root snapshot trace replay starts from.
   std::vector<Value> root_regs_;
   std::vector<std::uint32_t> root_automata_;
+
+  // Pid-symmetry reduction (sym_ only): the group of valid, root-fixing pid
+  // permutations (identity at index 0), each element's register relocation
+  // map, and the per-slot value kinds (group-independent). The per-worker
+  // caches below are scratch like scratch_: excluded from peak accounting,
+  // and harmless to divergence because relabel interning is idempotent.
+  const sim::PidSymmetry* action_ = nullptr;
+  std::vector<util::Permutation> group_;
+  std::vector<std::vector<sim::Reg>> group_regmap_;  // [g][r] = image slot
+  std::vector<sim::SlotValueKind> reg_kind_;         // [r]
+  // [worker][g * n + p][aid] → relabeled intern id + zobrist key.
+  std::vector<std::vector<std::vector<RelEntry>>> relcache_;
+  std::vector<std::vector<std::uint64_t>> sym_regfp_;  // [worker][g] parent image
+  std::vector<std::vector<std::uint64_t>> sym_auth_;   // [worker][g] parent image
+  std::vector<std::vector<Value>> sym_scratch_;        // [worker] permuted file
 
   // Persistent work-stealing pool, created on the first parallel level and
   // woken (not re-spawned) for every dispatch after that.
@@ -248,6 +292,11 @@ void Engine::init_root() {
     }
   }
 
+  if (sym_) {
+    build_symmetry_group(participates);
+    closed_.set_witness_mode();  // before the first append: records grow to 6 B
+  }
+
   cur_.reset(0);
   cur_.aut_hash.push_back(aut_hash);
   cur_.regfile.push_back(regfile);
@@ -271,17 +320,160 @@ void Engine::init_root() {
                   std::vector<Value>(static_cast<std::size_t>(std::max(regs_, 1))));
 }
 
+// Enumerates the pid-permutation group the run canonicalizes under: every
+// sigma the algorithm's action declares valid that also fixes the
+// non-participants pointwise, acts on the registers as a bijection fixing the
+// initial file, and maps each participant's initial local state to its
+// image pid's initial local state. The identity passes all four tests, so it
+// always lands at index 0 (Permutation::all is lexicographic). Rejected
+// candidates intern nothing — the root check compares fingerprints only.
+void Engine::build_symmetry_group(const std::vector<bool>& participates) {
+  action_ = &algorithm_.pid_symmetry();
+  const auto regs = static_cast<std::size_t>(std::max(regs_, 1));
+  for (const util::Permutation& sigma : util::Permutation::all(n_)) {
+    if (!action_->valid(sigma, n_)) continue;
+    bool ok = true;
+    for (Pid p = 0; p < n_ && ok; ++p) {
+      if (!participates[static_cast<std::size_t>(p)] && sigma.at(p) != p) ok = false;
+    }
+    if (!ok) continue;
+    std::vector<sim::Reg> rmap(regs, 0);
+    std::vector<char> hit(regs, 0);
+    for (sim::Reg r = 0; r < regs_ && ok; ++r) {
+      const sim::Reg m = action_->map_register(sigma, r, n_);
+      if (m < 0 || m >= regs_ || hit[static_cast<std::size_t>(m)] != 0) {
+        ok = false;
+        break;
+      }
+      hit[static_cast<std::size_t>(m)] = 1;
+      rmap[static_cast<std::size_t>(r)] = m;
+      const Value mapped = sim::map_value(sigma, action_->value_kind(r, n_),
+                                          root_regs_[static_cast<std::size_t>(r)], n_);
+      if (root_regs_[static_cast<std::size_t>(m)] != mapped) ok = false;
+    }
+    for (Pid p = 0; p < n_ && ok; ++p) {
+      if (!participates[static_cast<std::size_t>(p)]) continue;
+      const std::uint32_t own = root_automata_[static_cast<std::size_t>(p)];
+      const std::uint32_t img =
+          root_automata_[static_cast<std::size_t>(sigma.at(p))];
+      const auto rel =
+          pools_[static_cast<std::size_t>(p)]->automaton(own)->relabeled(sigma, n_);
+      if (!rel ||
+          rel->fingerprint() !=
+              pools_[static_cast<std::size_t>(sigma.at(p))]->automaton(img)->fingerprint()) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    group_.push_back(sigma);
+    group_regmap_.push_back(std::move(rmap));
+    // Witnesses are one byte; a larger group (full S_n from n = 6 up) is
+    // truncated — an identity-containing subset of automorphisms still gives
+    // a sound, just coarser, reduction.
+    if (group_.size() == 255) break;
+  }
+  reg_kind_.resize(regs);
+  for (sim::Reg r = 0; r < regs_; ++r) {
+    reg_kind_[static_cast<std::size_t>(r)] = action_->value_kind(r, n_);
+  }
+
+  const std::size_t workers = static_cast<std::size_t>(workers_);
+  relcache_.assign(workers, std::vector<std::vector<RelEntry>>(
+                                group_.size() * static_cast<std::size_t>(n_)));
+  sym_regfp_.assign(workers, std::vector<std::uint64_t>(group_.size(), 0));
+  sym_auth_.assign(workers, std::vector<std::uint64_t>(group_.size(), 0));
+  sym_scratch_.assign(workers, std::vector<Value>(regs));
+}
+
+// Fingerprint contribution of register slot r's image under group element g
+// when the slot holds `v`: the zobrist key of (relocated slot, mapped value).
+std::uint64_t Engine::perm_reg_zobrist(std::size_t g, sim::Reg r, Value v) const {
+  const auto slot =
+      static_cast<std::uint64_t>(group_regmap_[g][static_cast<std::size_t>(r)]);
+  return util::zobrist_signed(
+      slot, sim::map_value(group_[g], reg_kind_[static_cast<std::size_t>(r)], v, n_));
+}
+
+// Interned id + zobrist key of group element g applied to pid p's local
+// state `aid` (lands in pid sigma(p)'s pool). Cached per worker; the miss
+// path relabels once, verifies the relabeled automaton proposes exactly the
+// sigma-image of the original's step — the commute check that keeps the
+// reduction sound — and interns idempotently, so which worker relabels a
+// state first never changes the interned_* statistics.
+Engine::RelEntry Engine::relabel(int worker, std::size_t g, Pid p, std::uint32_t aid) {
+  auto& cache =
+      relcache_[static_cast<std::size_t>(worker)]
+               [g * static_cast<std::size_t>(n_) + static_cast<std::size_t>(p)];
+  if (aid >= cache.size()) cache.resize(static_cast<std::size_t>(aid) + 1);
+  RelEntry& entry = cache[aid];
+  if (entry.id != AutomatonPool::kNone) return entry;
+
+  const util::Permutation& sigma = group_[g];
+  AutomatonPool& source = *pools_[static_cast<std::size_t>(p)];
+  auto rel = source.automaton(aid)->relabeled(sigma, n_);
+  if (!rel) {
+    throw std::logic_error("pid symmetry: automaton refused a valid group element");
+  }
+  const auto info = source.propose(aid);
+  if (rel->done() != info.done ||
+      (!info.done && !(rel->propose() == sim::map_step(*action_, sigma, *info.step, n_)))) {
+    throw std::logic_error(
+        "pid symmetry: relabeled local state disagrees with the mapped step");
+  }
+  const auto [id, zkey] =
+      pools_[static_cast<std::size_t>(sigma.at(p))]->intern_external(std::move(rel));
+  entry = {id, zkey};
+  return entry;
+}
+
+// Per-parent canonicalization precompute: the register-file fingerprint and
+// automaton hash of this parent's image under every non-identity group
+// element, into the worker's sym_regfp_/sym_auth_ rows. Each candidate then
+// derives its own images with O(1) incremental XOR updates per element.
+void Engine::symmetry_parent_hashes(const std::uint32_t* row, const Value* scratch,
+                                    int worker) {
+  auto& regfp_g = sym_regfp_[static_cast<std::size_t>(worker)];
+  auto& auth_g = sym_auth_[static_cast<std::size_t>(worker)];
+  for (std::size_t g = 1; g < group_.size(); ++g) {
+    std::uint64_t regfp = 0;
+    for (sim::Reg r = 0; r < regs_; ++r) {
+      regfp ^= perm_reg_zobrist(g, r, scratch[static_cast<std::size_t>(r)]);
+    }
+    std::uint64_t auth = 0;
+    for (Pid p = 0; p < n_; ++p) {
+      const std::uint32_t aid = row[static_cast<std::size_t>(p)];
+      if (aid == AutomatonPool::kNone) {
+        // Group elements fix non-participants, so a null slot contributes
+        // exactly its identity-position key.
+        auth ^= util::zobrist(automaton_slot(p), kNullAutomatonFp);
+      } else {
+        auth ^= relabel(worker, g, p, aid).zkey;
+      }
+    }
+    regfp_g[g] = regfp;
+    auth_g[g] = auth;
+  }
+}
+
 // Compute all successor candidates of the frontier state at `pos` into
-// out[0..n). Touches only the caller-owned candidate row plus the
-// (internally locked when threaded) interning pools, so parallel chunks can
-// run on any worker.
-void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
+// out[0..n). Touches only the caller-owned candidate row, per-worker
+// scratch/caches, and the (internally locked when threaded) interning pools,
+// so parallel chunks can run on any worker. Under symmetry every candidate
+// is canonicalized here: its fingerprint/regfile/aut_hash describe the orbit
+// representative (minimum image fingerprint over the group, ties to the
+// smallest element index — a pure function of the successor state, so the
+// choice is identical for every worker count) and `witness` records the
+// group element that got there.
+void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch,
+                          int worker) {
   const std::uint64_t parent_aut_hash = cur_.aut_hash[pos];
   const std::uint32_t parent_regfile = cur_.regfile[pos];
   const std::int8_t parent_in_cs = cur_.in_cs[pos];
   const std::uint8_t parent_done = cur_.done_count[pos];
   const std::uint64_t parent_regfp = regpool_.copy_to(parent_regfile, scratch);
   const std::uint32_t* row = cur_.automata.data() + pos * static_cast<std::size_t>(n_);
+  const bool canon = sym_ && group_.size() > 1;
+  if (canon) symmetry_parent_hashes(row, scratch, worker);
 
   for (Pid pid = 0; pid < n_; ++pid) {
     Candidate& cand = out[pid];
@@ -297,6 +489,8 @@ void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
     std::uint32_t regfile = parent_regfile;
     std::int8_t in_cs = parent_in_cs;
     std::uint8_t done_count = parent_done;
+    sim::Reg written_reg = -1;  // >= 0: scratch[written_reg] holds the new value
+    Value written_old = 0;
 
     if (step.type == StepType::kWrite || step.type == StepType::kRmw) {
       const auto reg = static_cast<std::size_t>(step.reg);
@@ -308,7 +502,8 @@ void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
                  util::zobrist_signed(static_cast<std::uint64_t>(step.reg), new_value);
         scratch[reg] = new_value;
         regfile = regpool_.intern(scratch, regfp);
-        scratch[reg] = old_value;  // keep the parent file intact for other pids
+        written_reg = step.reg;
+        written_old = old_value;
       }
     } else if (step.type == StepType::kCrit) {
       if (step.crit == CritKind::kEnter) ++in_cs;
@@ -316,8 +511,57 @@ void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
       if (step.crit == CritKind::kRem) ++done_count;
     }
 
-    const std::uint64_t aut_hash = parent_aut_hash ^ expanded.zkey_delta;
-    cand.fp = regfp ^ aut_hash;
+    std::uint64_t aut_hash = parent_aut_hash ^ expanded.zkey_delta;
+    std::uint64_t fp = regfp ^ aut_hash;
+    std::uint8_t witness = 0;
+
+    if (canon) {
+      std::uint64_t best_fp = fp;
+      std::uint64_t best_regfp = regfp;
+      std::uint64_t best_auth = aut_hash;
+      std::size_t best_g = 0;
+      const auto& regfp_g = sym_regfp_[static_cast<std::size_t>(worker)];
+      const auto& auth_g = sym_auth_[static_cast<std::size_t>(worker)];
+      for (std::size_t g = 1; g < group_.size(); ++g) {
+        std::uint64_t rf = regfp_g[g];
+        if (written_reg >= 0) {
+          rf ^= perm_reg_zobrist(g, written_reg, written_old) ^
+                perm_reg_zobrist(g, written_reg,
+                                 scratch[static_cast<std::size_t>(written_reg)]);
+        }
+        const std::uint64_t ah = auth_g[g] ^ relabel(worker, g, pid, aid).zkey ^
+                                 relabel(worker, g, pid, expanded.next_id).zkey;
+        const std::uint64_t f = rf ^ ah;
+        if (f < best_fp) {
+          best_fp = f;
+          best_regfp = rf;
+          best_auth = ah;
+          best_g = g;
+        }
+      }
+      if (best_g != 0) {
+        // Materialize the representative's register file: the winning
+        // element applied to the successor's values.
+        Value* permuted = sym_scratch_[static_cast<std::size_t>(worker)].data();
+        const auto& rmap = group_regmap_[best_g];
+        const util::Permutation& sigma = group_[best_g];
+        for (sim::Reg r = 0; r < regs_; ++r) {
+          permuted[static_cast<std::size_t>(rmap[static_cast<std::size_t>(r)])] =
+              sim::map_value(sigma, reg_kind_[static_cast<std::size_t>(r)],
+                             scratch[static_cast<std::size_t>(r)], n_);
+        }
+        regfile = regpool_.intern(permuted, best_regfp);
+        fp = best_fp;
+        aut_hash = best_auth;
+        witness = static_cast<std::uint8_t>(best_g);
+      }
+    }
+    if (written_reg >= 0) {
+      // Keep the parent file intact for the remaining pids.
+      scratch[static_cast<std::size_t>(written_reg)] = written_old;
+    }
+
+    cand.fp = fp;
     cand.aut_hash = aut_hash;
     cand.regfile = regfile;
     cand.next_aut = expanded.next_id;
@@ -325,17 +569,19 @@ void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch) {
     cand.in_cs = in_cs;
     cand.done_count = done_count;
     cand.valid = 1;
+    cand.witness = witness;
   }
 }
 
 // Appends the candidate as a fresh state (the caller has already decided it
-// is new): a 5-byte closed record plus a full record in the next frontier.
-// Returns its global index.
+// is new): a packed closed record (5 bytes, 6 with a symmetry witness) plus
+// a full record in the next frontier. Returns its global index.
 std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos) {
   const std::size_t stride = static_cast<std::size_t>(n_);
   const auto target = static_cast<std::uint32_t>(total_states_);
   ++total_states_;
-  closed_.append(cur_.first + static_cast<std::uint32_t>(parent_pos), cand.pid);
+  closed_.append(cur_.first + static_cast<std::uint32_t>(parent_pos), cand.pid,
+                 cand.witness);
   next_.aut_hash.push_back(cand.aut_hash);
   next_.regfile.push_back(cand.regfile);
   next_.in_cs.push_back(cand.in_cs);
@@ -343,8 +589,27 @@ std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos
   // Parent row lives in cur_, the destination in next_ — no self-aliasing
   // insert (the hazard class the pre-flyweight engine suffered from).
   const std::uint32_t* parent_row = cur_.automata.data() + parent_pos * stride;
-  next_.automata.insert(next_.automata.end(), parent_row, parent_row + stride);
-  next_.automata[next_.automata.size() - stride + cand.pid] = cand.next_aut;
+  if (cand.witness == 0) {
+    next_.automata.insert(next_.automata.end(), parent_row, parent_row + stride);
+    next_.automata[next_.automata.size() - stride + cand.pid] = cand.next_aut;
+  } else {
+    // The stored state is the witness element's image of the successor, so
+    // its row holds each pid's relabeled local state at the relocated slot.
+    // This runs in the serial sequencing phase; the relabels were already
+    // computed for the candidate's hash, so cache 0 either hits or re-interns
+    // idempotently.
+    const util::Permutation& sigma = group_[cand.witness];
+    const std::size_t base = next_.automata.size();
+    next_.automata.resize(base + stride, AutomatonPool::kNone);
+    for (Pid p = 0; p < n_; ++p) {
+      const std::uint32_t aid = static_cast<std::uint8_t>(p) == cand.pid
+                                    ? cand.next_aut
+                                    : parent_row[static_cast<std::size_t>(p)];
+      if (aid == AutomatonPool::kNone) continue;  // sigma fixes non-participants
+      next_.automata[base + static_cast<std::size_t>(sigma.at(p))] =
+          relabel(0, cand.witness, p, aid).id;
+    }
+  }
   if (ddd_) {
     level_fps_.push_back(cand.fp);
     level_idxs_.push_back(target);
@@ -354,12 +619,15 @@ std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos
 
 void Engine::record_mutex_violation(std::size_t parent_pos, Pid pid) {
   result_.violation = "mutual exclusion violated: two processes in the critical section";
-  auto steps = trace_to(cur_.first + static_cast<std::uint32_t>(parent_pos));
-  steps.push_back(*pools_[static_cast<std::size_t>(pid)]
-                       ->propose(cur_.automata[parent_pos * static_cast<std::size_t>(n_) +
-                                               static_cast<std::size_t>(pid)])
-                       .step);
-  result_.counterexample = std::move(steps);
+  // Under symmetry the stored parent is an orbit representative; the replay
+  // reconstructs the corresponding concrete state and the relabeling that
+  // reaches it, so the violating step comes from the renamed process — the
+  // trace stays a valid concrete execution. With symmetry off the relabeling
+  // is the identity and the replayed row equals the stored one.
+  Replay replay = replay_to(cur_.first + static_cast<std::uint32_t>(parent_pos));
+  const auto q = static_cast<std::size_t>(sym_ ? replay.relabel.at(pid) : pid);
+  replay.steps.push_back(*pools_[q]->propose(replay.automata[q]).step);
+  result_.counterexample = std::move(replay.steps);
 }
 
 // Serial fast path: generate and sequence each state's candidates in one
@@ -375,7 +643,7 @@ Engine::LevelOutcome Engine::serial_level() {
   for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
     const std::size_t parent_pos = expand_[ei];
     const std::uint32_t parent = cur_.first + static_cast<std::uint32_t>(parent_pos);
-    expand_state(parent_pos, row, scratch);
+    expand_state(parent_pos, row, scratch, 0);
     for (Pid pid = 0; pid < n_; ++pid) {
       const Candidate& cand = row[pid];
       if (!cand.valid) continue;
@@ -492,7 +760,8 @@ Engine::LevelOutcome Engine::phased_level() {
       const std::size_t cend = (chunk + 1) * count / chunks;
       Value* scratch = scratch_[static_cast<std::size_t>(worker)].data();
       for (std::size_t bi = cbegin; bi < cend; ++bi) {
-        expand_state(expand_[begin + bi], cands_.data() + bi * stride, scratch);
+        expand_state(expand_[begin + bi], cands_.data() + bi * stride, scratch,
+                     worker);
       }
     });
 
@@ -613,36 +882,57 @@ void Engine::evict_oldest_level() {
   window_.pop_front();
 }
 
-// Reconstructs the step sequence from the root to state `idx` by walking the
-// closed store's parent chain (reading spilled chunks back if needed), then
-// replaying the acting pids forward from the root snapshot through the
-// pools' memoized δ — the replay recomputes each Step instead of storing it.
-std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
-  std::vector<std::uint8_t> pids;
+// Reconstructs a concrete execution from the root to state `idx` by walking
+// the closed store's parent chain (reading spilled chunks back if needed),
+// then replaying forward from the root snapshot through the pools' memoized
+// δ — each Step is recomputed instead of stored. Under symmetry every stored
+// state is an orbit representative and its record carries the witness w that
+// mapped the concrete successor to it; the replay therefore tracks the
+// accumulated relabeling h (concrete state = h-image of the stored state):
+// the recorded pid π acts concretely as h(π), and h then absorbs w⁻¹, since
+// h ∘ w⁻¹ maps the next stored representative to the next concrete state.
+// With symmetry off every witness is 0 and h stays the identity.
+Engine::Replay Engine::replay_to(std::uint32_t idx) const {
+  struct Link {
+    std::uint8_t pid;
+    std::uint8_t witness;
+  };
+  std::vector<Link> chain;
   while (idx != 0) {
     const ClosedStore::Entry e = closed_.entry(idx);
-    pids.push_back(e.pid);
+    chain.push_back({e.pid, e.witness});
     idx = e.parent;
   }
-  std::reverse(pids.begin(), pids.end());
+  std::reverse(chain.begin(), chain.end());
 
-  std::vector<Value> regs = root_regs_;
-  std::vector<std::uint32_t> automata = root_automata_;
-  std::vector<Step> steps;
-  steps.reserve(pids.size());
-  for (const std::uint8_t pid : pids) {
-    const auto expanded = pools_[pid]->expand(automata[pid], regs.data());
+  Replay out;
+  out.regs = root_regs_;
+  out.automata = root_automata_;
+  out.relabel = util::Permutation(n_);
+  out.steps.reserve(chain.size());
+  for (const Link& link : chain) {
+    const auto pid =
+        static_cast<std::size_t>(sym_ ? out.relabel.at(link.pid) : link.pid);
+    const auto expanded = pools_[pid]->expand(out.automata[pid], out.regs.data());
     const Step& step = *expanded.step;
-    steps.push_back(step);
+    out.steps.push_back(step);
     if (step.type == StepType::kWrite) {
-      regs[static_cast<std::size_t>(step.reg)] = step.value;
+      out.regs[static_cast<std::size_t>(step.reg)] = step.value;
     } else if (step.type == StepType::kRmw) {
-      Value& cell = regs[static_cast<std::size_t>(step.reg)];
+      Value& cell = out.regs[static_cast<std::size_t>(step.reg)];
       cell = sim::apply_rmw(step, cell);
     }
-    automata[pid] = expanded.next_id;
+    out.automata[pid] = expanded.next_id;
+    if (sym_ && link.witness != 0) {
+      out.relabel =
+          util::Permutation::compose(out.relabel, group_[link.witness].inverted());
+    }
   }
-  return steps;
+  return out;
+}
+
+std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
+  return replay_to(idx).steps;
 }
 
 void Engine::check_progress() {
@@ -784,6 +1074,7 @@ void Engine::finalize_stats() {
   result_.peak_visited_bytes = peak_visited_bytes_;
   result_.spilled_bytes = spill_.bytes_written();
   result_.ddd_runs = runs_.run_count();
+  if (sym_) result_.symmetry_group = group_.size();
   result_.wall_micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -794,6 +1085,12 @@ CheckResult Engine::run() {
   // Fixed-size per-state row buffers (and uint8 pid/done fields) cap n; the
   // state space is astronomically out of reach long before that anyway.
   if (n_ > 64) throw std::invalid_argument("model checker supports at most n = 64");
+  // Symmetry enumerates all n! pid permutations at startup to build the
+  // group; beyond n = 8 that is both slow and pointless (exhaustive
+  // exploration is out of reach anyway).
+  if (sym_ && n_ > 8) {
+    throw std::invalid_argument("symmetry reduction supports at most n = 8");
+  }
   init_root();
 
   bool done = false;

@@ -118,7 +118,25 @@ struct CheckOptions {
   // value yields identical results for a fixed option set, but the cap is
   // part of the batching schedule, so compare runs only at equal caps.
   std::uint64_t batch_candidates = 0;
+  // Pid-symmetry reduction: canonicalize every successor under the
+  // algorithm's pid-permutation group (sim/symmetry.h) before fingerprinting
+  // and store only orbit representatives — an up-to-n! state-count cut.
+  // Each closed record grows by one byte: the index of the group element
+  // that mapped the concrete successor to its stored representative, which
+  // trace replay inverts (composing along the parent chain) to reconstruct
+  // concrete executions. The canonical choice (minimum image fingerprint,
+  // ties to the smallest group index) is a pure function of the state, so
+  // all results and statistics remain worker-invariant, and the mode
+  // composes with workers/memory_limit_mb/ddd. Verdicts match plain mode;
+  // states/transitions/dedup_hits and the memory statistics legitimately
+  // shrink. Requires n <= 8 (the group is enumerated); algorithms without a
+  // declared symmetry action run under the identity group (no reduction,
+  // same verdicts). If an algorithm's group exceeds 255 elements (the
+  // witness byte), only the first 255 in enumeration order are used — still
+  // sound, just less reduction.
+  bool symmetry = false;
   // Which pids take part; empty = all n. Non-participants take no steps.
+  // Under symmetry, group elements must fix non-participants pointwise.
   std::vector<sim::Pid> participants;
 };
 
@@ -150,6 +168,11 @@ struct CheckResult {
   // old 4 B/edge + 4 B/state predecessor CSR. 0 when the pass did not run.
   std::uint64_t progress_peak_bytes = 0;
   std::uint64_t ddd_runs = 0;           // sorted fingerprint runs formed (DDD only)
+  // Size of the pid-permutation group the run canonicalized under (includes
+  // the identity); 0 when CheckOptions::symmetry was off. 1 means the
+  // algorithm admits no nontrivial symmetry at this n: exploration then
+  // matches plain mode state-for-state.
+  std::uint64_t symmetry_group = 0;
   std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
 };
 
@@ -157,7 +180,8 @@ struct CheckResult {
 // std::invalid_argument for n > 64: the engine packs per-state rows into
 // fixed 64-wide buffers, and exhaustive exploration is unreachable long
 // before that anyway (restrict `options.participants` instead — the limit is
-// on n, participating or not).
+// on n, participating or not). With options.symmetry, additionally throws
+// for n > 8 (the permutation group is enumerated at startup).
 CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
                             const CheckOptions& options = {});
 

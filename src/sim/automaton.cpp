@@ -1,5 +1,8 @@
 #include "sim/automaton.h"
 
+#include "sim/symmetry.h"
+#include "util/permutation.h"
+
 namespace melb::sim {
 
 bool read_changes_state(const Automaton& automaton, Value value) {
@@ -9,8 +12,18 @@ bool read_changes_state(const Automaton& automaton, Value value) {
   return copy->fingerprint() != before;
 }
 
+std::unique_ptr<Automaton> Automaton::relabeled(const util::Permutation& sigma,
+                                                int n) const {
+  if (sigma == util::Permutation(n)) return clone();
+  return nullptr;
+}
+
 Value Algorithm::register_init(Reg, int) const { return 0; }
 
 Pid Algorithm::register_owner(Reg, int) const { return -1; }
+
+const PidSymmetry& Algorithm::pid_symmetry() const {
+  return identity_pid_symmetry();
+}
 
 }  // namespace melb::sim

@@ -13,7 +13,13 @@
 
 #include "sim/types.h"
 
+namespace melb::util {
+class Permutation;
+}  // namespace melb::util
+
 namespace melb::sim {
+
+class PidSymmetry;
 
 class Automaton {
  public:
@@ -42,6 +48,15 @@ class Automaton {
   virtual std::uint64_t fingerprint() const = 0;
 
   virtual std::unique_ptr<Automaton> clone() const = 0;
+
+  // The same local state relabeled for process sigma(pid): the automaton
+  // this process would be if every pid baked into its local state (its own
+  // id, remembered rivals, queue links) were renamed by sigma. Used by the
+  // checker's pid-symmetry reduction (sim/symmetry.h). The default returns
+  // clone() when sigma is the identity and nullptr otherwise; algorithms
+  // that declare a non-trivial PidSymmetry must override it.
+  virtual std::unique_ptr<Automaton> relabeled(const util::Permutation& sigma,
+                                               int n) const;
 };
 
 // Would this automaton change local state if its proposed step — which must
@@ -70,6 +85,12 @@ class Algorithm {
   virtual Pid register_owner(Reg reg, int n) const;
 
   virtual std::unique_ptr<Automaton> make_process(Pid pid, int n) const = 0;
+
+  // How pid permutations act on this algorithm's shared state, for the
+  // checker's symmetry reduction. The default is the identity action (only
+  // sigma == id valid) — always sound; symmetric algorithms override this
+  // together with Automaton::relabeled on their process automata.
+  virtual const PidSymmetry& pid_symmetry() const;
 };
 
 }  // namespace melb::sim

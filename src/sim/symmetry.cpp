@@ -1,0 +1,65 @@
+#include "sim/symmetry.h"
+
+namespace melb::sim {
+
+namespace {
+
+class IdentityPidSymmetry final : public PidSymmetry {
+ public:
+  bool valid(const util::Permutation& sigma, int n) const override {
+    return sigma == util::Permutation(n);
+  }
+  Reg map_register(const util::Permutation&, Reg r, int) const override {
+    return r;
+  }
+  SlotValueKind value_kind(Reg, int) const override {
+    return SlotValueKind::kPlain;
+  }
+};
+
+class SharedRegisterSymmetry final : public PidSymmetry {
+ public:
+  bool valid(const util::Permutation&, int) const override { return true; }
+  Reg map_register(const util::Permutation&, Reg r, int) const override {
+    return r;
+  }
+  SlotValueKind value_kind(Reg, int) const override {
+    return SlotValueKind::kPlain;
+  }
+};
+
+}  // namespace
+
+Value map_value(const util::Permutation& sigma, SlotValueKind kind, Value v,
+                int n) {
+  if (kind == SlotValueKind::kPidPlusOne && v >= 1 && v <= n) {
+    return sigma.at(static_cast<int>(v) - 1) + 1;
+  }
+  return v;
+}
+
+Step map_step(const PidSymmetry& action, const util::Permutation& sigma,
+              const Step& step, int n) {
+  Step mapped = step;
+  if (step.pid >= 0 && step.pid < n) mapped.pid = sigma.at(step.pid);
+  if (step.type == StepType::kCrit) return mapped;
+  mapped.reg = action.map_register(sigma, step.reg, n);
+  const SlotValueKind kind = action.value_kind(step.reg, n);
+  mapped.value = map_value(sigma, kind, step.value, n);
+  if (step.type == StepType::kRmw && step.rmw == RmwKind::kCas) {
+    mapped.expected = map_value(sigma, kind, step.expected, n);
+  }
+  return mapped;
+}
+
+const PidSymmetry& identity_pid_symmetry() {
+  static const IdentityPidSymmetry instance;
+  return instance;
+}
+
+const PidSymmetry& shared_register_symmetry() {
+  static const SharedRegisterSymmetry instance;
+  return instance;
+}
+
+}  // namespace melb::sim

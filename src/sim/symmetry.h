@@ -1,0 +1,76 @@
+// Pid-symmetry actions: how renaming processes acts on an algorithm's
+// shared state.
+//
+// A mutex algorithm is pid-symmetric when relabeling the processes by a
+// permutation sigma of [0, n) maps executions to executions. The checker
+// exploits this by exploring only one representative per orbit of the
+// pid-permutation group; to canonicalize a *state* it needs to know how
+// sigma acts on the shared registers:
+//
+//  * which register slot r maps to (map_register) — e.g. per-pid spin
+//    registers relocate with their owner, a shared tail pointer stays put;
+//  * how the *value* stored in a slot transforms (value_kind) — a slot
+//    holding "0 or pid+1" must have its payload renamed, a slot holding a
+//    ticket counter or a boolean flag must not;
+//  * which permutations are valid automorphisms at all (valid) — e.g. the
+//    tournament-tree algorithms only admit permutations realizable as tree
+//    automorphisms.
+//
+// The per-process local state transforms via Automaton::relabeled(). The
+// identity action (only sigma == id valid) is always sound and is the
+// default for every algorithm, so symmetry reduction degrades to plain
+// exploration unless an algorithm opts in with a real action.
+#pragma once
+
+#include "sim/types.h"
+#include "util/permutation.h"
+
+namespace melb::sim {
+
+// How a register slot's payload transforms under a pid permutation.
+enum class SlotValueKind : std::uint8_t {
+  kPlain,       // value is pid-independent (flags, counters, levels)
+  kPidPlusOne,  // value is 0 (empty) or pid+1 — rename the pid part
+};
+
+// The action of the pid-permutation group on an algorithm's shared state.
+// Implementations must satisfy, for every valid sigma:
+//  * map_register(sigma, ., n) is a bijection on [0, num_registers(n));
+//  * the initial register file is fixed (slots map to slots with equal
+//    initial values);
+//  * relabeling a process automaton (Automaton::relabeled) and remapping
+//    every step it proposes commute — the checker verifies this per
+//    interned local state and aborts on a mismatch.
+class PidSymmetry {
+ public:
+  virtual ~PidSymmetry() = default;
+
+  // Is sigma an automorphism of this algorithm's state graph?
+  virtual bool valid(const util::Permutation& sigma, int n) const = 0;
+
+  // Image of register slot r under sigma (precondition: valid(sigma, n)).
+  virtual Reg map_register(const util::Permutation& sigma, Reg r, int n) const = 0;
+
+  // How values stored in slot r transform.
+  virtual SlotValueKind value_kind(Reg r, int n) const = 0;
+};
+
+// Value transform for a slot of the given kind: kPidPlusOne renames
+// v in [1, n] to sigma(v-1)+1 and fixes everything else.
+Value map_value(const util::Permutation& sigma, SlotValueKind kind, Value v,
+                int n);
+
+// Image of a proposed step under sigma: pid renamed, register remapped,
+// value/expected transformed per the *target* slot's kind. Critical steps
+// only rename the pid.
+Step map_step(const PidSymmetry& action, const util::Permutation& sigma,
+              const Step& step, int n);
+
+// The always-sound default: only the identity permutation is valid.
+const PidSymmetry& identity_pid_symmetry();
+
+// Full S_n on a state whose registers are all shared and pid-independent
+// (every sigma valid, registers fixed pointwise, kPlain payloads).
+const PidSymmetry& shared_register_symmetry();
+
+}  // namespace melb::sim

@@ -30,6 +30,21 @@ void Permutation::rebuild_rank() {
   }
 }
 
+Permutation Permutation::inverted() const {
+  return Permutation(rank_);
+}
+
+Permutation Permutation::compose(const Permutation& a, const Permutation& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Permutation::compose: size mismatch");
+  }
+  std::vector<int> order(static_cast<std::size_t>(a.size()));
+  for (int k = 0; k < a.size(); ++k) {
+    order[static_cast<std::size_t>(k)] = a.at(b.at(k));
+  }
+  return Permutation(std::move(order));
+}
+
 Permutation Permutation::random(int n, Xoshiro256StarStar& rng) {
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);

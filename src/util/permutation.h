@@ -39,6 +39,12 @@ class Permutation {
 
   bool operator==(const Permutation& other) const = default;
 
+  // Inverse permutation: inverted().at(v) == rank(v).
+  Permutation inverted() const;
+
+  // Composition: compose(a, b).at(k) == a.at(b.at(k)) (apply b, then a).
+  static Permutation compose(const Permutation& a, const Permutation& b);
+
   // Uniformly random permutation (Fisher–Yates driven by the given PRNG).
   static Permutation random(int n, Xoshiro256StarStar& rng);
 

@@ -15,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "algo/automaton_base.h"
 #include "algo/registry.h"
 #include "check/closed_store.h"
@@ -22,7 +25,9 @@
 #include "check/state_set.h"
 #include "sim/execution.h"
 #include "sim/simulator.h"
+#include "sim/symmetry.h"
 #include "util/hash.h"
+#include "util/permutation.h"
 
 #include "testing_util.h"
 
@@ -359,6 +364,7 @@ void expect_identical(const check::CheckResult& a, const check::CheckResult& b) 
   EXPECT_EQ(a.progress_peak_bytes, b.progress_peak_bytes);
   EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
   EXPECT_EQ(a.ddd_runs, b.ddd_runs);
+  EXPECT_EQ(a.symmetry_group, b.symmetry_group);
   ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
   if (a.counterexample) {
     EXPECT_EQ(*a.counterexample, *b.counterexample);
@@ -377,6 +383,7 @@ void expect_same_exploration(const check::CheckResult& a, const check::CheckResu
   EXPECT_EQ(a.dedup_hits, b.dedup_hits);
   EXPECT_EQ(a.interned_automata, b.interned_automata);
   EXPECT_EQ(a.interned_regfiles, b.interned_regfiles);
+  EXPECT_EQ(a.symmetry_group, b.symmetry_group);
   ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
   if (a.counterexample) {
     EXPECT_EQ(*a.counterexample, *b.counterexample);
@@ -820,6 +827,242 @@ TEST_P(CheckerOnRmw, AllParticipantSubsetsN3) {
 INSTANTIATE_TEST_SUITE_P(RmwLocks, CheckerOnRmw,
                          ::testing::Values("ttas-rmw", "ticket-rmw", "mcs-rmw"),
                          testing_util::AlgorithmNameGenerator());
+
+// ---------------------------------------------------------------------------
+// Pid-symmetry reduction: the quotient must hold exactly one representative
+// per orbit, every statistic must stay worker-invariant, the mode must
+// compose with DDD and the memory limit, and witness-chain trace replay must
+// reconstruct concrete executions.
+// ---------------------------------------------------------------------------
+
+// Fully symmetric fixture with a hand-countable orbit structure: n identical
+// processes, each a 6-pc chain (try, read r0, enter, exit, rem, done) that
+// never writes, over one shared register. Processes are independent, so the
+// plain space is exactly 6^n pc-vectors, the full S_n acts by permuting the
+// vector, and the orbits are precisely the pc-multisets — enumerable in the
+// test without consulting the engine.
+class SymSpinProcess final : public algo::CloneableAutomaton<SymSpinProcess> {
+ public:
+  explicit SymSpinProcess(Pid pid) : pid_(pid) {}
+
+  Step propose() const override {
+    switch (pc_) {
+      case 0: return Step::crit_step(pid_, CritKind::kTry);
+      case 1: return Step::read(pid_, 0);
+      case 2: return Step::crit_step(pid_, CritKind::kEnter);
+      case 3: return Step::crit_step(pid_, CritKind::kExit);
+      default: break;
+    }
+    return Step::crit_step(pid_, CritKind::kRem);
+  }
+
+  void advance(Value) override {
+    if (pc_ < 5) ++pc_;
+  }
+
+  bool done() const override { return pc_ == 5; }
+
+  std::unique_ptr<sim::Automaton> relabeled(const util::Permutation& sigma,
+                                            int) const override {
+    auto twin = std::make_unique<SymSpinProcess>(sigma.at(pid_));
+    twin->pc_ = pc_;
+    return twin;
+  }
+
+  void hash_into(util::Hasher& hasher) const { hasher.add_all({pc_, pid_}); }
+
+ private:
+  Pid pid_;
+  int pc_ = 0;
+};
+
+class SymSpinAlgorithm final : public sim::Algorithm {
+ public:
+  std::string name() const override { return "sym-spin-fixture"; }
+  int num_registers(int) const override { return 1; }
+  std::unique_ptr<sim::Automaton> make_process(Pid pid, int) const override {
+    return std::make_unique<SymSpinProcess>(pid);
+  }
+  const sim::PidSymmetry& pid_symmetry() const override {
+    return sim::shared_register_symmetry();
+  }
+};
+
+TEST(SymmetryReduction, StoresExactlyOneRepresentativePerOrbit) {
+  SymSpinAlgorithm algorithm;
+  check::CheckOptions options;
+  options.check_mutex = false;  // all n may sit in the CS at once
+
+  const auto plain = check::check_algorithm(algorithm, 4, options);
+  ASSERT_TRUE(plain.ok) << plain.violation;
+  EXPECT_EQ(plain.states, 1296u);  // 6^4 independent pc-vectors
+  EXPECT_EQ(plain.symmetry_group, 0u);
+
+  auto sym_options = options;
+  sym_options.symmetry = true;
+  const auto sym = check::check_algorithm(algorithm, 4, sym_options);
+  ASSERT_TRUE(sym.ok) << sym.violation;
+  EXPECT_EQ(sym.symmetry_group, 24u);  // full S_4
+
+  // Independent orbit enumeration: two states are equivalent iff their
+  // pc-vectors are permutations of each other, so the orbits are the sorted
+  // pc-vectors of the 6^4 reachable states.
+  std::set<std::vector<int>> orbits;
+  for (int code = 0; code < 1296; ++code) {
+    std::vector<int> pcs(4);
+    int v = code;
+    for (int p = 0; p < 4; ++p) {
+      pcs[p] = v % 6;
+      v /= 6;
+    }
+    std::sort(pcs.begin(), pcs.end());
+    orbits.insert(pcs);
+  }
+  ASSERT_EQ(orbits.size(), 126u);  // multisets: C(4+5, 5)
+  EXPECT_EQ(sym.states, orbits.size());
+}
+
+TEST(SymmetryReduction, DeterministicAcrossWorkerCounts) {
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  options.symmetry = true;
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  const auto serial = check::check_algorithm(*info.algorithm, 3, options);
+  ASSERT_TRUE(serial.ok) << serial.violation;
+  // Yang–Anderson's group at n=3 is the 2-element tree automorphism swapping
+  // the two leaves under the root; the quotient is half the plain space.
+  EXPECT_EQ(serial.symmetry_group, 2u);
+  const auto plain = run_with_workers("yang-anderson", 3, 1);
+  EXPECT_LT(serial.states, plain.states);
+  EXPECT_GE(serial.states * 2, plain.states);
+
+  for (int workers : {2, 4, 8}) {
+    auto parallel = options;
+    parallel.workers = workers;
+    expect_identical(serial, check::check_algorithm(*info.algorithm, 3, parallel));
+  }
+}
+
+TEST(SymmetryReduction, IdentityGroupMatchesPlainStateForState) {
+  // bakery declares no symmetry action, so the group degenerates to {id} and
+  // exploration must be byte-for-byte the plain one (modulo the witness-mode
+  // closed store growing records from 5 to 6 bytes, which shifts memory
+  // statistics only).
+  const auto& info = algo::algorithm_by_name("bakery");
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  const auto plain = check::check_algorithm(*info.algorithm, 3, options);
+  options.symmetry = true;
+  const auto sym = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_EQ(sym.symmetry_group, 1u);
+  EXPECT_EQ(sym.ok, plain.ok);
+  EXPECT_EQ(sym.states, plain.states);
+  EXPECT_EQ(sym.transitions, plain.transitions);
+  EXPECT_EQ(sym.dedup_hits, plain.dedup_hits);
+  EXPECT_EQ(sym.interned_automata, plain.interned_automata);
+  EXPECT_EQ(sym.interned_regfiles, plain.interned_regfiles);
+  EXPECT_EQ(sym.counterexample.has_value(), plain.counterexample.has_value());
+}
+
+TEST(SymmetryReduction, ComposesWithDddAndMemoryLimit) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 4'000'000;
+  options.symmetry = true;
+  const auto reference = check::check_algorithm(*info.algorithm, 3, options);
+  ASSERT_TRUE(reference.ok) << reference.violation;
+
+  auto squeezed = options;
+  squeezed.ddd = true;
+  squeezed.memory_limit_mb = 1;
+  squeezed.batch_candidates = 2048;
+  check::CheckResult first;
+  for (int workers : {1, 4}) {
+    squeezed.workers = workers;
+    const auto result = check::check_algorithm(*info.algorithm, 3, squeezed);
+    expect_same_exploration(reference, result);
+    EXPECT_GT(result.ddd_runs, 0u) << workers << " workers";
+    EXPECT_GT(result.spilled_bytes, 0u) << workers << " workers";
+    if (workers == 1) {
+      first = result;
+    } else {
+      expect_identical(first, result);
+    }
+  }
+}
+
+TEST(SymmetryReduction, CounterexampleReplaysAsConcreteExecution) {
+  // The stored trace chain runs through orbit representatives; replay must
+  // invert the witness permutations back to a concrete execution that the
+  // simulator accepts and that really violates mutual exclusion.
+  const auto& info = algo::algorithm_by_name("naive-broken");
+  check::CheckOptions options;
+  options.symmetry = true;
+  const auto serial = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_FALSE(serial.ok);
+  EXPECT_NE(serial.violation.find("mutual exclusion"), std::string::npos);
+  EXPECT_EQ(serial.symmetry_group, 6u);
+  ASSERT_TRUE(serial.counterexample.has_value());
+
+  const auto exec = sim::validate_steps(*info.algorithm, 3, *serial.counterexample);
+  EXPECT_NE(sim::check_mutual_exclusion(exec, 3), "");
+
+  for (int workers : {4, 8}) {
+    auto parallel = options;
+    parallel.workers = workers;
+    expect_identical(serial, check::check_algorithm(*info.algorithm, 3, parallel));
+  }
+}
+
+TEST(SymmetryReduction, SubsetChecksFixNonParticipants) {
+  // Under participation subsets only permutations fixing the idle pids
+  // survive, so every subset check stays sound; verdicts must match the
+  // plain subset sweep and stay identical under the parallel subset pool.
+  const auto& info = algo::algorithm_by_name("ttas-rmw");
+  check::CheckOptions plain_options;
+  plain_options.max_states = 4'000'000;
+  const auto plain = check::check_all_subsets(*info.algorithm, 3, plain_options);
+  ASSERT_TRUE(plain.ok) << plain.violation;
+
+  auto sym_options = plain_options;
+  sym_options.symmetry = true;
+  const auto sym = check::check_all_subsets(*info.algorithm, 3, sym_options);
+  EXPECT_TRUE(sym.ok) << sym.violation;
+
+  auto parallel_options = sym_options;
+  parallel_options.workers = 4;
+  expect_identical(sym, check::check_all_subsets(*info.algorithm, 3, parallel_options));
+}
+
+TEST(SymmetryReduction, YangAndersonN4FinishesWherePlainExhausts) {
+  // The acceptance fixture at gtest scale: under a 1M-state cap the plain
+  // exploration exhausts (the full space is 5,892,305 states — pinned by the
+  // Release CI step), while the 8-element tree-automorphism quotient
+  // completes in 737,175 states: a 7.99x cut, comfortably past the 3x floor
+  // bench_model_checker gates on.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.max_states = 1'000'000;
+  const auto plain = check::check_algorithm(*info.algorithm, 4, options);
+  EXPECT_TRUE(plain.exhausted_limit);
+
+  options.symmetry = true;
+  const auto sym = check::check_algorithm(*info.algorithm, 4, options);
+  ASSERT_TRUE(sym.ok) << sym.violation;
+  EXPECT_FALSE(sym.exhausted_limit);
+  EXPECT_EQ(sym.symmetry_group, 8u);
+  EXPECT_EQ(sym.states, 737'175u);
+  EXPECT_EQ(sym.transitions, 2'285'030u);
+  EXPECT_LE(sym.states * 3, 5'892'305u);
+}
+
+TEST(SymmetryReduction, RejectsUnenumerableN) {
+  const auto& info = algo::algorithm_by_name("ttas-rmw");
+  check::CheckOptions options;
+  options.symmetry = true;
+  EXPECT_THROW(check::check_algorithm(*info.algorithm, 9, options),
+               std::invalid_argument);
+}
 
 // ---------------------------------------------------------------------------
 // Wide-branching fixture: every expansion yields n fresh states, so the

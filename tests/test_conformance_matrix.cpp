@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algo/registry.h"
+#include "check/model_checker.h"
 #include "exp/campaign.h"
 #include "exp/report.h"
 #include "exp/runner.h"
@@ -187,6 +188,54 @@ TEST_P(ConformanceMatrixTest, EncodeDecodeRoundTripsAcrossSizes) {
           EXPECT_EQ(ours[k].read_value, theirs[k].read_value)
               << "pid " << p << " step " << k;
         }
+      }
+    }
+  }
+}
+
+// Symmetry reduction must never change a verdict, only shrink the explored
+// quotient. For every pid-symmetric registry entry, a plain exploration and a
+// --symmetry exploration at the same n must agree on ok/violation-kind, and
+// the orbit count must sit in the Burnside envelope: at least plain/|G|
+// (the identity fixes everything) and at most plain (a quotient never grows).
+// A group of size 1 must reproduce plain mode state-for-state, and any
+// counterexample the symmetry run reports must replay as a concrete
+// execution exhibiting the violation.
+TEST_P(ConformanceMatrixTest, SymmetryReductionAgreesWithPlain) {
+  const auto& info = this->info();
+  if (!info.pid_symmetric) {
+    GTEST_SKIP() << "algorithm distinguishes concrete pids; --symmetry refuses it";
+  }
+  for (const int n : {2, 3}) {
+    SCOPED_TRACE(info.algorithm->name() + " n=" + std::to_string(n));
+    check::CheckOptions plain_options;
+    plain_options.max_states = 4'000'000;
+    const auto plain = check::check_algorithm(*info.algorithm, n, plain_options);
+    ASSERT_FALSE(plain.exhausted_limit);
+
+    auto sym_options = plain_options;
+    sym_options.symmetry = true;
+    const auto sym = check::check_algorithm(*info.algorithm, n, sym_options);
+    ASSERT_FALSE(sym.exhausted_limit);
+
+    EXPECT_EQ(sym.ok, plain.ok);
+    EXPECT_EQ(sym.violation.empty(), plain.violation.empty());
+    ASSERT_GE(sym.symmetry_group, 1u);
+    EXPECT_LE(sym.states, plain.states);
+    EXPECT_GE(sym.states * sym.symmetry_group, plain.states);
+    if (sym.symmetry_group == 1) {
+      EXPECT_EQ(sym.states, plain.states);
+      EXPECT_EQ(sym.transitions, plain.transitions);
+    }
+
+    ASSERT_EQ(sym.counterexample.has_value(), plain.counterexample.has_value());
+    if (sym.counterexample) {
+      // The trace was reconstructed through the witness permutation chain; it
+      // must be executable with concrete pids and show the same violation
+      // kind the plain run reports.
+      const auto exec = sim::validate_steps(*info.algorithm, n, *sym.counterexample);
+      if (plain.violation.find("mutual exclusion") != std::string::npos) {
+        EXPECT_NE(sim::check_mutual_exclusion(exec, n), "");
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "util/bitset.h"
 #include "util/chart.h"
@@ -111,6 +112,35 @@ TEST(Permutation, ReversedOrder) {
   const auto pi = util::Permutation::reversed(4);
   EXPECT_EQ(pi.at(0), 3);
   EXPECT_EQ(pi.at(3), 0);
+}
+
+TEST(Permutation, InvertedIsTheRankArray) {
+  const util::Permutation pi({3, 1, 0, 2});
+  const auto inv = pi.inverted();
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(inv.at(v), pi.rank(v));
+    EXPECT_EQ(inv.at(pi.at(v)), v);
+    EXPECT_EQ(pi.at(inv.at(v)), v);
+  }
+  EXPECT_EQ(inv.inverted(), pi);
+  EXPECT_EQ(util::Permutation(5).inverted(), util::Permutation(5));
+}
+
+TEST(Permutation, ComposeAppliesRightThenLeft) {
+  const util::Permutation a({1, 2, 0});
+  const util::Permutation b({2, 1, 0});
+  const auto c = util::Permutation::compose(a, b);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(c.at(k), a.at(b.at(k)));
+  }
+  // Composition is not commutative for these two.
+  EXPECT_NE(util::Permutation::compose(b, a), c);
+  // Composing with the inverse on either side yields the identity — the
+  // property the checker's witness-chain replay relies on.
+  EXPECT_EQ(util::Permutation::compose(a, a.inverted()), util::Permutation(3));
+  EXPECT_EQ(util::Permutation::compose(a.inverted(), a), util::Permutation(3));
+  EXPECT_THROW(util::Permutation::compose(a, util::Permutation(4)),
+               std::invalid_argument);
 }
 
 TEST(Bitset, SetTestReset) {

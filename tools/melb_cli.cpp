@@ -7,7 +7,7 @@
 //                [--encode FILE] [--dump]
 //   melb_cli decode <algorithm> <E-file>
 //   melb_cli check <algorithm> <n> [--subsets] [--max-states K] [--workers W]
-//                  [--memory-limit-mb M] [--ddd] [--ddd-window L]
+//                  [--memory-limit-mb M] [--ddd] [--ddd-window L] [--symmetry]
 //                  [--check-determinism]
 //   melb_cli cost <algorithm> <n>
 //   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
@@ -17,14 +17,19 @@
 // Every subcommand exits nonzero on a property violation, so the tool can be
 // scripted as a validity oracle.
 #include <atomic>
+#include <charconv>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "algo/registry.h"
@@ -57,6 +62,43 @@ struct Args {
     return it == flags.end() ? fallback : it->second;
   }
 };
+
+// A malformed command line. Carries a ready-to-print message; main turns it
+// into the usage text and exit code 2 (same as a missing argument), instead
+// of the uncaught std::stoi exception the numeric flags used to abort with.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Checked numeric parsing: every user-supplied number goes through here, so
+// garbage ("abc"), trailing junk ("3x"), negatives, and overflow all produce
+// a per-flag message naming the offending value and its accepted range.
+std::uint64_t parse_uint(const std::string& text, const std::string& what,
+                         std::uint64_t min_value,
+                         std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) {
+  std::uint64_t value = 0;
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (text.empty() || ec == std::errc::invalid_argument || ptr != end) {
+    throw UsageError("error: " + what + " expects an unsigned integer, got '" + text + "'");
+  }
+  if (ec == std::errc::result_out_of_range || value < min_value || value > max_value) {
+    std::string range = ">= " + std::to_string(min_value);
+    if (max_value != std::numeric_limits<std::uint64_t>::max()) {
+      range = "in [" + std::to_string(min_value) + ", " + std::to_string(max_value) + "]";
+    }
+    throw UsageError("error: " + what + " must be " + range + ", got '" + text + "'");
+  }
+  return value;
+}
+
+int parse_int(const std::string& text, const std::string& what, int min_value,
+              int max_value) {
+  return static_cast<int>(parse_uint(text, what, static_cast<std::uint64_t>(min_value),
+                                     static_cast<std::uint64_t>(max_value)));
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -98,8 +140,8 @@ int cmd_list() {
 
 int cmd_run(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = std::stoi(args.positional.at(1));
-  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  const int n = parse_int(args.positional.at(1), "n", 1, 64);
+  const auto seed = parse_uint(args.get("seed", "42"), "--seed", 0);
   auto scheduler = sim::make_scheduler(args.get("sched", "round-robin"), n, seed);
   const auto mode = args.has("faithful") ? sim::RunMode::kFaithful
                                          : sim::RunMode::kProductiveOnly;
@@ -129,8 +171,8 @@ int cmd_run(const Args& args) {
 
 int cmd_construct(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = std::stoi(args.positional.at(1));
-  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  const int n = parse_int(args.positional.at(1), "n", 1, 64);
+  const auto seed = parse_uint(args.get("seed", "42"), "--seed", 0);
   const auto pi = make_pi(args.get("pi", "reverse"), n, seed);
   const auto c = lb::construct(*info.algorithm, n, pi);
   const auto steps = c.canonical_linearization();
@@ -201,6 +243,7 @@ std::string check_signature(const check::CheckResult& result) {
   s += ";progress_peak=" + std::to_string(result.progress_peak_bytes);
   s += ";spilled=" + std::to_string(result.spilled_bytes);
   s += ";ddd_runs=" + std::to_string(result.ddd_runs);
+  s += ";symmetry_group=" + std::to_string(result.symmetry_group);
   s += ";trace=";
   if (result.counterexample) {
     for (const auto& step : *result.counterexample) s += to_string(step) + "|";
@@ -228,6 +271,10 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
               static_cast<double>(result.peak_visited_bytes) / (1024.0 * 1024.0),
               static_cast<double>(result.spilled_bytes) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(result.ddd_runs));
+  if (result.symmetry_group != 0) {
+    std::printf("symmetry: canonicalized under a %llu-element pid group\n",
+                static_cast<unsigned long long>(result.symmetry_group));
+  }
   if (!result.ok && result.counterexample) {
     std::printf("counterexample (%zu steps):\n", result.counterexample->size());
     for (const auto& step : *result.counterexample) {
@@ -238,15 +285,24 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
 
 int cmd_check(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = std::stoi(args.positional.at(1));
+  const int n = parse_int(args.positional.at(1), "n", 1, 64);
   check::CheckOptions options;
-  options.max_states =
-      static_cast<std::uint64_t>(std::stoull(args.get("max-states", "2000000")));
-  options.workers = std::stoi(args.get("workers", "1"));
+  options.max_states = parse_uint(args.get("max-states", "2000000"), "--max-states", 1);
+  options.workers = parse_int(args.get("workers", "1"), "--workers", 1, 1024);
   options.memory_limit_mb =
-      static_cast<std::uint64_t>(std::stoull(args.get("memory-limit-mb", "0")));
+      parse_uint(args.get("memory-limit-mb", "0"), "--memory-limit-mb", 0);
   options.ddd = args.has("ddd");
-  options.ddd_window = std::stoi(args.get("ddd-window", "2"));
+  options.ddd_window = parse_int(args.get("ddd-window", "2"), "--ddd-window", 1, 1024);
+  options.symmetry = args.has("symmetry");
+  if (options.symmetry && !info.pid_symmetric) {
+    // Canonicalizing under pid permutations is only sound for algorithms
+    // whose code is symmetric in the pids; the registry marks the exceptions.
+    throw UsageError("error: --symmetry is unsound for '" + info.algorithm->name() +
+                     "' (the algorithm distinguishes concrete pids)");
+  }
+  if (options.symmetry && n > 8) {
+    throw UsageError("error: --symmetry supports at most n = 8");
+  }
 
   const auto run_check = [&](const check::CheckOptions& opts) {
     return args.has("subsets") ? check::check_all_subsets(*info.algorithm, n, opts)
@@ -282,7 +338,7 @@ int cmd_check(const Args& args) {
 
 int cmd_cost(const Args& args) {
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = std::stoi(args.positional.at(1));
+  const int n = parse_int(args.positional.at(1), "n", 1, 64);
   sim::RoundRobinScheduler scheduler;
   const auto run =
       sim::run_canonical(*info.algorithm, n, scheduler, sim::RunMode::kFaithful, 50'000'000);
@@ -353,14 +409,13 @@ int cmd_sweep(const Args& args) {
   const std::string scheds = args.get("scheds", "");
   spec.schedulers = scheds.empty() ? sim::scheduler_names() : exp::split_list(scheds);
   spec.sizes = exp::parse_sizes(args.get("n", "2..8"));
-  spec.seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "2026")));
+  spec.seed = parse_uint(args.get("seed", "2026"), "--seed", 0);
   if (args.has("faithful")) spec.mode = sim::RunMode::kFaithful;
   if (args.has("no-lb")) spec.lb_pipeline = false;
-  spec.max_steps =
-      static_cast<std::uint64_t>(std::stoull(args.get("max-steps", "50000000")));
+  spec.max_steps = parse_uint(args.get("max-steps", "50000000"), "--max-steps", 1);
 
   exp::RunOptions options;
-  options.workers = std::stoi(args.get("workers", "0"));
+  options.workers = parse_int(args.get("workers", "0"), "--workers", 0, 1024);
   if (args.has("progress")) {
     options.on_cell = [](const exp::CellResult& cell) {
       std::fprintf(stderr, "[%zu] %s/%s n=%d: %s (%.1f ms)\n", cell.cell.index,
@@ -413,8 +468,8 @@ void usage() {
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
       "  check <alg> <n> [--subsets] [--max-states K] [--workers W]\n"
-      "        [--memory-limit-mb M] [--ddd] [--ddd-window L] "
-      "[--check-determinism]\n"
+      "        [--memory-limit-mb M] [--ddd] [--ddd-window L] [--symmetry]\n"
+      "        [--check-determinism]\n"
       "  cost <alg> <n>\n"
       "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
       "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
@@ -438,6 +493,10 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "cost") return cmd_cost(args);
     if (command == "sweep") return cmd_sweep(args);
+    usage();
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     usage();
     return 2;
   } catch (const std::out_of_range& e) {
