@@ -19,7 +19,10 @@
 // O(states + edges) CSR — both floors enforced at identical exploration
 // counts), the pid-symmetry quotient row (E14: storing only orbit
 // representatives must cut yang-anderson n=4 by at least 3x at an unchanged
-// verdict), and the per-level dispatch cost of the persistent exp::TaskPool
+// verdict), the property-engine parity row (E15: the deprecated boolean
+// surface and the explicit `--property mutex,progress` list must run the
+// same engine at the same speed, within 10%, at byte-identical statistics),
+// and the per-level dispatch cost of the persistent exp::TaskPool
 // vs spawning threads per dispatch (what every BFS level paid before the
 // pool). Wall-clock timings and peak_memory_bytes counters for the perf
 // gate are registered with google-benchmark.
@@ -28,6 +31,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -479,6 +483,103 @@ double symmetry_report(const check::CheckResult& hash_result) {
   return ratio;
 }
 
+// Property-engine acceptance (E15). check_algorithm with the deprecated
+// check_mutex/check_progress booleans (the PR-6 calling surface) and with an
+// explicit properties = {"mutex", "progress"} list must reach byte-identical
+// exploration statistics at the same speed — the property redesign may not
+// tax the default invariants by more than kPropertyOverheadCap in either
+// direction. Catches a second code path sneaking back in, or per-candidate
+// hook overhead that only one surface pays. The full four-property run is
+// printed alongside for scale (lockout + rmr-bound legitimately cost more:
+// they log edges with self-loops and run end-of-exploration passes).
+constexpr double kPropertyOverheadCap = 0.10;
+
+bool properties_report() {
+  benchx::print_header(
+      "E15: property engine — explicit list vs deprecated boolean shim",
+      "Exhaustive n=3 explorations; shim = default CheckOptions booleans,\n"
+      "list = properties {mutex, progress}; both build the same Property\n"
+      "instances, so throughput must match within the acceptance cap.");
+
+  const std::vector<std::pair<const char*, int>> rows = {
+      {"bakery", 3}, {"yang-anderson", 3}};
+
+  util::Table table({"algorithm", "n", "states", "shim st/s", "list st/s",
+                     "full-list st/s", "rmr bound"});
+  double shim_states = 0, shim_secs = 0, list_states = 0, list_secs = 0;
+  bool stats_ok = true;
+  for (const auto& [name, n] : rows) {
+    const auto& info = algo::algorithm_by_name(name);
+    const auto shim = timed([&] {
+      check::CheckOptions options;
+      options.max_states = 4'000'000;
+      const auto r = check::check_algorithm(*info.algorithm, n, options);
+      Measurement m;
+      m.states = r.states;
+      return m;
+    });
+    check::CheckResult list_result;
+    const auto list = timed([&] {
+      check::CheckOptions options;
+      options.max_states = 4'000'000;
+      options.properties = {"mutex", "progress"};
+      list_result = check::check_algorithm(*info.algorithm, n, options);
+      Measurement m;
+      m.states = list_result.states;
+      return m;
+    });
+    check::CheckResult full_result;
+    const auto full = timed([&] {
+      check::CheckOptions options;
+      options.max_states = 4'000'000;
+      options.properties = {"mutex", "progress", "lockout",
+                            "rmr-bound:state-change"};
+      full_result = check::check_algorithm(*info.algorithm, n, options);
+      Measurement m;
+      m.states = full_result.states;
+      return m;
+    });
+    if (shim.states != list.states || list.states != full.states) {
+      std::fprintf(stderr,
+                   "FAIL: %s n=%d explorations diverged across property "
+                   "surfaces (%llu / %llu / %llu states)\n",
+                   name, n, static_cast<unsigned long long>(shim.states),
+                   static_cast<unsigned long long>(list.states),
+                   static_cast<unsigned long long>(full.states));
+      stats_ok = false;
+    }
+    std::string bound = "-";
+    for (const auto& pr : full_result.property_reports) {
+      if (pr.has_bound) bound = std::to_string(pr.bound);
+    }
+    table.add_row({name, std::to_string(n), std::to_string(shim.states),
+                   util::Table::fmt(shim.rate(), 0), util::Table::fmt(list.rate(), 0),
+                   util::Table::fmt(full.rate(), 0), bound});
+    shim_states += static_cast<double>(shim.states);
+    shim_secs += shim.seconds;
+    list_states += static_cast<double>(list.states);
+    list_secs += list.seconds;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double shim_rate = shim_states / shim_secs;
+  const double list_rate = list_states / list_secs;
+  const double overhead = shim_rate > 0 ? shim_rate / list_rate - 1.0 : 0.0;
+  std::printf(
+      "aggregate n=3: shim %.0f states/sec, explicit list %.0f states/sec — "
+      "%.1f%% apart (acceptance cap %.0f%%)\n\n",
+      shim_rate, list_rate, 100.0 * std::abs(overhead),
+      100.0 * kPropertyOverheadCap);
+  if (std::abs(overhead) > kPropertyOverheadCap) {
+    std::fprintf(stderr,
+                 "FAIL: explicit property list %.1f%% apart from the boolean "
+                 "shim (cap %.0f%%)\n",
+                 100.0 * std::abs(overhead), 100.0 * kPropertyOverheadCap);
+    return false;
+  }
+  return stats_ok;
+}
+
 // ---------------------------------------------------------------------------
 // Per-level dispatch cost: spawn-per-dispatch (what every BFS level paid
 // before exp::TaskPool) vs waking a persistent pool. Tiny tasks isolate the
@@ -687,6 +788,34 @@ BENCHMARK_CAPTURE(bm_check_symmetry, yang_anderson_n3, "yang-anderson", 3)
 BENCHMARK_CAPTURE(bm_check_symmetry, mcs_n3, "mcs-rmw", 3)
     ->Unit(benchmark::kMillisecond);
 
+// The full property list on yang-anderson n=3: mutex vets, progress sweeps
+// the edge stream, lockout logs + Tarjans, rmr-bound runs its longest-path
+// fixpoint. The certified bound is exported as a counter so the perf gate
+// notices if it ever moves.
+void bm_check_properties(benchmark::State& state) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  std::uint64_t peak = 0;
+  double bound = 0.0;
+  for (auto _ : state) {
+    check::CheckOptions options;
+    options.max_states = 4'000'000;
+    options.properties = {"mutex", "progress", "lockout",
+                          "rmr-bound:state-change"};
+    const auto result = check::check_algorithm(*info.algorithm, 3, options);
+    if (!result.ok) state.SkipWithError("check failed");
+    benchmark::DoNotOptimize(result.states);
+    peak = result.peak_memory_bytes;
+    for (const auto& pr : result.property_reports) {
+      if (pr.has_bound) bound = static_cast<double>(pr.bound);
+    }
+  }
+  state.counters["peak_memory_bytes"] =
+      benchmark::Counter(static_cast<double>(peak));
+  state.counters["rmr_bound"] = benchmark::Counter(bound);
+}
+
+BENCHMARK(bm_check_properties)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -695,6 +824,7 @@ int main(int argc, char** argv) {
   const double memory_ratio = memory_report(hash_n4);
   const bool ddd_ok = ddd_report(hash_n4);
   const double symmetry_ratio = symmetry_report(hash_n4);
+  const bool properties_ok = properties_report();
   dispatch_report();  // informational: pool vs spawn dispatch latency
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -711,7 +841,8 @@ int main(int argc, char** argv) {
                  memory_ratio, kMemoryReductionFloor);
     rc = 1;
   }
-  if (!ddd_ok) rc = 1;  // diagnostics already printed by ddd_report
+  if (!ddd_ok) rc = 1;        // diagnostics already printed by ddd_report
+  if (!properties_ok) rc = 1;  // likewise properties_report
   if (symmetry_ratio < kSymmetryReductionFloor) {
     std::fprintf(stderr,
                  "FAIL: yang-anderson n=4 symmetry reduction only %.2fx "

@@ -77,6 +77,7 @@ struct Candidate {
   std::uint64_t aut_hash = 0;
   std::uint32_t regfile = 0;
   std::uint32_t next_aut = 0;  // acting pid's automaton after the step
+  std::int16_t reg = -1;       // accessed register; -1 for crit steps
   std::uint8_t pid = 0;
   std::int8_t in_cs = 0;
   std::uint8_t done_count = 0;
@@ -85,7 +86,14 @@ struct Candidate {
   // Symmetry only: index of the group element that maps the concrete
   // successor to this (canonicalized) candidate; 0 = already canonical.
   std::uint8_t witness = 0;
+  // Step shape for property delivery: bit 0 = the acting pid's local
+  // automaton changed, bit 1 = memory access (read/write/rmw), bits 2-4 =
+  // crit kind + 1 (0 = not a crit step).
+  std::uint8_t step_flags = 0;
 };
+
+constexpr std::uint8_t kStepLocalChange = 1;
+constexpr std::uint8_t kStepMemoryAccess = 2;
 
 // Phase-2a probe outcomes stored per candidate (real indices otherwise).
 constexpr std::uint32_t kReservedNew = 0xffffffffu;
@@ -93,10 +101,12 @@ constexpr std::uint32_t kPendingDup = 0xfffffffeu;
 
 class Engine {
  public:
-  Engine(const sim::Algorithm& algorithm, int n, const CheckOptions& options)
+  Engine(const sim::Algorithm& algorithm, int n, const CheckOptions& options,
+         PropertyList& properties)
       : algorithm_(algorithm),
         n_(n),
         options_(options),
+        props_(properties),
         regs_(algorithm.num_registers(n)),
         workers_(std::max(1, options.workers)),
         // States are indexed by uint32 and the top values are probe sentinels.
@@ -108,7 +118,15 @@ class Engine {
         batch_cap_(options.batch_candidates != 0
                        ? static_cast<std::size_t>(options.batch_candidates)
                        : kMaxBatchCandidates),
-        regpool_(regs_, workers_ > 1) {}
+        regpool_(regs_, workers_ > 1) {
+    for (const auto& p : props_) {
+      if (p->vets_candidates()) vetters_.push_back(p.get());
+      if (p->wants_transitions() || p->wants_self_loops()) {
+        observers_.push_back(p.get());
+      }
+      if (p->needs_edges()) record_edges_ = true;
+    }
+  }
 
   CheckResult run();
 
@@ -122,7 +140,13 @@ class Engine {
   void init_root();
   void expand_state(std::size_t pos, Candidate* out, Value* scratch, int worker);
   std::uint32_t append_state(const Candidate& cand, std::size_t parent_pos);
-  void record_mutex_violation(std::size_t parent_pos, Pid pid);
+  void record_vet_violation(std::size_t parent_pos, Pid pid, std::string message);
+  TransitionView transition_view(const Candidate& cand, std::uint32_t parent) const;
+  // Runs every vetting property over the candidate; on a veto records the
+  // violation (trace included) and returns false.
+  bool vet_candidate(const Candidate& cand, std::size_t parent_pos);
+  void deliver_transition(const Candidate& cand, std::uint32_t parent,
+                          std::uint32_t target, bool is_new);
 
   // Pid-symmetry reduction (sym_ only).
   struct RelEntry {
@@ -152,8 +176,6 @@ class Engine {
     util::Permutation relabel;
   };
   Replay replay_to(std::uint32_t idx) const;
-  std::vector<Step> trace_to(std::uint32_t idx) const;
-  void check_progress();
   std::uint64_t tracked_bytes() const;
   std::uint64_t visited_resident_bytes() const;
   void note_peak();
@@ -162,9 +184,51 @@ class Engine {
   void finalize_stats();
   exp::TaskPool& task_pool();
 
+  // Engine services handed to Property::on_begin/finish. The edge streams
+  // come straight off the (possibly spilled) EdgeStore.
+  class ViewImpl final : public EngineView {
+   public:
+    explicit ViewImpl(Engine& engine) : e_(engine) {}
+    int n() const override { return e_.n_; }
+    int num_participants() const override { return e_.num_participants_; }
+    bool participates(Pid pid) const override {
+      return e_.participates_[static_cast<std::size_t>(pid)];
+    }
+    std::uint64_t num_states() const override { return e_.total_states_; }
+    std::uint64_t num_edges() const override { return e_.edges_.size(); }
+    const std::vector<std::uint32_t>& terminals() const override {
+      return e_.terminals_;
+    }
+    Pid witness_map(std::uint8_t witness, Pid pid) const override {
+      return e_.sym_ && witness != 0 ? e_.group_[witness].at(pid) : pid;
+    }
+    void for_each_edge(
+        const std::function<void(std::uint32_t, std::uint32_t)>& fn) const override {
+      e_.edges_.for_each(fn);
+    }
+    std::uint64_t for_each_edge_reverse(
+        const std::function<void(std::uint32_t, std::uint32_t)>& fn) const override {
+      return e_.edges_.for_each_reverse(fn);
+    }
+    const EdgeStore* edge_store() const override {
+      return e_.record_edges_ ? &e_.edges_ : nullptr;
+    }
+    void note_pass_bytes(std::uint64_t bytes) override {
+      e_.result_.progress_peak_bytes =
+          std::max(e_.result_.progress_peak_bytes, bytes);
+    }
+
+   private:
+    Engine& e_;
+  };
+
   const sim::Algorithm& algorithm_;
   const int n_;
   const CheckOptions& options_;
+  PropertyList& props_;
+  std::vector<Property*> vetters_;    // vets_candidates(), in list order
+  std::vector<Property*> observers_;  // wants_transitions/self_loops
+  bool record_edges_ = false;         // some property needs_edges()
   const int regs_;
   const int workers_;
   const std::uint64_t max_states_;
@@ -174,6 +238,8 @@ class Engine {
   const bool sym_;
   const std::size_t batch_cap_;  // candidates per expansion batch
   int num_participants_ = 0;
+  std::vector<bool> participates_;  // [pid]; filled by init_root
+  std::unique_ptr<ViewImpl> view_;
 
   std::vector<std::unique_ptr<AutomatonPool>> pools_;  // one per pid (null = out)
   RegisterFilePool regpool_;
@@ -257,12 +323,12 @@ exp::TaskPool& Engine::task_pool() {
 }
 
 void Engine::init_root() {
-  std::vector<bool> participates(static_cast<std::size_t>(n_),
-                                 options_.participants.empty());
+  participates_.assign(static_cast<std::size_t>(n_), options_.participants.empty());
+  const std::vector<bool>& participates = participates_;
   num_participants_ = options_.participants.empty() ? n_ : 0;
   for (Pid pid : options_.participants) {
-    if (!participates[static_cast<std::size_t>(pid)]) {
-      participates[static_cast<std::size_t>(pid)] = true;
+    if (!participates_[static_cast<std::size_t>(pid)]) {
+      participates_[static_cast<std::size_t>(pid)] = true;
       ++num_participants_;
     }
   }
@@ -570,6 +636,14 @@ void Engine::expand_state(std::size_t pos, Candidate* out, Value* scratch,
     cand.done_count = done_count;
     cand.valid = 1;
     cand.witness = witness;
+    if (step.type == StepType::kCrit) {
+      cand.reg = -1;
+      cand.step_flags = static_cast<std::uint8_t>((static_cast<int>(step.crit) + 1) << 2);
+    } else {
+      cand.reg = static_cast<std::int16_t>(step.reg);
+      cand.step_flags = kStepMemoryAccess;
+    }
+    if (expanded.next_id != aid) cand.step_flags |= kStepLocalChange;
   }
 }
 
@@ -617,8 +691,9 @@ std::uint32_t Engine::append_state(const Candidate& cand, std::size_t parent_pos
   return target;
 }
 
-void Engine::record_mutex_violation(std::size_t parent_pos, Pid pid) {
-  result_.violation = "mutual exclusion violated: two processes in the critical section";
+void Engine::record_vet_violation(std::size_t parent_pos, Pid pid,
+                                  std::string message) {
+  result_.violation = std::move(message);
   // Under symmetry the stored parent is an orbit representative; the replay
   // reconstructs the corresponding concrete state and the relabeling that
   // reaches it, so the violating step comes from the renamed process — the
@@ -630,6 +705,51 @@ void Engine::record_mutex_violation(std::size_t parent_pos, Pid pid) {
   result_.counterexample = std::move(replay.steps);
 }
 
+TransitionView Engine::transition_view(const Candidate& cand,
+                                       std::uint32_t parent) const {
+  TransitionView t;
+  t.parent = parent;
+  t.pid = cand.pid;
+  t.witness = cand.witness;
+  t.local_change = (cand.step_flags & kStepLocalChange) != 0;
+  t.memory_access = (cand.step_flags & kStepMemoryAccess) != 0;
+  const int crit = cand.step_flags >> 2;
+  t.is_crit = crit != 0;
+  if (t.is_crit) t.crit = static_cast<CritKind>(crit - 1);
+  t.reg = cand.reg;
+  t.in_cs = cand.in_cs;
+  t.done_count = cand.done_count;
+  return t;
+}
+
+bool Engine::vet_candidate(const Candidate& cand, std::size_t parent_pos) {
+  TransitionView t =
+      transition_view(cand, cur_.first + static_cast<std::uint32_t>(parent_pos));
+  for (Property* p : vetters_) {
+    if (const char* message = p->vet(t)) {
+      record_vet_violation(parent_pos, cand.pid, message);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Sequencing-time property delivery, after the candidate's target index and
+// novelty are resolved. Self-loops (free spins, never stored as edges) only
+// reach properties that opted in.
+void Engine::deliver_transition(const Candidate& cand, std::uint32_t parent,
+                                std::uint32_t target, bool is_new) {
+  TransitionView t = transition_view(cand, parent);
+  t.target = target;
+  t.is_new = is_new;
+  t.self_loop = target == parent;
+  for (Property* p : observers_) {
+    if (t.self_loop ? p->wants_self_loops() : p->wants_transitions()) {
+      p->on_transition(t);
+    }
+  }
+}
+
 // Serial fast path: generate and sequence each state's candidates in one
 // pass — probe and commit back-to-back (the slot is always valid), no
 // candidate buffers, no bucketing. Visits candidates in exactly the same
@@ -638,7 +758,8 @@ void Engine::record_mutex_violation(std::size_t parent_pos, Pid pid) {
 Engine::LevelOutcome Engine::serial_level() {
   Candidate row[64];  // n_ <= 64 enforced in run()
   Value* scratch = scratch_[0].data();
-  const bool check_mutex = options_.check_mutex;
+  const bool vetting = !vetters_.empty();
+  const bool observing = !observers_.empty();
   LevelOutcome outcome = LevelOutcome::kContinue;
   for (std::size_t ei = 0; ei < expand_.size(); ++ei) {
     const std::size_t parent_pos = expand_[ei];
@@ -656,8 +777,7 @@ Engine::LevelOutcome Engine::serial_level() {
         visited_.find_or_reserve(cand.fp);
         continue;
       }
-      if (check_mutex && cand.in_cs > 1) {
-        record_mutex_violation(parent_pos, pid);
+      if (vetting && !vet_candidate(cand, parent_pos)) {
         outcome = LevelOutcome::kViolation;
         visited_.find_or_reserve(cand.fp);  // 2a reserved it before 2b aborted
         continue;
@@ -675,9 +795,10 @@ Engine::LevelOutcome Engine::serial_level() {
         ++result_.dedup_hits;
       }
       if (target != parent) {  // ignore free-spin self-loops
-        if (options_.check_progress) edges_.append(parent, target, is_new);
+        if (record_edges_) edges_.append(parent, target, is_new);
         ++result_.transitions;
       }
+      if (observing) deliver_transition(cand, parent, target, is_new);
       if (total_states_ > max_states_) outcome = LevelOutcome::kExhausted;
     }
   }
@@ -698,8 +819,7 @@ Engine::LevelOutcome Engine::sequence_batch(std::size_t batch_begin,
       const Candidate& cand = cands_[ci];
       if (!cand.valid) continue;
 
-      if (options_.check_mutex && cand.in_cs > 1) {
-        record_mutex_violation(parent_pos, pid);
+      if (!vetters_.empty() && !vet_candidate(cand, parent_pos)) {
         return LevelOutcome::kViolation;
       }
 
@@ -723,9 +843,10 @@ Engine::LevelOutcome Engine::sequence_batch(std::size_t batch_begin,
       }
 
       if (target != parent) {  // ignore free-spin self-loops
-        if (options_.check_progress) edges_.append(parent, target, is_new);
+        if (record_edges_) edges_.append(parent, target, is_new);
         ++result_.transitions;
       }
+      if (!observers_.empty()) deliver_transition(cand, parent, target, is_new);
       if (total_states_ > max_states_) return LevelOutcome::kExhausted;
     }
   }
@@ -931,58 +1052,6 @@ Engine::Replay Engine::replay_to(std::uint32_t idx) const {
   return out;
 }
 
-std::vector<Step> Engine::trace_to(std::uint32_t idx) const {
-  return replay_to(idx).steps;
-}
-
-void Engine::check_progress() {
-  // Reverse reachability from terminal states; anything unreached is a state
-  // from which termination is impossible. External-memory formulation: one
-  // bit per state plus chunk-sized streaming buffers — no predecessor CSR
-  // (which cost 4 B/edge + 4 B/state, the last per-run structure that grew
-  // with the explored space). Each sweep streams the compressed edge list in
-  // REVERSE append order: `from` is non-increasing within a sweep and almost
-  // all edges point forward (from < to), so a marking propagates down an
-  // entire forward chain in a single sweep. Extra sweeps are only forced by
-  // back edges (to < from, i.e. a dedup edge into an earlier state on every
-  // path to termination); the loop runs until a sweep changes nothing or —
-  // the common OK case — everything is marked.
-  const std::size_t words = static_cast<std::size_t>((total_states_ + 63) / 64);
-  std::vector<std::uint64_t> can_finish(words, 0);
-  const auto is_marked = [&](std::uint32_t idx) {
-    return ((can_finish[idx >> 6] >> (idx & 63)) & 1u) != 0;
-  };
-  std::uint64_t marked = 0;
-  for (const std::uint32_t t : terminals_) {
-    can_finish[t >> 6] |= std::uint64_t{1} << (t & 63);
-    ++marked;
-  }
-  std::uint64_t scratch_peak = 0;
-  bool changed = marked > 0;
-  while (changed && marked < total_states_) {
-    changed = false;
-    const std::uint64_t scratch =
-        edges_.for_each_reverse([&](std::uint32_t from, std::uint32_t to) {
-          if (is_marked(to) && !is_marked(from)) {
-            can_finish[from >> 6] |= std::uint64_t{1} << (from & 63);
-            ++marked;
-            changed = true;
-          }
-        });
-    scratch_peak = std::max(scratch_peak, scratch);
-  }
-  result_.progress_peak_bytes = words * sizeof(std::uint64_t) + scratch_peak;
-  if (marked == total_states_) return;
-  for (std::uint32_t idx = 0; idx < total_states_; ++idx) {
-    if (!is_marked(idx)) {
-      result_.violation =
-          "progress violated: state with no path to termination (livelock)";
-      result_.counterexample = trace_to(idx);
-      return;
-    }
-  }
-}
-
 // Engine-owned tables currently resident in RAM. Deliberately excludes
 // per-worker scratch and the parallel path's candidate buffers (the serial
 // path has neither) so the figure is identical for every worker count.
@@ -995,6 +1064,12 @@ std::uint64_t Engine::tracked_bytes() const {
   for (const auto& pool : pools_) {
     if (pool) bytes += pool->memory_bytes();
   }
+  // Property payloads (edge side logs, per-state bitmasks) join the budget:
+  // their growth is a pure function of the deterministic transition
+  // sequence, so spill decisions stay worker-invariant. The stock
+  // mutex/progress properties own no payload and leave every legacy
+  // statistic untouched.
+  for (const auto& p : props_) bytes += p->memory_bytes();
   if (ddd_) {
     bytes += runs_.memory_bytes() +
              level_fps_.capacity() * sizeof(std::uint64_t) +
@@ -1075,6 +1150,8 @@ void Engine::finalize_stats() {
   result_.spilled_bytes = spill_.bytes_written();
   result_.ddd_runs = runs_.run_count();
   if (sym_) result_.symmetry_group = group_.size();
+  result_.property_reports.clear();
+  for (const auto& p : props_) result_.property_reports.push_back(p->report());
   result_.wall_micros = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)
@@ -1092,6 +1169,8 @@ CheckResult Engine::run() {
     throw std::invalid_argument("symmetry reduction supports at most n = 8");
   }
   init_root();
+  view_ = std::make_unique<ViewImpl>(*this);
+  for (const auto& p : props_) p->on_begin(*view_);
 
   bool done = false;
   while (cur_.size() != 0 && !done) {
@@ -1124,9 +1203,25 @@ CheckResult Engine::run() {
     std::swap(cur_, next_);
   }
 
-  if (options_.check_progress && !result_.exhausted_limit) {
-    check_progress();
-    if (!result_.violation.empty()) {
+  // End-of-exploration passes, in property-list order; the first violation
+  // wins. Skipped when max_states was hit: a pass over a truncated state
+  // space proves nothing (the reports then say evaluated = false).
+  if (!result_.exhausted_limit) {
+    for (const auto& p : props_) {
+      const std::optional<PropertyViolation> v = p->finish(*view_);
+      if (!v.has_value()) continue;
+      result_.violation = v->message;
+      Replay replay = replay_to(v->state);
+      if (v->append_step_of.has_value()) {
+        // Show the named pid's next step at the witness state (the spin a
+        // starving process is stuck in), concretely relabeled under symmetry
+        // like every other trace step.
+        const auto q = static_cast<std::size_t>(
+            sym_ ? replay.relabel.at(*v->append_step_of) : *v->append_step_of);
+        const auto info = pools_[q]->propose(replay.automata[q]);
+        if (info.step != nullptr) replay.steps.push_back(*info.step);
+      }
+      result_.counterexample = std::move(replay.steps);
       finalize_stats();
       return result_;
     }
@@ -1139,10 +1234,37 @@ CheckResult Engine::run() {
 
 }  // namespace
 
+CheckResult check(const sim::Algorithm& algorithm, int n,
+                  PropertyList properties, const CheckOptions& options) {
+  if (options.symmetry) {
+    for (const auto& p : properties) {
+      if (!p->supports_symmetry()) {
+        throw std::invalid_argument("property '" + p->name() +
+                                    "' does not compose with symmetry reduction");
+      }
+    }
+  }
+  Engine engine(algorithm, n, options, properties);
+  return engine.run();
+}
+
+std::vector<std::string> effective_property_specs(const CheckOptions& options) {
+  if (!options.properties.empty()) return options.properties;
+  std::vector<std::string> specs;
+  if (options.check_mutex) specs.push_back("mutex");
+  if (options.check_progress) specs.push_back("progress");
+  return specs;
+}
+
 CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
                             const CheckOptions& options) {
-  Engine engine(algorithm, n, options);
-  return engine.run();
+  // Fresh instances per run: properties are stateful and single-use, so the
+  // subset sweep below gets its own set for every participant mask.
+  PropertyList properties;
+  for (const std::string& spec : effective_property_specs(options)) {
+    properties.push_back(make_property(spec, algorithm, n));
+  }
+  return check(algorithm, n, std::move(properties), options);
 }
 
 namespace {

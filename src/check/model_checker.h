@@ -1,13 +1,19 @@
 // Explicit-state model checker for mutex algorithms at small n.
 //
 // Explores every interleaving of one canonical pass (each participating
-// process runs try → enter → exit → rem once) and checks:
-//  * Mutual exclusion — no reachable state has two processes between their
-//    enter and exit steps. Counterexample trace reported on violation.
-//  * Progress (deadlock/livelock freedom for the explored fragment) — from
+// process runs try → enter → exit → rem once) and evaluates a list of
+// pluggable check::Property instances over the exploration (check/property.h
+// — the primary entry point is check(algorithm, n, properties, options)).
+// The stock properties, via make_property:
+//  * "mutex" — no reachable state has two processes between their enter and
+//    exit steps. Counterexample trace reported on violation.
+//  * "progress" (deadlock/livelock freedom for the explored fragment) — from
 //    every reachable state, some terminal state (all participants done) is
 //    reachable. A state with no path to termination means every fair
 //    continuation spins forever: a livelock witness.
+//  * "lockout" — per-pid starvation freedom under fair schedules.
+//  * "rmr-bound[:MODEL]" — certified worst-case cost to enter the CS under a
+//    src/cost/ model, reported in CheckResult::property_reports.
 //
 // Participation subsets matter: the paper's livelock-freedom must hold when
 // only some processes ever leave their remainder sections (a process that
@@ -76,6 +82,7 @@
 #include <string>
 #include <vector>
 
+#include "check/property.h"
 #include "sim/automaton.h"
 #include "sim/types.h"
 
@@ -83,8 +90,18 @@ namespace melb::check {
 
 struct CheckOptions {
   std::uint64_t max_states = 2'000'000;
+  // DEPRECATED shims: when `properties` below is empty, these two booleans
+  // are translated into the equivalent property list ("mutex" and/or
+  // "progress", in that order) so pre-property-engine callers keep their
+  // exact behavior. Ignored whenever `properties` is non-empty. New code
+  // should set `properties` (or call check() with explicit instances).
   bool check_mutex = true;
   bool check_progress = true;
+  // Property specs for make_property ("mutex", "progress", "lockout",
+  // "rmr-bound[:MODEL]"). Empty = fall back to the two legacy booleans
+  // above. check_algorithm instantiates these fresh per run (and per subset
+  // in check_all_subsets — properties are stateful, never shared).
+  std::vector<std::string> properties;
   // Frontier-expansion workers; <=1 explores on the calling thread. Results
   // are byte-identical for every value (see determinism contract above). In
   // check_all_subsets, workers > 1 instead runs whole subset checks in
@@ -147,8 +164,15 @@ struct CheckResult {
   std::uint64_t states = 0;
   std::uint64_t transitions = 0;
   // For mutex violations: a step sequence from the initial state to the bad
-  // state. For progress violations: a path to a livelocked state.
+  // state. For progress violations: a path to a livelocked state. For
+  // lockout: a path to the fair starvation cycle plus the starving process's
+  // next (forever-spinning) step.
   std::optional<std::vector<sim::Step>> counterexample;
+  // One report per requested property, in property-list order: verdict,
+  // human-readable detail, and (rmr-bound) the certified bound. Part of the
+  // worker-invariant determinism contract like every other non-wall-clock
+  // field.
+  std::vector<PropertyReport> property_reports;
 
   // Engine statistics. Everything except wall_micros is a pure function of
   // (algorithm, n, options minus workers) — worker-count independent, so the
@@ -176,12 +200,30 @@ struct CheckResult {
   std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
 };
 
-// Explores the algorithm's full state space for `n` processes. Throws
-// std::invalid_argument for n > 64: the engine packs per-state rows into
-// fixed 64-wide buffers, and exhaustive exploration is unreachable long
-// before that anyway (restrict `options.participants` instead — the limit is
-// on n, participating or not). With options.symmetry, additionally throws
-// for n > 8 (the permutation group is enumerated at startup).
+// The primary entry point: explores the algorithm's full state space for
+// `n` processes and evaluates `properties` over it (hot-path vetting during
+// exploration, end-of-run passes afterwards; first violation in list order
+// wins). Takes ownership of the property instances — they are stateful and
+// single-use. Throws std::invalid_argument for n > 64: the engine packs
+// per-state rows into fixed 64-wide buffers, and exhaustive exploration is
+// unreachable long before that anyway (restrict `options.participants`
+// instead — the limit is on n, participating or not). With options.symmetry,
+// additionally throws for n > 8 (the permutation group is enumerated at
+// startup) and for any property whose supports_symmetry() is false.
+// `options.check_mutex/check_progress/properties` are ignored here — the
+// explicit list is the property selection.
+CheckResult check(const sim::Algorithm& algorithm, int n,
+                  PropertyList properties, const CheckOptions& options = {});
+
+// Spec-list equivalent of the options: options.properties if non-empty,
+// otherwise the legacy booleans translated ("mutex", "progress"). What
+// check_algorithm instantiates, exposed so CLI/tests can report it.
+std::vector<std::string> effective_property_specs(const CheckOptions& options);
+
+// Convenience wrapper: builds effective_property_specs(options) through
+// make_property and calls check(). Pre-property-engine callers (the two
+// booleans, default options) get byte-identical verdicts, traces, and
+// statistics to the old hardcoded engine.
 CheckResult check_algorithm(const sim::Algorithm& algorithm, int n,
                             const CheckOptions& options = {});
 

@@ -1,0 +1,578 @@
+#include "check/property.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "check/closed_store.h"
+#include "cost/cost_model.h"
+
+namespace melb::check {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+
+// ---------------------------------------------------------------------------
+// mutex — candidate vetting, byte-identical to the pre-property-engine check.
+
+class MutexProperty final : public Property {
+ public:
+  std::string name() const override { return "mutex"; }
+  bool vets_candidates() const override { return true; }
+
+  const char* vet(const TransitionView& t) override {
+    if (t.in_cs > 1) {
+      violated_ = true;
+      return "mutual exclusion violated: two processes in the critical section";
+    }
+    return nullptr;
+  }
+
+  PropertyReport report() const override {
+    PropertyReport r;
+    r.property = name();
+    r.holds = !violated_;
+    r.evaluated = true;  // vetting runs over the whole explored fragment
+    if (violated_) r.detail = "two processes in the critical section";
+    return r;
+  }
+
+ private:
+  bool violated_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// progress — the external-memory reverse-BFS pass, unchanged semantics: from
+// every reachable state some terminal state (all participants done) must be
+// reachable; the first unmarked state (lowest index) is the livelock witness.
+
+class ProgressProperty final : public Property {
+ public:
+  std::string name() const override { return "progress"; }
+  bool needs_edges() const override { return true; }
+
+  std::optional<PropertyViolation> finish(EngineView& view) override {
+    evaluated_ = true;
+    const std::uint64_t total = view.num_states();
+    // One bit per state plus chunk-sized streaming buffers — no predecessor
+    // CSR. Each sweep streams the compressed edge list in REVERSE append
+    // order: `from` is non-increasing within a sweep and almost all edges
+    // point forward (from < to), so a marking propagates down an entire
+    // forward chain in a single sweep; extra sweeps are only forced by back
+    // edges. Runs until a sweep changes nothing or everything is marked.
+    const std::size_t words = static_cast<std::size_t>((total + 63) / 64);
+    std::vector<std::uint64_t> can_finish(words, 0);
+    const auto is_marked = [&](std::uint32_t idx) {
+      return ((can_finish[idx >> 6] >> (idx & 63)) & 1u) != 0;
+    };
+    std::uint64_t marked = 0;
+    for (const std::uint32_t t : view.terminals()) {
+      can_finish[t >> 6] |= std::uint64_t{1} << (t & 63);
+      ++marked;
+    }
+    // Typed store: the per-edge callback inlines into the chunk decode loop
+    // (this sweep touches every edge once per iteration — the hottest loop
+    // after exploration itself).
+    const EdgeStore& edges = *view.edge_store();
+    std::uint64_t scratch_peak = 0;
+    bool changed = marked > 0;
+    while (changed && marked < total) {
+      changed = false;
+      const std::uint64_t scratch =
+          edges.for_each_reverse([&](std::uint32_t from, std::uint32_t to) {
+            if (is_marked(to) && !is_marked(from)) {
+              can_finish[from >> 6] |= std::uint64_t{1} << (from & 63);
+              ++marked;
+              changed = true;
+            }
+          });
+      scratch_peak = std::max(scratch_peak, scratch);
+    }
+    view.note_pass_bytes(words * sizeof(std::uint64_t) + scratch_peak);
+    if (marked == total) return std::nullopt;
+    for (std::uint32_t idx = 0; idx < total; ++idx) {
+      if (!is_marked(idx)) {
+        violated_ = true;
+        PropertyViolation v;
+        v.message = "progress violated: state with no path to termination (livelock)";
+        v.state = idx;
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  PropertyReport report() const override {
+    PropertyReport r;
+    r.property = name();
+    r.holds = !violated_;
+    r.evaluated = evaluated_;
+    if (violated_) r.detail = "livelocked state reachable";
+    return r;
+  }
+
+ private:
+  bool evaluated_ = false;
+  bool violated_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shared per-state bitmask payload: one bit per (state, pid), appended in
+// state-index order (is_new transitions arrive exactly once per state, in
+// index order). stride = ceil(n/8) bytes per state.
+
+class PidBitTable {
+ public:
+  void init(int n) {
+    stride_ = static_cast<std::size_t>((n + 7) / 8);
+    bits_.assign(stride_, 0);  // root state: all clear
+  }
+  void append_from(std::uint32_t parent, Pid set_bit /* -1 = none */) {
+    const std::size_t base = bits_.size();
+    bits_.resize(base + stride_);
+    std::memcpy(bits_.data() + base,
+                bits_.data() + static_cast<std::size_t>(parent) * stride_, stride_);
+    if (set_bit >= 0) {
+      bits_[base + static_cast<std::size_t>(set_bit >> 3)] |=
+          static_cast<std::uint8_t>(1u << (set_bit & 7));
+    }
+  }
+  bool test(std::uint32_t state, Pid pid) const {
+    return (bits_[static_cast<std::size_t>(state) * stride_ +
+                  static_cast<std::size_t>(pid >> 3)] >>
+            (pid & 7)) &
+           1;
+  }
+  std::uint64_t memory_bytes() const { return bits_.capacity(); }
+
+ private:
+  std::size_t stride_ = 1;
+  std::vector<std::uint8_t> bits_;
+};
+
+// ---------------------------------------------------------------------------
+// lockout — per-pid starvation freedom. A participating process p is locked
+// out iff some reachable fair cycle keeps p forever short of its CS: an SCC
+// of the subgraph of states where p has not yet entered, containing at least
+// one internal edge, on which every participating not-yet-done process takes
+// a step (zero-progress spins count — they are steps). Self-loop transitions
+// are therefore part of the property's own edge log even though the engine's
+// edge store elides them.
+
+class LockoutProperty final : public Property {
+ public:
+  explicit LockoutProperty(int n) : n_(n) {}
+
+  std::string name() const override { return "lockout"; }
+  bool wants_transitions() const override { return true; }
+  bool wants_self_loops() const override { return true; }
+  bool supports_symmetry() const override { return false; }
+
+  void on_begin(const EngineView& view) override {
+    (void)view;
+    entered_.init(n_);
+    done_.init(n_);
+  }
+
+  void on_transition(const TransitionView& t) override {
+    if (t.is_new) {
+      const bool enter = t.is_crit && t.crit == CritKind::kEnter;
+      const bool rem = t.is_crit && t.crit == CritKind::kRem;
+      entered_.append_from(t.parent, enter ? t.pid : -1);
+      done_.append_from(t.parent, rem ? t.pid : -1);
+    }
+    edge_from_.push_back(t.parent);
+    edge_to_.push_back(t.self_loop ? t.parent : t.target);
+    edge_pid_.push_back(static_cast<std::uint8_t>(t.pid));
+  }
+
+  std::optional<PropertyViolation> finish(EngineView& view) override;
+
+  PropertyReport report() const override {
+    PropertyReport r;
+    r.property = name();
+    r.holds = !violated_;
+    r.evaluated = evaluated_;
+    r.detail = detail_;
+    return r;
+  }
+
+  std::uint64_t memory_bytes() const override {
+    return entered_.memory_bytes() + done_.memory_bytes() +
+           edge_from_.capacity() * sizeof(std::uint32_t) +
+           edge_to_.capacity() * sizeof(std::uint32_t) + edge_pid_.capacity();
+  }
+
+ private:
+  const int n_;
+  PidBitTable entered_;  // bit (s, p): p has performed enter on every path to s
+  PidBitTable done_;     // bit (s, p): p has performed rem
+  std::vector<std::uint32_t> edge_from_, edge_to_;
+  std::vector<std::uint8_t> edge_pid_;
+  bool evaluated_ = false;
+  bool violated_ = false;
+  std::string detail_;
+};
+
+std::optional<PropertyViolation> LockoutProperty::finish(EngineView& view) {
+  evaluated_ = true;
+  const auto states = static_cast<std::uint32_t>(view.num_states());
+  const std::size_t edges = edge_from_.size();
+
+  // CSR over the property's own edge log (self-loops included), built once
+  // and filtered per pid below.
+  std::vector<std::uint32_t> offset(static_cast<std::size_t>(states) + 1, 0);
+  for (std::size_t e = 0; e < edges; ++e) ++offset[edge_from_[e] + 1];
+  for (std::uint32_t s = 0; s < states; ++s) offset[s + 1] += offset[s];
+  std::vector<std::uint32_t> slot(offset.begin(), offset.end() - 1);
+  std::vector<std::uint32_t> csr_to(edges);
+  std::vector<std::uint8_t> csr_pid(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    const std::uint32_t at = slot[edge_from_[e]]++;
+    csr_to[at] = edge_to_[e];
+    csr_pid[at] = edge_pid_[e];
+  }
+
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(states), lowlink(states), comp(states);
+  std::vector<std::uint8_t> on_stack(states);
+  std::vector<std::uint32_t> stack;
+  struct Frame {
+    std::uint32_t v;
+    std::uint32_t edge;  // cursor into [offset[v], offset[v+1])
+  };
+  std::vector<Frame> dfs;
+  // Per-SCC fairness bookkeeping, indexed by component id.
+  std::vector<std::uint64_t> comp_present;  // pids with an internal edge
+  std::vector<std::uint32_t> comp_min, comp_edges;
+
+  std::optional<PropertyViolation> best;
+  for (Pid p = 0; p < n_; ++p) {
+    if (!view.participates(p)) continue;
+    // Subgraph for p: states where p has not yet entered.
+    const auto in_sub = [&](std::uint32_t s) { return !entered_.test(s, p); };
+    std::fill(index.begin(), index.end(), kUnvisited);
+    std::uint32_t next_index = 0, next_comp = 0;
+    stack.clear();
+    std::fill(on_stack.begin(), on_stack.end(), 0);
+
+    for (std::uint32_t root = 0; root < states; ++root) {
+      if (!in_sub(root) || index[root] != kUnvisited) continue;
+      dfs.push_back({root, offset[root]});
+      index[root] = lowlink[root] = next_index++;
+      stack.push_back(root);
+      on_stack[root] = 1;
+      while (!dfs.empty()) {
+        Frame& f = dfs.back();
+        if (f.edge < offset[f.v + 1]) {
+          const std::uint32_t w = csr_to[f.edge++];
+          if (!in_sub(w)) continue;
+          if (index[w] == kUnvisited) {
+            index[w] = lowlink[w] = next_index++;
+            stack.push_back(w);
+            on_stack[w] = 1;
+            dfs.push_back({w, offset[w]});
+          } else if (on_stack[w]) {
+            lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+          }
+        } else {
+          const std::uint32_t v = f.v;
+          dfs.pop_back();
+          if (!dfs.empty()) {
+            lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+          }
+          if (lowlink[v] == index[v]) {  // v is an SCC root
+            for (;;) {
+              const std::uint32_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = 0;
+              comp[w] = next_comp;
+              if (w == v) break;
+            }
+            ++next_comp;
+          }
+        }
+      }
+    }
+
+    comp_present.assign(next_comp, 0);
+    comp_min.assign(next_comp, kUnvisited);
+    comp_edges.assign(next_comp, 0);
+    for (std::uint32_t s = 0; s < states; ++s) {
+      if (!in_sub(s) || index[s] == kUnvisited) continue;
+      comp_min[comp[s]] = std::min(comp_min[comp[s]], s);
+      for (std::uint32_t e = offset[s]; e < offset[s + 1]; ++e) {
+        const std::uint32_t t = csr_to[e];
+        if (in_sub(t) && comp[t] == comp[s]) {
+          ++comp_edges[comp[s]];
+          comp_present[comp[s]] |= std::uint64_t{1} << csr_pid[e];
+        }
+      }
+    }
+
+    for (std::uint32_t c = 0; c < next_comp; ++c) {
+      if (comp_edges[c] == 0) continue;  // no cycle through this SCC
+      // Fair iff every participating process not yet done at the SCC (done
+      // status is constant across an SCC: done-ness is monotone and SCC
+      // states are mutually reachable) steps on it. p itself is never done
+      // pre-enter, so fairness already requires p to keep stepping.
+      const std::uint32_t rep = comp_min[c];
+      bool fair = true;
+      for (Pid q = 0; q < n_ && fair; ++q) {
+        if (!view.participates(q) || done_.test(rep, q)) continue;
+        if ((comp_present[c] & (std::uint64_t{1} << q)) == 0) fair = false;
+      }
+      if (!fair) continue;
+      if (!best || rep < best->state) {
+        PropertyViolation v;
+        v.message = "lockout violated: process " + std::to_string(p) +
+                    " starves on a fair cycle without ever entering the "
+                    "critical section";
+        v.state = rep;
+        v.append_step_of = p;
+        best = std::move(v);
+      }
+      break;  // lowest-index witness for this pid found; try remaining pids
+    }
+  }
+
+  view.note_pass_bytes(
+      offset.capacity() * sizeof(std::uint32_t) + slot.capacity() * sizeof(std::uint32_t) +
+      csr_to.capacity() * sizeof(std::uint32_t) + csr_pid.capacity() +
+      (index.capacity() + lowlink.capacity() + comp.capacity()) * sizeof(std::uint32_t) +
+      on_stack.capacity() + stack.capacity() * sizeof(std::uint32_t) +
+      dfs.capacity() * sizeof(Frame));
+  if (best) {
+    violated_ = true;
+    detail_ = best->message;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// rmr-bound — certified worst-case cost to enter the CS over all reachable
+// paths, per history-independent cost model (state-change / total-accesses /
+// dsm). Longest-path fixpoint over the engine's recorded edge stream with
+// one accumulator per (state, pid); D[t][sigma_w(q)] >= D[s][q] + c_q(step)
+// for every edge, where w is the symmetry witness (identity without
+// --symmetry). A simple path costs at most states-1, so any accumulator
+// reaching num_states proves a positive-cost cycle: the bound is infinite
+// ("unbounded") — as is any positive-cost self-loop at a state where the
+// spinning process has not yet entered (a busy-wait the model charges, the
+// Alur–Taubenfeld regime for total-accesses; a remote spin under dsm).
+
+class RmrBoundProperty final : public Property {
+ public:
+  RmrBoundProperty(std::string model_name, std::unique_ptr<cost::CostModel> model,
+                   int n)
+      : model_name_(std::move(model_name)), model_(std::move(model)), n_(n) {}
+
+  std::string name() const override { return "rmr-bound:" + model_name_; }
+  bool needs_edges() const override { return true; }
+  bool wants_transitions() const override { return true; }
+  bool wants_self_loops() const override { return true; }
+
+  void on_begin(const EngineView& view) override {
+    (void)view;
+    entered_.init(n_);
+  }
+
+  void on_transition(const TransitionView& t) override {
+    const std::uint8_t cost =
+        t.memory_access
+            ? static_cast<std::uint8_t>(model_->step_cost(t.pid, t.reg, t.local_change) != 0)
+            : 0;
+    const bool enter = t.is_crit && t.crit == CritKind::kEnter;
+    if (t.self_loop) {
+      // Not part of the engine's edge stream. A true self-loop with positive
+      // cost is an immediately unbounded spin (if the spinner is still short
+      // of its CS); a pseudo self-loop (witness != 0: the successor is a
+      // different concrete state in the parent's orbit) joins the fixpoint
+      // as an explicit witness self-edge instead.
+      if (t.witness != 0) {
+        orbit_edges_.push_back({t.parent, static_cast<std::uint8_t>(t.pid),
+                                t.witness, cost});
+      } else if (cost != 0 && !entered_.test(t.parent, t.pid)) {
+        spin_unbounded_ = true;
+      }
+      return;
+    }
+    if (t.is_new) entered_.append_from(t.parent, enter ? t.pid : -1);
+    // Side bytes zip 1:1 with the engine's edge stream (same append order):
+    // bits 0-5 pid, bit 6 unit cost, bit 7 enter step.
+    side_.push_back(static_cast<std::uint8_t>(t.pid) |
+                    static_cast<std::uint8_t>(cost << 6) |
+                    static_cast<std::uint8_t>(enter ? 0x80 : 0));
+    if (!witness_.empty() || t.witness != 0) {
+      if (witness_.empty()) witness_.assign(side_.size() - 1, 0);
+      witness_.push_back(t.witness);
+    }
+  }
+
+  std::optional<PropertyViolation> finish(EngineView& view) override;
+
+  PropertyReport report() const override {
+    PropertyReport r;
+    r.property = name();
+    r.holds = true;  // a measurement, not an invariant: never a violation
+    r.evaluated = evaluated_;
+    r.detail = detail_;
+    r.bound = bound_;
+    r.has_bound = evaluated_ && !unbounded_;
+    return r;
+  }
+
+  std::uint64_t memory_bytes() const override {
+    return entered_.memory_bytes() + side_.capacity() + witness_.capacity() +
+           orbit_edges_.capacity() * sizeof(OrbitEdge) +
+           accum_bytes_;
+  }
+
+ private:
+  struct OrbitEdge {
+    std::uint32_t state;
+    std::uint8_t pid;
+    std::uint8_t witness;
+    std::uint8_t cost;
+  };
+
+  const std::string model_name_;
+  const std::unique_ptr<cost::CostModel> model_;
+  const int n_;
+  PidBitTable entered_;
+  std::vector<std::uint8_t> side_;     // per engine edge: pid | cost | enter
+  std::vector<std::uint8_t> witness_;  // per engine edge; empty = all identity
+  std::vector<OrbitEdge> orbit_edges_;
+  std::uint64_t accum_bytes_ = 0;  // fixpoint table, while finish() runs
+  bool spin_unbounded_ = false;
+  bool evaluated_ = false;
+  bool unbounded_ = false;
+  std::uint64_t bound_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::string detail_;
+};
+
+std::optional<PropertyViolation> RmrBoundProperty::finish(EngineView& view) {
+  evaluated_ = true;
+  const std::uint64_t states = view.num_states();
+  const auto width = static_cast<std::size_t>(n_);
+  if (spin_unbounded_) {
+    unbounded_ = true;
+    detail_ = "unbounded under " + model_name_ +
+              ": a process can busy-wait at positive cost before entering";
+    return std::nullopt;
+  }
+
+  // D[s * n + q]: max cost accumulated by pid q over all paths to state s.
+  std::vector<std::uint32_t> accum(static_cast<std::size_t>(states) * width, 0);
+  accum_bytes_ = accum.capacity() * sizeof(std::uint32_t);
+  const auto limit = static_cast<std::uint32_t>(states);
+  // Typed store for the sweeps: one inlined pass over every recorded edge
+  // per iteration, exactly like the progress pass.
+  const EdgeStore& edges = *view.edge_store();
+  bool overflow = false;
+  bool changed = true;
+  while (changed && !overflow) {
+    changed = false;
+    ++sweeps_;
+    std::size_t ei = 0;
+    edges.for_each([&](std::uint32_t from, std::uint32_t to) {
+      const std::uint8_t b = side_[ei];
+      const std::uint8_t w = witness_.empty() ? 0 : witness_[ei];
+      ++ei;
+      const Pid pid = b & 63;
+      const std::uint32_t cost = (b >> 6) & 1;
+      const std::uint32_t* src = accum.data() + static_cast<std::size_t>(from) * width;
+      std::uint32_t* dst = accum.data() + static_cast<std::size_t>(to) * width;
+      for (std::size_t q = 0; q < width; ++q) {
+        const std::uint32_t v = src[q] + (static_cast<Pid>(q) == pid ? cost : 0);
+        const auto qi = static_cast<std::size_t>(
+            view.witness_map(w, static_cast<Pid>(q)));
+        if (v > dst[qi]) {
+          dst[qi] = v;
+          changed = true;
+          if (v >= limit) overflow = true;
+        }
+      }
+    });
+    for (const OrbitEdge& oe : orbit_edges_) {
+      std::uint32_t* row = accum.data() + static_cast<std::size_t>(oe.state) * width;
+      for (std::size_t q = 0; q < width; ++q) {
+        const std::uint32_t v =
+            row[q] + (static_cast<Pid>(q) == oe.pid ? oe.cost : 0);
+        const auto qi = static_cast<std::size_t>(
+            view.witness_map(oe.witness, static_cast<Pid>(q)));
+        if (v > row[qi]) {
+          row[qi] = v;
+          changed = true;
+          if (v >= limit) overflow = true;
+        }
+      }
+    }
+  }
+
+  if (overflow) {
+    unbounded_ = true;
+    detail_ = "unbounded under " + model_name_ +
+              ": a reachable cycle accumulates positive cost before the CS";
+  } else {
+    // The certified bound: max accumulator of the acting pid at the source
+    // of every enter edge (crit steps themselves cost 0 in every model).
+    std::uint64_t bound = 0;
+    std::size_t ei = 0;
+    edges.for_each([&](std::uint32_t from, std::uint32_t to) {
+      (void)to;
+      const std::uint8_t b = side_[ei++];
+      if (b & 0x80) {
+        bound = std::max<std::uint64_t>(
+            bound, accum[static_cast<std::size_t>(from) * width + (b & 63)]);
+      }
+    });
+    bound_ = bound;
+    detail_ = "max " + model_name_ + " cost to enter the CS = " +
+              std::to_string(bound_) + " (" + std::to_string(sweeps_) +
+              " fixpoint sweeps)";
+  }
+  view.note_pass_bytes(accum_bytes_);
+  accum_bytes_ = 0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::unique_ptr<Property> make_property(const std::string& spec,
+                                        const sim::Algorithm& algorithm, int n) {
+  if (spec == "mutex") return std::make_unique<MutexProperty>();
+  if (spec == "progress") return std::make_unique<ProgressProperty>();
+  if (spec == "lockout") return std::make_unique<LockoutProperty>(n);
+  if (spec == "rmr-bound" || spec.rfind("rmr-bound:", 0) == 0) {
+    const std::string model_name =
+        spec == "rmr-bound" ? "state-change" : spec.substr(std::strlen("rmr-bound:"));
+    auto model = cost::make_cost_model(model_name, algorithm, n);  // throws on typos
+    if (!model->supports_step_cost()) {
+      throw std::invalid_argument(
+          "rmr-bound does not support cost model '" + model_name +
+          "' (its per-access cost depends on execution history, not on the "
+          "reached state)");
+    }
+    return std::make_unique<RmrBoundProperty>(model_name, std::move(model), n);
+  }
+  std::string known;
+  for (const auto& name : property_names()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::invalid_argument("unknown property '" + spec + "' (expected one of: " +
+                              known + "; rmr-bound also accepts rmr-bound:MODEL)");
+}
+
+const std::vector<std::string>& property_names() {
+  static const std::vector<std::string> names = {"mutex", "progress", "lockout",
+                                                 "rmr-bound"};
+  return names;
+}
+
+}  // namespace melb::check

@@ -1,0 +1,212 @@
+// Pluggable on-the-fly properties for the model checker.
+//
+// The checker used to hardwire its two invariants (mutual exclusion and
+// progress) as CheckOptions booleans. This header turns them into the first
+// two instances of a general interface: a check::Property observes the
+// exploration — every transition, in the engine's deterministic sequencing
+// order — and may veto a candidate successor (aborting with a counterexample
+// trace) or run an end-of-exploration pass over the recorded state graph.
+// check::check(algorithm, n, properties, options) is the one entry point;
+// the legacy booleans survive as thin shims that populate the property list
+// (see model_checker.h).
+//
+// Shipped properties (make_property):
+//  * "mutex"     — no reachable state has two processes between enter and
+//    exit. Vets candidates before they are stored; verdicts, traces, and
+//    statistics are byte-identical to the pre-property-engine checker.
+//  * "progress"  — from every reachable state some terminal state is
+//    reachable (deadlock/livelock freedom for the explored fragment). The
+//    external-memory reverse-BFS pass, unchanged, behind finish().
+//  * "lockout"   — per-pid starvation freedom: no reachable *fair* cycle
+//    along which some participating process stays forever short of its
+//    critical section. A cycle is fair when every participating not-yet-done
+//    process takes at least one step on it (a zero-progress spin counts as a
+//    step), so a process that merely *could* be overtaken forever on an
+//    unfair schedule does not raise a violation, but a process that spins
+//    while every peer also keeps stepping — static-rr restricted to
+//    participants {1}, whose lone process waits for a turn that can never
+//    arrive — does. Detection is per-pid: Tarjan SCCs over the subgraph of
+//    states where the pid has not yet entered, then a fairness check per
+//    nontrivial SCC. Needs O(states + edges) property memory; intended for
+//    the small-n fairness regime. Does not compose with symmetry reduction
+//    (per-pid payloads are not quotient-invariant); check() rejects the
+//    combination.
+//  * "rmr-bound[:MODEL]" — the paper-specific one: the worst-case cost for
+//    any process to reach its critical-section entry, maximized over every
+//    reachable path, under a cost model from src/cost/ (default
+//    "state-change", the paper's SC measure; also "total-accesses" and
+//    "dsm"; "cache-coherent" is rejected because its per-access cost depends
+//    on unbounded execution history, not on the reached state). Computed as
+//    a longest-path fixpoint over the recorded edge stream with per-pid
+//    accumulators; a reachable positive-cost cycle or spin makes the bound
+//    infinite and is reported as "unbounded" (which is the *expected*
+//    verdict for total-accesses on any busy-waiting algorithm — Alur &
+//    Taubenfeld's theorem — and would flag a remote busy-wait under dsm).
+//    The certified bound lands in CheckResult::property_reports, so a single
+//    run certifies "max SC cost to enter <= B for yang-anderson at n=4".
+//    Composes with --workers/--ddd/--symmetry/--memory-limit-mb: the bound
+//    is a pure function of (algorithm, n, options minus workers).
+//
+// Determinism contract: every hook runs in the engine's serial phases
+// (sequencing, end-of-run), in an order that is a pure function of
+// (algorithm, n, options minus workers). A property must be deterministic
+// given that order — no randomness, no wall-clock, no address-dependent
+// iteration — so that CheckResult::property_reports joins the byte-identical
+// cross-worker signature. Property RAM reported via memory_bytes() takes
+// part in peak accounting and spill decisions; properties with no payload
+// return 0 and leave every legacy statistic untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/automaton.h"
+#include "sim/types.h"
+
+namespace melb::check {
+
+class EdgeStore;  // closed_store.h — typed edge stream for hot finish passes
+
+// One sequenced transition, as a property sees it. All state indices are the
+// engine's global BFS indices (root = 0); under symmetry reduction they name
+// orbit representatives and `witness` is the group element that mapped the
+// concrete successor onto `target` (0 = identity; EngineView::witness_map
+// applies it to a pid).
+struct TransitionView {
+  static constexpr std::uint32_t kNoState = 0xffffffffu;
+
+  std::uint32_t parent = 0;
+  // Stored successor index. kNoState during vet() — the candidate is not yet
+  // (and, if the vet fails, never will be) part of the state space. Equal to
+  // `parent` for a self-loop.
+  std::uint32_t target = kNoState;
+  sim::Pid pid = 0;            // acting pid, in parent-state coordinates
+  std::uint8_t witness = 0;    // symmetry group element canonicalizing target
+  bool is_new = false;         // this transition created `target`
+  bool self_loop = false;      // zero-progress spin; only delivered on opt-in
+  bool local_change = false;   // the acting pid's local automaton state changed
+  bool memory_access = false;  // read / write / rmw (false for crit steps)
+  bool is_crit = false;
+  sim::CritKind crit = sim::CritKind::kTry;  // valid iff is_crit
+  sim::Reg reg = -1;           // accessed register; -1 for crit steps
+  std::int8_t in_cs = 0;       // processes inside the CS at the successor
+  std::uint8_t done_count = 0; // participants finished at the successor
+};
+
+// Engine services available to Property::on_begin/finish. Edge streams exist
+// only when some requested property returned needs_edges().
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+
+  virtual int n() const = 0;
+  virtual int num_participants() const = 0;
+  virtual bool participates(sim::Pid pid) const = 0;
+  virtual std::uint64_t num_states() const = 0;
+  virtual std::uint64_t num_edges() const = 0;  // recorded non-self-loop edges
+  virtual const std::vector<std::uint32_t>& terminals() const = 0;
+  // Image of `pid` under symmetry group element `witness` (identity when the
+  // run is not canonicalizing).
+  virtual sim::Pid witness_map(std::uint8_t witness, sim::Pid pid) const = 0;
+  // Streams the recorded edge list to fn(from, to), in append order /
+  // reverse append order. Reverse returns the pass's peak scratch bytes
+  // (chunk decode buffers), forward streams with O(chunk) scratch.
+  virtual void for_each_edge(
+      const std::function<void(std::uint32_t, std::uint32_t)>& fn) const = 0;
+  virtual std::uint64_t for_each_edge_reverse(
+      const std::function<void(std::uint32_t, std::uint32_t)>& fn) const = 0;
+  // The recorded edge stream itself (null unless some property returned
+  // needs_edges()). Fixpoint passes that sweep millions of edges several
+  // times should stream it directly — EdgeStore::for_each/for_each_reverse
+  // are templates, so the per-edge callback inlines instead of paying a
+  // std::function indirection per edge like the wrappers above.
+  virtual const EdgeStore* edge_store() const = 0;
+  // Records transient RAM of a finish() pass (marking bitmaps, accumulator
+  // tables); the maximum over all passes lands in
+  // CheckResult::progress_peak_bytes.
+  virtual void note_pass_bytes(std::uint64_t bytes) = 0;
+};
+
+// A finish()-time violation. The engine reconstructs the counterexample
+// trace to `state`; with append_step_of it additionally appends the step the
+// named pid would take there (how lockout shows the starving process's
+// forever-spin concretely).
+struct PropertyViolation {
+  std::string message;
+  std::uint32_t state = 0;
+  std::optional<sim::Pid> append_step_of;
+};
+
+// Per-property verdict reported in CheckResult::property_reports (list
+// order). `evaluated` distinguishes a real verdict from a property that
+// never got to run (exploration aborted early or hit max_states).
+struct PropertyReport {
+  std::string property;   // spec name, e.g. "rmr-bound:state-change"
+  bool holds = true;
+  bool evaluated = false;
+  std::string detail;     // violation message or certificate text
+  std::uint64_t bound = 0;  // certified bound (rmr-bound only)
+  bool has_bound = false;
+};
+
+class Property {
+ public:
+  virtual ~Property() = default;
+
+  virtual std::string name() const = 0;
+
+  // Capabilities, queried once before exploration starts.
+  virtual bool needs_edges() const { return false; }       // record EdgeStore
+  virtual bool wants_transitions() const { return false; } // deliver on_transition
+  virtual bool wants_self_loops() const { return false; }  // also deliver spins
+  virtual bool vets_candidates() const { return false; }   // call vet()
+  virtual bool supports_symmetry() const { return true; }
+
+  virtual void on_begin(const EngineView& view) { (void)view; }
+
+  // Pre-append check of a candidate successor, in sequencing order. A
+  // non-null return aborts exploration with that message; the engine builds
+  // the trace (replay to parent + the violating step). This runs once per
+  // candidate on the hot path, which is why it returns a static string
+  // rather than a std::string — the pass verdict must cost nothing beyond
+  // the virtual call. The pointed-to message must outlive the check (use a
+  // string literal or property-owned storage).
+  virtual const char* vet(const TransitionView& t) {
+    (void)t;
+    return nullptr;
+  }
+
+  // Every sequenced transition, in order (self-loops only on opt-in).
+  virtual void on_transition(const TransitionView& t) { (void)t; }
+
+  // End-of-exploration pass; skipped when max_states was hit or a vet
+  // aborted the run. First violation in property-list order wins.
+  virtual std::optional<PropertyViolation> finish(EngineView& view) {
+    (void)view;
+    return std::nullopt;
+  }
+
+  virtual PropertyReport report() const = 0;
+
+  // Property-owned RAM right now; joins the engine's tracked-memory peak and
+  // spill-budget decisions, so it must be worker-count invariant.
+  virtual std::uint64_t memory_bytes() const { return 0; }
+};
+
+using PropertyList = std::vector<std::unique_ptr<Property>>;
+
+// Factory for the shipped properties. Specs: "mutex", "progress", "lockout",
+// "rmr-bound" (= "rmr-bound:state-change") or "rmr-bound:MODEL" with MODEL
+// from cost::cost_model_names() minus "cache-coherent". Throws
+// std::invalid_argument on anything else, naming the accepted specs.
+std::unique_ptr<Property> make_property(const std::string& spec,
+                                        const sim::Algorithm& algorithm, int n);
+
+// Base names make_property accepts, in canonical (reporting) order.
+const std::vector<std::string>& property_names();
+
+}  // namespace melb::check

@@ -1,12 +1,18 @@
 #include "cost/cost_model.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace melb::cost {
 
 using sim::Execution;
 using sim::Pid;
 using sim::StepType;
+
+std::uint64_t CostModel::step_cost(Pid, sim::Reg, bool) const {
+  throw std::logic_error("cost model '" + name() +
+                         "' has no per-access cost (supports_step_cost() is false)");
+}
 
 std::uint64_t CostModel::total_cost(const Execution& exec, int n) const {
   std::uint64_t total = 0;
@@ -93,13 +99,35 @@ std::vector<std::uint64_t> DsmCost::per_process_cost(const Execution& exec, int 
   return costs;
 }
 
+std::unique_ptr<CostModel> make_cost_model(const std::string& name,
+                                           const sim::Algorithm& algorithm, int n) {
+  if (name == "total-accesses") return std::make_unique<TotalAccessCost>();
+  if (name == "state-change") return std::make_unique<StateChangeCost>();
+  if (name == "cache-coherent") {
+    return std::make_unique<CacheCoherentCost>(algorithm.num_registers(n));
+  }
+  if (name == "dsm") return std::make_unique<DsmCost>(algorithm, n);
+  std::string known;
+  for (const auto& m : cost_model_names()) {
+    if (!known.empty()) known += ", ";
+    known += m;
+  }
+  throw std::invalid_argument("unknown cost model: " + name +
+                              " (expected one of: " + known + ")");
+}
+
+const std::vector<std::string>& cost_model_names() {
+  static const std::vector<std::string> names = {"total-accesses", "state-change",
+                                                 "cache-coherent", "dsm"};
+  return names;
+}
+
 std::vector<std::unique_ptr<CostModel>> standard_models(const sim::Algorithm& algorithm,
                                                         int n) {
   std::vector<std::unique_ptr<CostModel>> models;
-  models.push_back(std::make_unique<TotalAccessCost>());
-  models.push_back(std::make_unique<StateChangeCost>());
-  models.push_back(std::make_unique<CacheCoherentCost>(algorithm.num_registers(n)));
-  models.push_back(std::make_unique<DsmCost>(algorithm, n));
+  for (const auto& name : cost_model_names()) {
+    models.push_back(make_cost_model(name, algorithm, n));
+  }
   return models;
 }
 

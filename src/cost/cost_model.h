@@ -41,18 +41,36 @@ class CostModel {
 
   // The maximum over processes — the non-amortized measure of Anderson & Kim [2].
   std::uint64_t max_process_cost(const sim::Execution& exec, int n) const;
+
+  // On-the-fly per-access costing, used by the model checker's rmr-bound
+  // property: the cost of one shared-memory access by `pid` on `reg`, where
+  // `local_change` says whether the access changed the acting process's
+  // local state. Defined exactly for the models whose per-access cost is a
+  // function of (pid, reg, local_change) alone — total-accesses,
+  // state-change, dsm. Cache-coherent costs depend on the access history
+  // (who last invalidated the line), so it keeps the default false /
+  // throwing pair. Summing step_cost over an execution's memory accesses
+  // equals per_process_cost for the supporting models.
+  virtual bool supports_step_cost() const { return false; }
+  virtual std::uint64_t step_cost(sim::Pid pid, sim::Reg reg, bool local_change) const;
 };
 
 class TotalAccessCost final : public CostModel {
  public:
   std::string name() const override { return "total-accesses"; }
   std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+  bool supports_step_cost() const override { return true; }
+  std::uint64_t step_cost(sim::Pid, sim::Reg, bool) const override { return 1; }
 };
 
 class StateChangeCost final : public CostModel {
  public:
   std::string name() const override { return "state-change"; }
   std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+  bool supports_step_cost() const override { return true; }
+  std::uint64_t step_cost(sim::Pid, sim::Reg, bool local_change) const override {
+    return local_change ? 1 : 0;
+  }
 };
 
 class CacheCoherentCost final : public CostModel {
@@ -71,12 +89,27 @@ class DsmCost final : public CostModel {
   DsmCost(const sim::Algorithm& algorithm, int n);
   std::string name() const override { return "dsm"; }
   std::vector<std::uint64_t> per_process_cost(const sim::Execution& exec, int n) const override;
+  bool supports_step_cost() const override { return true; }
+  std::uint64_t step_cost(sim::Pid pid, sim::Reg reg, bool) const override {
+    return owner_[static_cast<std::size_t>(reg)] != pid ? 1 : 0;
+  }
 
  private:
   std::vector<sim::Pid> owner_;  // register -> owning pid or -1
 };
 
-// All four models instantiated for one algorithm instance.
+// Name-based factory, mirroring sim::make_scheduler: instantiates the model
+// named by cost_model_names() for one (algorithm, n), throwing
+// std::invalid_argument on an unknown name (listing the valid ones).
+std::unique_ptr<CostModel> make_cost_model(const std::string& name,
+                                           const sim::Algorithm& algorithm, int n);
+
+// The canonical model names, in reporting order (total-accesses,
+// state-change, cache-coherent, dsm).
+const std::vector<std::string>& cost_model_names();
+
+// All four models instantiated for one algorithm instance, in
+// cost_model_names() order.
 std::vector<std::unique_ptr<CostModel>> standard_models(const sim::Algorithm& algorithm, int n);
 
 }  // namespace melb::cost

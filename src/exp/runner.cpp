@@ -94,13 +94,13 @@ CellResult run_cell(const CampaignSpec& spec, const Cell& cell) {
     result.well_formed = sim::check_well_formed(run.exec, n);
     result.mutex = sim::check_mutual_exclusion(run.exec, n);
 
-    const cost::StateChangeCost sc;
-    const cost::CacheCoherentCost cc(algorithm.num_registers(n));
-    const cost::DsmCost dsm(algorithm, n);
-    result.cc_cost = cc.total_cost(run.exec, n);
-    result.dsm_cost = dsm.total_cost(run.exec, n);
-    result.sc_max_process = sc.max_process_cost(run.exec, n);
-    result.cc_max_process = cc.max_process_cost(run.exec, n);
+    const auto sc = cost::make_cost_model("state-change", algorithm, n);
+    const auto cc = cost::make_cost_model("cache-coherent", algorithm, n);
+    const auto dsm = cost::make_cost_model("dsm", algorithm, n);
+    result.cc_cost = cc->total_cost(run.exec, n);
+    result.dsm_cost = dsm->total_cost(run.exec, n);
+    result.sc_max_process = sc->max_process_cost(run.exec, n);
+    result.cc_max_process = cc->max_process_cost(run.exec, n);
 
     if (run.completed) {
       result.all_in_remainder = true;

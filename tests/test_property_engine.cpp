@@ -1,0 +1,390 @@
+// Property-engine tests: parity of the pluggable mutex/progress properties
+// with the legacy hardcoded path (byte-identical verdicts, traces, and
+// statistics across worker counts and under --ddd/--symmetry), the lockout
+// golden case (static-rr restricted to participant {1}), the certified
+// rmr-bound cross-checked against measured canonical-run costs, and the
+// cost-model factory.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "check/property.h"
+#include "cost/cost_model.h"
+#include "sim/canonical.h"
+#include "sim/execution.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+// Everything worker-count-independent in a CheckResult, serialized so parity
+// tests can compare runs byte-for-byte (the CLI's --check-determinism gate,
+// extended with the property reports).
+std::string signature(const check::CheckResult& r) {
+  std::string s;
+  s += "ok=" + std::to_string(r.ok);
+  s += ";exhausted=" + std::to_string(r.exhausted_limit);
+  s += ";violation=" + r.violation;
+  s += ";states=" + std::to_string(r.states);
+  s += ";transitions=" + std::to_string(r.transitions);
+  s += ";dedup=" + std::to_string(r.dedup_hits);
+  s += ";automata=" + std::to_string(r.interned_automata);
+  s += ";regfiles=" + std::to_string(r.interned_regfiles);
+  s += ";peak=" + std::to_string(r.peak_memory_bytes);
+  s += ";visited=" + std::to_string(r.peak_visited_bytes);
+  s += ";progress_peak=" + std::to_string(r.progress_peak_bytes);
+  s += ";spilled=" + std::to_string(r.spilled_bytes);
+  s += ";ddd_runs=" + std::to_string(r.ddd_runs);
+  s += ";symmetry=" + std::to_string(r.symmetry_group);
+  s += ";reports=";
+  for (const auto& pr : r.property_reports) {
+    s += pr.property + ":" + std::to_string(pr.holds) + ":" +
+         std::to_string(pr.evaluated) + ":" +
+         (pr.has_bound ? std::to_string(pr.bound) : "-") + ":" + pr.detail + "|";
+  }
+  s += ";trace=";
+  if (r.counterexample) {
+    for (const auto& step : *r.counterexample) s += to_string(step) + "|";
+  }
+  return s;
+}
+
+std::uint64_t rmr_bound_of(const check::CheckResult& r) {
+  for (const auto& pr : r.property_reports) {
+    if (pr.property.rfind("rmr-bound", 0) == 0) {
+      EXPECT_TRUE(pr.evaluated);
+      EXPECT_TRUE(pr.has_bound) << pr.detail;
+      return pr.bound;
+    }
+  }
+  ADD_FAILURE() << "no rmr-bound report";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parity: the explicit property list must reproduce the legacy boolean path
+// byte for byte — same verdicts, traces, and every statistic — for correct
+// and violating algorithms, across worker counts and engine modes.
+
+TEST(PropertyEngineParity, ExplicitListMatchesLegacyBooleans) {
+  for (const char* name : {"yang-anderson", "bakery", "naive-broken", "static-rr"}) {
+    const auto& info = algo::algorithm_by_name(name);
+    check::CheckOptions legacy;  // check_mutex + check_progress defaults
+    const auto expected = check::check_algorithm(*info.algorithm, 2, legacy);
+
+    check::CheckOptions explicit_list = legacy;
+    explicit_list.properties = {"mutex", "progress"};
+    const auto actual = check::check_algorithm(*info.algorithm, 2, explicit_list);
+    EXPECT_EQ(signature(expected), signature(actual)) << name;
+
+    // The instance-based primary entry point agrees too.
+    check::PropertyList properties;
+    properties.push_back(check::make_property("mutex", *info.algorithm, 2));
+    properties.push_back(check::make_property("progress", *info.algorithm, 2));
+    const auto direct =
+        check::check(*info.algorithm, 2, std::move(properties), legacy);
+    EXPECT_EQ(signature(expected), signature(direct)) << name;
+  }
+}
+
+TEST(PropertyEngineParity, WorkerCountsAndModes) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  for (const bool ddd : {false, true}) {
+    for (const bool symmetry : {false, true}) {
+      check::CheckOptions base;
+      base.max_states = 4'000'000;
+      base.ddd = ddd;
+      base.symmetry = symmetry;
+      base.properties = {"mutex", "progress", "rmr-bound:state-change"};
+      const auto reference = check::check_algorithm(*info.algorithm, 3, base);
+      EXPECT_TRUE(reference.ok) << reference.violation;
+      for (const int workers : {2, 4, 8}) {
+        check::CheckOptions options = base;
+        options.workers = workers;
+        const auto result = check::check_algorithm(*info.algorithm, 3, options);
+        EXPECT_EQ(signature(reference), signature(result))
+            << "ddd=" << ddd << " symmetry=" << symmetry << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(PropertyEngineParity, ViolationTraceIdenticalAcrossWorkers) {
+  const auto& info = algo::algorithm_by_name("naive-broken");
+  check::CheckOptions serial;
+  serial.properties = {"mutex", "progress"};
+  const auto reference = check::check_algorithm(*info.algorithm, 3, serial);
+  EXPECT_FALSE(reference.ok);
+  for (const int workers : {2, 8}) {
+    check::CheckOptions options = serial;
+    options.workers = workers;
+    const auto result = check::check_algorithm(*info.algorithm, 3, options);
+    EXPECT_EQ(signature(reference), signature(result)) << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lockout: the golden failing case is static-rr restricted to participant
+// {1} — its lone process spins for a turn that can never arrive, which is a
+// fair cycle by vacuity (no other participant exists to be scheduled).
+
+TEST(PropertyLockout, StaticRrSubsetGoldenCase) {
+  const auto& info = algo::algorithm_by_name("static-rr");
+  check::CheckOptions options;
+  options.participants = {1};
+  options.properties = {"lockout"};
+  const auto result = check::check_algorithm(*info.algorithm, 2, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("lockout"), std::string::npos) << result.violation;
+  EXPECT_NE(result.violation.find("process 1"), std::string::npos) << result.violation;
+
+  // Concrete counterexample: a real execution prefix ending with the step
+  // the starving process repeats forever.
+  ASSERT_TRUE(result.counterexample.has_value());
+  ASSERT_FALSE(result.counterexample->empty());
+  EXPECT_EQ(result.counterexample->back().pid, 1);
+  EXPECT_NO_THROW(
+      sim::validate_steps(*info.algorithm, 2, *result.counterexample));
+
+  // All-participants static-rr is lockout-free (the turn passes through
+  // everyone), exactly like its progress verdict.
+  check::CheckOptions full;
+  full.properties = {"lockout"};
+  const auto ok = check::check_algorithm(*info.algorithm, 2, full);
+  EXPECT_TRUE(ok.ok) << ok.violation;
+
+  // And the subset sweep finds the failing subset automatically.
+  const auto subsets = check::check_all_subsets(*info.algorithm, 2, full);
+  EXPECT_FALSE(subsets.ok);
+  EXPECT_NE(subsets.violation.find("participants {1}"), std::string::npos)
+      << subsets.violation;
+}
+
+TEST(PropertyLockout, HoldsForStarvationFreeAlgorithms) {
+  for (const char* name : {"yang-anderson", "bakery", "ticket-rmw"}) {
+    const auto& info = algo::algorithm_by_name(name);
+    check::CheckOptions options;
+    options.properties = {"mutex", "progress", "lockout"};
+    const auto result = check::check_algorithm(*info.algorithm, 2, options);
+    EXPECT_TRUE(result.ok) << name << ": " << result.violation;
+    for (const auto& pr : result.property_reports) {
+      EXPECT_TRUE(pr.evaluated) << name << "/" << pr.property;
+      EXPECT_TRUE(pr.holds) << name << "/" << pr.property << ": " << pr.detail;
+    }
+  }
+}
+
+TEST(PropertyLockout, WorkerParity) {
+  const auto& info = algo::algorithm_by_name("static-rr");
+  check::CheckOptions base;
+  base.participants = {1};
+  base.properties = {"lockout"};
+  const auto reference = check::check_algorithm(*info.algorithm, 3, base);
+  EXPECT_FALSE(reference.ok);
+  for (const int workers : {4, 8}) {
+    check::CheckOptions options = base;
+    options.workers = workers;
+    const auto result = check::check_algorithm(*info.algorithm, 3, options);
+    EXPECT_EQ(signature(reference), signature(result)) << workers;
+  }
+}
+
+TEST(PropertyLockout, RejectsSymmetryReduction) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.symmetry = true;
+  check::PropertyList properties;
+  properties.push_back(check::make_property("lockout", *info.algorithm, 2));
+  EXPECT_THROW(check::check(*info.algorithm, 2, std::move(properties), options),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// rmr-bound: certified worst-case cost to enter the CS.
+
+// Max measured state-change cost any process pays before its first CS entry
+// on one concrete (canonical round-robin) execution — a lower bound for the
+// checker's all-paths certificate.
+std::uint64_t measured_entry_cost(const sim::Algorithm& algorithm, int n,
+                                  const cost::CostModel& model) {
+  sim::RoundRobinScheduler scheduler;
+  const auto run =
+      sim::run_canonical(algorithm, n, scheduler, sim::RunMode::kFaithful);
+  EXPECT_TRUE(run.completed);
+  std::vector<std::uint64_t> cost(static_cast<std::size_t>(n), 0);
+  std::vector<bool> entered(static_cast<std::size_t>(n), false);
+  std::uint64_t best = 0;
+  for (const auto& rs : run.exec.steps()) {
+    const auto pid = static_cast<std::size_t>(rs.step.pid);
+    if (rs.step.type == sim::StepType::kCrit &&
+        rs.step.crit == sim::CritKind::kEnter && !entered[pid]) {
+      entered[pid] = true;
+      best = std::max(best, cost[pid]);
+    }
+    if (!entered[pid] && rs.step.is_memory_access()) {
+      cost[pid] += model.step_cost(rs.step.pid, rs.step.reg, rs.state_changed);
+    }
+  }
+  return best;
+}
+
+TEST(PropertyRmrBound, YangAndersonCrossCheckedAgainstCanonicalRuns) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  const auto model = cost::make_cost_model("state-change", *info.algorithm, 4);
+  for (const int n : {2, 3, 4}) {
+    check::CheckOptions options;
+    options.max_states = 8'000'000;
+    options.symmetry = true;  // keeps n=4 cheap; the bound is mode-invariant
+    options.properties = {"rmr-bound:state-change"};
+    const auto result = check::check_algorithm(*info.algorithm, n, options);
+    EXPECT_TRUE(result.ok) << result.violation;
+    EXPECT_FALSE(result.exhausted_limit);
+    const std::uint64_t bound = rmr_bound_of(result);
+
+    const auto local_model = cost::make_cost_model("state-change", *info.algorithm, n);
+    const std::uint64_t measured = measured_entry_cost(*info.algorithm, n, *local_model);
+    EXPECT_GT(measured, 0u) << "n=" << n;
+    EXPECT_GE(bound, measured) << "n=" << n;
+  }
+  (void)model;
+}
+
+TEST(PropertyRmrBound, DeterministicAcrossModesAndWorkers) {
+  // The certified bound is a pure function of (algorithm, n): identical in
+  // plain, DDD, symmetry, and multi-worker runs even though the explored
+  // quotients differ.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions plain;
+  plain.max_states = 4'000'000;
+  plain.properties = {"rmr-bound:state-change"};
+  const auto reference = check::check_algorithm(*info.algorithm, 3, plain);
+  const std::uint64_t bound = rmr_bound_of(reference);
+  EXPECT_GT(bound, 0u);
+
+  for (const bool ddd : {false, true}) {
+    for (const bool symmetry : {false, true}) {
+      for (const int workers : {1, 4}) {
+        check::CheckOptions options = plain;
+        options.ddd = ddd;
+        options.symmetry = symmetry;
+        options.workers = workers;
+        const auto result = check::check_algorithm(*info.algorithm, 3, options);
+        EXPECT_EQ(rmr_bound_of(result), bound)
+            << "ddd=" << ddd << " symmetry=" << symmetry << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(PropertyRmrBound, TotalAccessesUnboundedForBusyWaiting) {
+  // Alur–Taubenfeld: counting every access, any busy-waiting mutex algorithm
+  // has unbounded entry cost — the spin itself is charged.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.properties = {"rmr-bound:total-accesses"};
+  const auto result = check::check_algorithm(*info.algorithm, 2, options);
+  EXPECT_TRUE(result.ok) << result.violation;  // a measurement, not a verdict
+  ASSERT_EQ(result.property_reports.size(), 1u);
+  const auto& pr = result.property_reports.front();
+  EXPECT_TRUE(pr.evaluated);
+  EXPECT_FALSE(pr.has_bound);
+  EXPECT_NE(pr.detail.find("unbounded"), std::string::npos) << pr.detail;
+}
+
+TEST(PropertyRmrBound, DsmBoundedForLocalSpinAlgorithm) {
+  // yang-anderson spins on locally-owned registers, so its DSM (remote
+  // reference) entry cost is bounded — the contrast with total-accesses.
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.properties = {"rmr-bound:dsm"};
+  const auto result = check::check_algorithm(*info.algorithm, 2, options);
+  ASSERT_EQ(result.property_reports.size(), 1u);
+  EXPECT_TRUE(result.property_reports.front().has_bound)
+      << result.property_reports.front().detail;
+}
+
+TEST(PropertyRmrBound, RejectsHistoryDependentModel) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  EXPECT_THROW(check::make_property("rmr-bound:cache-coherent", *info.algorithm, 2),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Factory + misc API surface.
+
+TEST(PropertyFactory, UnknownSpecThrows) {
+  const auto& info = algo::algorithm_by_name("bakery");
+  EXPECT_THROW(check::make_property("liveness", *info.algorithm, 2),
+               std::invalid_argument);
+  EXPECT_EQ(check::property_names().size(), 4u);
+}
+
+TEST(PropertyFactory, EffectiveSpecsHonorLegacyBooleans) {
+  check::CheckOptions options;
+  EXPECT_EQ(check::effective_property_specs(options),
+            (std::vector<std::string>{"mutex", "progress"}));
+  options.check_progress = false;
+  EXPECT_EQ(check::effective_property_specs(options),
+            (std::vector<std::string>{"mutex"}));
+  options.properties = {"lockout"};  // explicit list wins over the booleans
+  EXPECT_EQ(check::effective_property_specs(options),
+            (std::vector<std::string>{"lockout"}));
+}
+
+TEST(CostModelFactory, NamesRoundTripAndUnknownThrows) {
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  const auto& names = cost::cost_model_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    const auto model = cost::make_cost_model(name, *info.algorithm, 3);
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_THROW(cost::make_cost_model("zonk", *info.algorithm, 3),
+               std::invalid_argument);
+  // standard_models is now factory-backed, in canonical order.
+  const auto models = cost::standard_models(*info.algorithm, 3);
+  ASSERT_EQ(models.size(), names.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i]->name(), names[i]);
+  }
+}
+
+TEST(CostModelFactory, StepCostSumsToPerProcessCost) {
+  // For every model that supports per-access costing, summing step_cost over
+  // an execution's memory accesses must equal per_process_cost — the
+  // property the rmr-bound fixpoint relies on.
+  const auto& info = algo::algorithm_by_name("bakery");
+  const int n = 3;
+  sim::RoundRobinScheduler scheduler;
+  const auto run =
+      sim::run_canonical(*info.algorithm, n, scheduler, sim::RunMode::kFaithful);
+  ASSERT_TRUE(run.completed);
+  bool any_supported = false;
+  for (const auto& name : cost::cost_model_names()) {
+    const auto model = cost::make_cost_model(name, *info.algorithm, n);
+    if (!model->supports_step_cost()) {
+      EXPECT_EQ(name, "cache-coherent");
+      EXPECT_THROW(model->step_cost(0, 0, true), std::logic_error);
+      continue;
+    }
+    any_supported = true;
+    std::vector<std::uint64_t> summed(static_cast<std::size_t>(n), 0);
+    for (const auto& rs : run.exec.steps()) {
+      if (!rs.step.is_memory_access()) continue;
+      summed[static_cast<std::size_t>(rs.step.pid)] +=
+          model->step_cost(rs.step.pid, rs.step.reg, rs.state_changed);
+    }
+    EXPECT_EQ(summed, model->per_process_cost(run.exec, n)) << name;
+  }
+  EXPECT_TRUE(any_supported);
+}
+
+}  // namespace
+}  // namespace melb

@@ -6,9 +6,11 @@
 //   melb_cli construct <algorithm> <n> [--pi identity|reverse|random] [--seed S]
 //                [--encode FILE] [--dump]
 //   melb_cli decode <algorithm> <E-file>
-//   melb_cli check <algorithm> <n> [--subsets] [--max-states K] [--workers W]
-//                  [--memory-limit-mb M] [--ddd] [--ddd-window L] [--symmetry]
-//                  [--check-determinism]
+//   melb_cli check <algorithm> <n> [--property NAME[,NAME...]] [--subsets]
+//                  [--max-states K] [--workers W] [--memory-limit-mb M]
+//                  [--ddd] [--ddd-window L] [--symmetry] [--check-determinism]
+//                  [--no-mutex] [--no-progress]
+//   melb_cli check --list-properties
 //   melb_cli cost <algorithm> <n>
 //   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
 //                  [--workers W] [--faithful] [--no-lb] [--max-steps K]
@@ -244,6 +246,12 @@ std::string check_signature(const check::CheckResult& result) {
   s += ";spilled=" + std::to_string(result.spilled_bytes);
   s += ";ddd_runs=" + std::to_string(result.ddd_runs);
   s += ";symmetry_group=" + std::to_string(result.symmetry_group);
+  s += ";properties=";
+  for (const auto& pr : result.property_reports) {
+    s += pr.property + ":" + std::to_string(pr.holds) + ":" +
+         std::to_string(pr.evaluated) + ":" +
+         (pr.has_bound ? std::to_string(pr.bound) : "-") + ":" + pr.detail + "|";
+  }
   s += ";trace=";
   if (result.counterexample) {
     for (const auto& step : *result.counterexample) s += to_string(step) + "|";
@@ -275,6 +283,14 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
     std::printf("symmetry: canonicalized under a %llu-element pid group\n",
                 static_cast<unsigned long long>(result.symmetry_group));
   }
+  for (const auto& pr : result.property_reports) {
+    const char* verdict = !pr.evaluated
+                              ? "not evaluated (exploration truncated or aborted)"
+                          : pr.holds ? "ok"
+                                     : "VIOLATED";
+    std::printf("property %s: %s%s%s\n", pr.property.c_str(), verdict,
+                pr.detail.empty() ? "" : " -- ", pr.detail.c_str());
+  }
   if (!result.ok && result.counterexample) {
     std::printf("counterexample (%zu steps):\n", result.counterexample->size());
     for (const auto& step : *result.counterexample) {
@@ -284,9 +300,28 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
 }
 
 int cmd_check(const Args& args) {
+  if (args.has("list-properties")) {
+    std::printf(
+        "properties (melb_cli check --property NAME[,NAME...]):\n"
+        "  mutex              no two processes in the critical section\n"
+        "  progress           every reachable state can reach termination\n"
+        "  lockout            no fair cycle starves a participant short of its CS\n"
+        "                     (does not compose with --symmetry)\n"
+        "  rmr-bound[:MODEL]  certified worst-case cost to enter the CS\n"
+        "rmr-bound cost models:");
+    for (const auto& model : cost::cost_model_names()) {
+      if (model == "cache-coherent") continue;  // history-dependent: rejected
+      std::printf(" %s", model.c_str());
+    }
+    std::printf(" (default state-change)\n");
+    return 0;
+  }
   const auto& info = algo::algorithm_by_name(args.positional.at(0));
   const int n = parse_int(args.positional.at(1), "n", 1, 64);
   check::CheckOptions options;
+  // Deprecated boolean shims, still honored for pre-property-engine scripts.
+  options.check_mutex = !args.has("no-mutex");
+  options.check_progress = !args.has("no-progress");
   options.max_states = parse_uint(args.get("max-states", "2000000"), "--max-states", 1);
   options.workers = parse_int(args.get("workers", "1"), "--workers", 1, 1024);
   options.memory_limit_mb =
@@ -302,6 +337,45 @@ int cmd_check(const Args& args) {
   }
   if (options.symmetry && n > 8) {
     throw UsageError("error: --symmetry supports at most n = 8");
+  }
+  if (args.has("property")) {
+    const std::string list = args.get("property", "");
+    std::vector<std::string> specs;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      const std::size_t comma = list.find(',', begin);
+      const std::string spec =
+          list.substr(begin, comma == std::string::npos ? std::string::npos
+                                                        : comma - begin);
+      if (!spec.empty()) specs.push_back(spec);
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    if (specs.empty()) {
+      throw UsageError("error: --property expects a comma-separated list of names");
+    }
+    for (const std::string& spec : specs) {
+      // The deprecated opt-out flags only make sense against the implicit
+      // default list; combined with an explicit request they contradict it.
+      if (spec == "mutex" && args.has("no-mutex")) {
+        throw UsageError("error: --property mutex contradicts --no-mutex");
+      }
+      if (spec == "progress" && args.has("no-progress")) {
+        throw UsageError("error: --property progress contradicts --no-progress");
+      }
+      try {
+        // Validate the spec (and its symmetry compatibility) up front so a
+        // typo is a usage error, not a mid-run exception.
+        const auto property = check::make_property(spec, *info.algorithm, n);
+        if (options.symmetry && !property->supports_symmetry()) {
+          throw UsageError("error: --property " + spec +
+                           " does not compose with --symmetry");
+        }
+      } catch (const std::invalid_argument& e) {
+        throw UsageError("error: " + std::string(e.what()));
+      }
+    }
+    options.properties = std::move(specs);
   }
 
   const auto run_check = [&](const check::CheckOptions& opts) {
@@ -467,9 +541,11 @@ void usage() {
       "  construct <alg> <n> [--pi identity|reverse|random] [--seed K]\n"
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
-      "  check <alg> <n> [--subsets] [--max-states K] [--workers W]\n"
-      "        [--memory-limit-mb M] [--ddd] [--ddd-window L] [--symmetry]\n"
-      "        [--check-determinism]\n"
+      "  check <alg> <n> [--property NAME[,NAME...]] [--subsets]\n"
+      "        [--max-states K] [--workers W] [--memory-limit-mb M]\n"
+      "        [--ddd] [--ddd-window L] [--symmetry] [--check-determinism]\n"
+      "        [--no-mutex] [--no-progress]  (deprecated boolean shims)\n"
+      "  check --list-properties\n"
       "  cost <alg> <n>\n"
       "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
       "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
