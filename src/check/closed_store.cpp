@@ -1,9 +1,16 @@
 #include "check/closed_store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "util/faultpoint.h"
 
 namespace melb::check {
 
@@ -35,6 +42,7 @@ SpillFile::~SpillFile() {
 }
 
 std::int64_t SpillFile::append(const void* data, std::size_t bytes) {
+  if (!error_.empty()) return -1;  // the spill target already failed once
   if (file_ == nullptr) {
     if (open_failed_) return -1;
     file_ = std::tmpfile();
@@ -46,9 +54,42 @@ std::int64_t SpillFile::append(const void* data, std::size_t bytes) {
   if (seek64(file_, 0, SEEK_END) != 0) return -1;
   const std::int64_t offset = tell64(file_);
   if (offset < 0) return -1;
-  if (std::fwrite(data, 1, bytes, file_) != bytes) return -1;
+  const util::FaultAction injected = util::fault_hit("spill.append");
+  if (injected == util::FaultAction::kCrash) util::fault_crash("spill.append");
+  if (injected == util::FaultAction::kEnospc) {
+    // Simulate the disk filling up mid-chunk: some bytes landed, the rest
+    // did not — exactly what a real short fwrite leaves behind.
+    std::fwrite(data, 1, bytes / 2, file_);
+    record_write_failure("no space left on device (injected)", offset);
+    return -1;
+  }
+  errno = 0;
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    record_write_failure(errno != 0 ? std::strerror(errno) : "short write", offset);
+    return -1;
+  }
   bytes_written_ += bytes;
   return offset;
+}
+
+void SpillFile::record_write_failure(const std::string& why, std::int64_t offset) {
+  error_ = "spill write failed: " + why;
+  std::fprintf(stderr,
+               "melb::check::SpillFile: %s — keeping chunks in RAM (results stay "
+               "correct, but the memory budget cannot be honored)\n",
+               error_.c_str());
+  // Drop the partially-written tail so the file holds exactly the chunks
+  // whose offsets were handed out; a torn chunk must never alias a future
+  // offset. If the truncate itself fails it is harmless: appends are now
+  // refused, so no offset at or past `offset` will ever be read.
+#if !defined(_WIN32)
+  std::fflush(file_);
+  if (::ftruncate(fileno(file_), static_cast<off_t>(offset)) != 0) {
+    // See above: reads only target offsets returned by successful appends.
+  }
+#else
+  (void)offset;
+#endif
 }
 
 void SpillFile::read(std::int64_t offset, void* out, std::size_t bytes) const {

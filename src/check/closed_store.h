@@ -52,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,14 @@ namespace melb::check {
 // appended to and read back from by offset. Lazily opened on first spill; if
 // the platform refuses a temp file, spilling is disabled and the stores
 // simply stay in RAM (degrade to the old behavior, never abort).
+//
+// Write failures (a short write or ENOSPC, real or injected via the
+// "spill.append" fault point) can never corrupt results: the file is
+// truncated back to the last fully-written chunk, the failed chunk stays in
+// RAM, and further appends are refused. They also do not pass silently: the
+// first failure prints one diagnostic and is recorded in error(), which the
+// checker surfaces as CheckResult::io_error so the CLI can exit nonzero —
+// the requested memory budget was not honored.
 class SpillFile {
  public:
   SpillFile() = default;
@@ -74,11 +83,16 @@ class SpillFile {
   void read(std::int64_t offset, void* out, std::size_t bytes) const;
 
   std::uint64_t bytes_written() const { return bytes_written_; }
+  // First write failure's diagnostic; empty while healthy.
+  const std::string& error() const { return error_; }
 
  private:
+  void record_write_failure(const std::string& why, std::int64_t offset);
+
   std::FILE* file_ = nullptr;
   bool open_failed_ = false;
   std::uint64_t bytes_written_ = 0;
+  std::string error_;
 };
 
 // idx -> (parent idx, acting pid), append-only, chunked, oldest chunks

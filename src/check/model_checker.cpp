@@ -1148,6 +1148,7 @@ void Engine::finalize_stats() {
   result_.peak_memory_bytes = peak_bytes_;
   result_.peak_visited_bytes = peak_visited_bytes_;
   result_.spilled_bytes = spill_.bytes_written();
+  result_.io_error = spill_.error();
   result_.ddd_runs = runs_.run_count();
   if (sym_) result_.symmetry_group = group_.size();
   result_.property_reports.clear();

@@ -198,6 +198,12 @@ struct CheckResult {
   // matches plain mode state-for-state.
   std::uint64_t symmetry_group = 0;
   std::uint64_t wall_micros = 0;        // exploration wall time (run-dependent)
+  // Spill-path I/O failure diagnostic (SpillFile::error), empty = healthy.
+  // Results are still correct when set (the failed chunks stayed in RAM),
+  // but the memory budget was not honored — the CLI reports it and exits
+  // nonzero. Environment-dependent, so excluded from the determinism
+  // signature, like wall_micros.
+  std::string io_error;
 };
 
 // The primary entry point: explores the algorithm's full state space for

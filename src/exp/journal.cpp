@@ -1,0 +1,651 @@
+#include "exp/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/faultpoint.h"
+#include "util/fileio.h"
+#include "util/hash.h"
+
+namespace melb::exp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMetaSchema[] = "melb-campaign-meta-v1";
+constexpr char kMetaName[] = "campaign.meta";
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".melbj";
+// Frame header: magic, body length, content-address key, body checksum.
+constexpr std::uint32_t kRecordMagic = 0x6a6c626d;  // "mblj", little-endian
+constexpr std::size_t kFrameBytes = 4 + 4 + 8 + 8;
+
+std::uint64_t hash_bytes(const char* data, std::size_t size) {
+  // Same construction as exp::stable_string_hash, over a raw range.
+  util::Hasher hasher;
+  for (std::size_t i = 0; i < size; ++i) {
+    hasher.add(static_cast<unsigned char>(data[i]));
+  }
+  hasher.add(size);
+  return hasher.digest();
+}
+
+// --- little-endian binary record body ------------------------------------
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u8(std::string& out, bool v) { out.push_back(v ? '\1' : '\0'); }
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() {
+    if (pos + 8 > size) return fail();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (pos + 4 > size) return static_cast<std::uint32_t>(fail());
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  bool u8() {
+    if (pos + 1 > size) return fail() != 0;
+    return data[pos++] != '\0';
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!ok || pos + len > size) {
+      fail();
+      return {};
+    }
+    std::string s(data + pos, len);
+    pos += len;
+    return s;
+  }
+
+  std::uint64_t fail() {
+    ok = false;
+    pos = size;
+    return 0;
+  }
+};
+
+// Every field to_json/to_csv serializes, in a fixed order. wall_micros is
+// excluded on purpose: it is excluded from reports too, and a cached cell
+// must reproduce the report bytes, not the weather of the original run.
+std::string serialize_cell(const CellResult& r) {
+  std::string body;
+  body.reserve(160 + r.status.size());
+  put_u64(body, r.cell.index);
+  put_str(body, r.cell.algorithm);
+  put_str(body, r.cell.scheduler);
+  put_u64(body, static_cast<std::uint64_t>(r.cell.n));
+  put_u64(body, r.cell.seed);
+  put_str(body, r.status);
+  put_u8(body, r.completed);
+  put_u8(body, r.livelocked);
+  put_u64(body, r.steps);
+  put_u64(body, r.exec_size);
+  put_u64(body, r.sc_cost);
+  put_u64(body, r.total_accesses);
+  put_u64(body, r.reads);
+  put_u64(body, r.writes);
+  put_u64(body, r.rmws);
+  put_u64(body, r.crits);
+  put_u64(body, r.free_reads);
+  put_u64(body, r.cc_cost);
+  put_u64(body, r.dsm_cost);
+  put_u64(body, r.sc_max_process);
+  put_u64(body, r.cc_max_process);
+  put_str(body, r.well_formed);
+  put_str(body, r.mutex);
+  put_u8(body, r.all_in_remainder);
+  put_u64(body, r.retries);
+  put_u8(body, r.lb.attempted);
+  put_u8(body, r.lb.roundtrip_ok);
+  put_u64(body, r.lb.metasteps);
+  put_u64(body, r.lb.insertions);
+  put_u64(body, r.lb.encoding_bytes);
+  put_u64(body, r.lb.binary_bits);
+  put_u64(body, r.lb.decode_iterations);
+  put_str(body, r.lb.error);
+  return body;
+}
+
+bool deserialize_cell(const char* data, std::size_t size, CellResult* out) {
+  Reader in{data, size};
+  CellResult r;
+  r.cell.index = in.u64();
+  r.cell.algorithm = in.str();
+  r.cell.scheduler = in.str();
+  r.cell.n = static_cast<int>(in.u64());
+  r.cell.seed = in.u64();
+  r.status = in.str();
+  r.completed = in.u8();
+  r.livelocked = in.u8();
+  r.steps = in.u64();
+  r.exec_size = in.u64();
+  r.sc_cost = in.u64();
+  r.total_accesses = in.u64();
+  r.reads = in.u64();
+  r.writes = in.u64();
+  r.rmws = in.u64();
+  r.crits = in.u64();
+  r.free_reads = in.u64();
+  r.cc_cost = in.u64();
+  r.dsm_cost = in.u64();
+  r.sc_max_process = in.u64();
+  r.cc_max_process = in.u64();
+  r.well_formed = in.str();
+  r.mutex = in.str();
+  r.all_in_remainder = in.u8();
+  r.retries = in.u64();
+  r.lb.attempted = in.u8();
+  r.lb.roundtrip_ok = in.u8();
+  r.lb.metasteps = in.u64();
+  r.lb.insertions = in.u64();
+  r.lb.encoding_bytes = in.u64();
+  r.lb.binary_bits = in.u64();
+  r.lb.decode_iterations = in.u64();
+  r.lb.error = in.str();
+  if (!in.ok || in.pos != size) return false;
+  *out = std::move(r);
+  return true;
+}
+
+// --- campaign.meta --------------------------------------------------------
+
+const char* mode_name(sim::RunMode mode) {
+  return mode == sim::RunMode::kFaithful ? "faithful" : "productive";
+}
+
+std::string join_list(const std::vector<std::string>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += values[i];
+  }
+  return out;
+}
+
+std::string meta_text(const CampaignSpec& spec, std::uint64_t fingerprint, int shard_index,
+                      int shard_count) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx", static_cast<unsigned long long>(fingerprint));
+  std::ostringstream out;
+  out << "schema=" << kMetaSchema << '\n';
+  out << "version=" << kJournalCodeVersion << '\n';
+  out << "fingerprint=" << fp << '\n';
+  out << "shard=" << shard_index << '/' << shard_count << '\n';
+  out << "seed=" << spec.seed << '\n';
+  out << "mode=" << mode_name(spec.mode) << '\n';
+  out << "max_steps=" << spec.max_steps << '\n';
+  out << "lb_pipeline=" << (spec.lb_pipeline ? 1 : 0) << '\n';
+  out << "algorithms=" << join_list(spec.algorithms) << '\n';
+  out << "schedulers=" << join_list(spec.schedulers) << '\n';
+  out << "sizes=";
+  for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+    out << (i ? "," : "") << spec.sizes[i];
+  }
+  out << '\n';
+  return out.str();
+}
+
+struct Meta {
+  CampaignSpec spec;
+  std::string version;
+  std::uint64_t fingerprint = 0;
+  int shard_index = 1;
+  int shard_count = 1;
+};
+
+std::uint64_t parse_meta_u64(const std::string& value, const std::string& key,
+                             const std::string& path) {
+  if (value.empty()) throw std::runtime_error(path + ": empty value for " + key);
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error(path + ": bad value for " + key + ": '" + value + "'");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+Meta parse_meta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) throw std::runtime_error(path + ": malformed line: " + line);
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  const auto need = [&](const char* key) -> const std::string& {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error(path + ": missing key '" + std::string(key) + "'");
+    }
+    return it->second;
+  };
+  if (need("schema") != kMetaSchema) {
+    throw std::runtime_error(path + ": unknown meta schema '" + need("schema") + "'");
+  }
+  Meta meta;
+  meta.version = need("version");
+  const std::string& fp = need("fingerprint");
+  if (fp.size() != 16) throw std::runtime_error(path + ": malformed fingerprint");
+  meta.fingerprint = 0;
+  for (const char c : fp) {
+    const int digit = c >= '0' && c <= '9'   ? c - '0'
+                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                             : -1;
+    if (digit < 0) throw std::runtime_error(path + ": malformed fingerprint");
+    meta.fingerprint = (meta.fingerprint << 4) | static_cast<std::uint64_t>(digit);
+  }
+  const std::string& shard = need("shard");
+  const std::size_t slash = shard.find('/');
+  if (slash == std::string::npos) throw std::runtime_error(path + ": malformed shard");
+  meta.shard_index =
+      static_cast<int>(parse_meta_u64(shard.substr(0, slash), "shard", path));
+  meta.shard_count =
+      static_cast<int>(parse_meta_u64(shard.substr(slash + 1), "shard", path));
+  if (meta.shard_count < 1 || meta.shard_index < 1 || meta.shard_index > meta.shard_count) {
+    throw std::runtime_error(path + ": shard " + shard + " out of range");
+  }
+  meta.spec.seed = parse_meta_u64(need("seed"), "seed", path);
+  const std::string& mode = need("mode");
+  if (mode == "faithful") {
+    meta.spec.mode = sim::RunMode::kFaithful;
+  } else if (mode == "productive") {
+    meta.spec.mode = sim::RunMode::kProductiveOnly;
+  } else {
+    throw std::runtime_error(path + ": unknown mode '" + mode + "'");
+  }
+  meta.spec.max_steps = parse_meta_u64(need("max_steps"), "max_steps", path);
+  meta.spec.lb_pipeline = parse_meta_u64(need("lb_pipeline"), "lb_pipeline", path) != 0;
+  meta.spec.algorithms = split_list(need("algorithms"));
+  meta.spec.schedulers = split_list(need("schedulers"));
+  for (const std::string& token : split_list(need("sizes"))) {
+    meta.spec.sizes.push_back(static_cast<int>(parse_meta_u64(token, "sizes", path)));
+  }
+  return meta;
+}
+
+// --- segment files --------------------------------------------------------
+
+std::string segment_name(std::size_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08zu%s", kSegmentPrefix, number, kSegmentSuffix);
+  return buf;
+}
+
+bool parse_segment_number(const std::string& name, std::size_t* number) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return false;
+  std::size_t value = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(name[i] - '0');
+  }
+  *number = value;
+  return true;
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Scans one segment's bytes into `records`. Returns the length of the valid
+// prefix; anything past it is a torn tail (bad magic, impossible length, or
+// checksum mismatch — a record interrupted by a crash).
+std::size_t scan_segment(const std::string& bytes,
+                         std::map<std::uint64_t, CellResult>& records) {
+  std::size_t pos = 0;
+  while (pos + kFrameBytes <= bytes.size()) {
+    Reader header{bytes.data() + pos, kFrameBytes};
+    const std::uint32_t magic = header.u32();
+    const std::uint32_t body_len = header.u32();
+    const std::uint64_t key = header.u64();
+    const std::uint64_t checksum = header.u64();
+    if (magic != kRecordMagic) break;
+    if (pos + kFrameBytes + body_len > bytes.size()) break;
+    const char* body = bytes.data() + pos + kFrameBytes;
+    if (hash_bytes(body, body_len) != checksum) break;
+    CellResult result;
+    if (!deserialize_cell(body, body_len, &result)) break;
+    records[key] = std::move(result);
+    pos += kFrameBytes + body_len;
+  }
+  return pos;
+}
+
+std::uint64_t spec_key_salt(const CampaignSpec& spec) {
+  return util::Hasher()
+      .add(stable_string_hash(kJournalCodeVersion))
+      .add(spec.mode == sim::RunMode::kFaithful ? 1 : 0)
+      .add(spec.max_steps)
+      .add(spec.lb_pipeline ? 1 : 0)
+      .digest();
+}
+
+// Shared by Journal recovery and load_shard: scan every segment in numeric
+// order. `truncate` enables tail truncation on disk (owning open only).
+void scan_directory(const std::string& dir, std::map<std::uint64_t, CellResult>& records,
+                    JournalStats* stats, std::size_t* next_segment, bool truncate) {
+  std::vector<std::pair<std::size_t, fs::path>> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // An interrupted commit: the temp file was never renamed, so nothing
+      // in it was ever promised durable.
+      if (truncate) {
+        fs::remove(entry.path());
+        if (stats != nullptr) ++stats->orphan_tmp;
+      }
+      continue;
+    }
+    std::size_t number = 0;
+    if (parse_segment_number(name, &number)) segments.emplace_back(number, entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  for (const auto& [number, path] : segments) {
+    const std::string bytes = read_whole_file(path.string());
+    const std::size_t valid = scan_segment(bytes, records);
+    if (stats != nullptr) ++stats->segments;
+    if (valid < bytes.size()) {
+      std::fprintf(stderr,
+                   "melb: journal %s: torn tail at byte %zu of %zu%s\n",
+                   path.string().c_str(), valid, bytes.size(),
+                   truncate ? " — truncating to the valid prefix" : " (ignored)");
+      if (truncate) fs::resize_file(path, valid);
+      if (stats != nullptr) ++stats->torn_segments;
+    }
+    if (next_segment != nullptr) *next_segment = std::max(*next_segment, number + 1);
+  }
+}
+
+}  // namespace
+
+std::uint64_t cell_key(const CampaignSpec& spec, const Cell& cell) {
+  return util::Hasher()
+      .add(spec_key_salt(spec))
+      .add(stable_string_hash(cell.algorithm))
+      .add(stable_string_hash(cell.scheduler))
+      .add(static_cast<std::uint64_t>(cell.n))
+      .add(cell.seed)
+      .digest();
+}
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec) {
+  util::Hasher hasher;
+  hasher.add(spec.seed);
+  hasher.add(spec.mode == sim::RunMode::kFaithful ? 1 : 0);
+  hasher.add(spec.max_steps);
+  hasher.add(spec.lb_pipeline ? 1 : 0);
+  hasher.add(spec.algorithms.size());
+  for (const auto& name : spec.algorithms) hasher.add(stable_string_hash(name));
+  hasher.add(spec.schedulers.size());
+  for (const auto& name : spec.schedulers) hasher.add(stable_string_hash(name));
+  hasher.add(spec.sizes.size());
+  for (const int n : spec.sizes) hasher.add(static_cast<std::uint64_t>(n));
+  return hasher.digest();
+}
+
+bool shard_owns(std::size_t index, int shard_index, int shard_count) {
+  return index % static_cast<std::size_t>(shard_count) ==
+         static_cast<std::size_t>(shard_index - 1);
+}
+
+Journal::Journal(std::string dir, const CampaignSpec& spec, int shard_index, int shard_count)
+    : dir_(std::move(dir)), spec_(spec), shard_index_(shard_index), shard_count_(shard_count) {
+  if (shard_count_ < 1 || shard_index_ < 1 || shard_index_ > shard_count_) {
+    throw std::runtime_error("journal: shard index must be in [1, shard count]");
+  }
+  fingerprint_ = campaign_fingerprint(spec_);
+  key_salt_ = spec_key_salt(spec_);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw std::runtime_error("cannot create state dir " + dir_ + ": " + ec.message());
+  load_or_init_meta(spec_);
+  recover_segments();
+  stats_.records = records_.size();
+}
+
+void Journal::load_or_init_meta(const CampaignSpec& spec) {
+  const std::string path = dir_ + "/" + kMetaName;
+  if (fs::exists(path)) {
+    const Meta meta = parse_meta(path);
+    if (meta.fingerprint != fingerprint_) {
+      throw std::runtime_error(
+          "state dir " + dir_ + " belongs to a different campaign than this spec "
+          "(campaign fingerprint mismatch) — use a fresh --state directory or rerun "
+          "with the original sweep parameters");
+    }
+    if (meta.shard_index != shard_index_ || meta.shard_count != shard_count_) {
+      throw std::runtime_error("state dir " + dir_ + " holds shard " +
+                               std::to_string(meta.shard_index) + "/" +
+                               std::to_string(meta.shard_count) + ", not shard " +
+                               std::to_string(shard_index_) + "/" +
+                               std::to_string(shard_count_) +
+                               " — one state directory per shard");
+    }
+    if (meta.version != kJournalCodeVersion) {
+      // A different code version may compute different results for the same
+      // coordinates; everything cached here is untrustworthy. Discard and
+      // start over rather than mixing generations in one directory.
+      std::fprintf(stderr,
+                   "melb: state dir %s was written by %s (current %s) — discarding stale "
+                   "journal, all cells will be recomputed\n",
+                   dir_.c_str(), meta.version.c_str(), kJournalCodeVersion);
+      stats_.version_stale = true;
+      for (const auto& entry : fs::directory_iterator(dir_)) {
+        std::size_t number = 0;
+        if (parse_segment_number(entry.path().filename().string(), &number)) {
+          fs::remove(entry.path());
+        }
+      }
+    } else {
+      return;  // meta is current; nothing to rewrite
+    }
+  }
+  const std::string err = util::write_file_atomic(
+      path, meta_text(spec, fingerprint_, shard_index_, shard_count_), "journal.meta");
+  if (!err.empty()) throw std::runtime_error("cannot write campaign meta: " + err);
+}
+
+void Journal::recover_segments() {
+  scan_directory(dir_, records_, &stats_, &next_segment_, /*truncate=*/true);
+}
+
+bool Journal::lookup(const Cell& cell, CellResult* out) const {
+  const auto it = records_.find(cell_key(spec_, cell));
+  if (it == records_.end()) return false;
+  const CellResult& r = it->second;
+  // The key is a 64-bit content address; on the astronomically unlikely
+  // collision (or a corrupted-but-checksummed record), the stored
+  // coordinates disagree and the cell is simply recomputed.
+  if (r.cell.index != cell.index || r.cell.algorithm != cell.algorithm ||
+      r.cell.scheduler != cell.scheduler || r.cell.n != cell.n || r.cell.seed != cell.seed) {
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+void Journal::append(const CellResult& result) {
+  if (util::fault_hit("journal.append") == util::FaultAction::kCrash) {
+    util::fault_crash("journal.append");
+  }
+  pending_.push_back(result);
+}
+
+void Journal::commit() {
+  if (pending_.empty()) return;
+  std::string batch;
+  for (const CellResult& result : pending_) {
+    const std::string body = serialize_cell(result);
+    put_u32(batch, kRecordMagic);
+    put_u32(batch, static_cast<std::uint32_t>(body.size()));
+    put_u64(batch, cell_key(spec_, result.cell));
+    put_u64(batch, hash_bytes(body.data(), body.size()));
+    batch.append(body);
+  }
+  const std::string path = dir_ + "/" + segment_name(next_segment_);
+  const std::string err = util::write_file_atomic(path, batch, "journal.write");
+  if (!err.empty()) {
+    throw std::runtime_error("journal commit failed (" + std::to_string(pending_.size()) +
+                             " cells not durable): " + err);
+  }
+  ++next_segment_;
+  for (CellResult& result : pending_) {
+    records_[cell_key(spec_, result.cell)] = std::move(result);
+  }
+  pending_.clear();
+}
+
+Journal::ShardData Journal::load_shard(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("shard state dir " + dir + " does not exist");
+  }
+  const Meta meta = parse_meta(dir + "/" + kMetaName);
+  ShardData shard;
+  shard.spec = meta.spec;
+  shard.version = meta.version;
+  shard.fingerprint = meta.fingerprint;
+  shard.shard_index = meta.shard_index;
+  shard.shard_count = meta.shard_count;
+  scan_directory(dir, shard.records, nullptr, nullptr, /*truncate=*/false);
+  return shard;
+}
+
+CampaignReport merge_shards(const std::vector<std::string>& dirs) {
+  if (dirs.empty()) throw std::runtime_error("merge: no shard directories given");
+  std::vector<Journal::ShardData> shards;
+  shards.reserve(dirs.size());
+  for (const std::string& dir : dirs) shards.push_back(Journal::load_shard(dir));
+
+  const Journal::ShardData& first = shards.front();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Journal::ShardData& shard = shards[i];
+    if (shard.version != kJournalCodeVersion) {
+      throw std::runtime_error("merge: shard " + dirs[i] + " was written by code version '" +
+                               shard.version + "' (current '" + kJournalCodeVersion +
+                               "') — recompute that shard before merging");
+    }
+    if (shard.fingerprint != first.fingerprint) {
+      throw std::runtime_error("merge: shard " + dirs[i] + " belongs to a different campaign "
+                               "than " + dirs[0] + " (fingerprint mismatch)");
+    }
+    if (shard.shard_count != first.shard_count) {
+      throw std::runtime_error(
+          "merge: shard " + dirs[i] + " is 1 of " + std::to_string(shard.shard_count) +
+          " but " + dirs[0] + " is 1 of " + std::to_string(first.shard_count) +
+          " — all shards must come from the same --shard i/k partition");
+    }
+  }
+  const int k = first.shard_count;
+  if (static_cast<int>(shards.size()) != k) {
+    throw std::runtime_error("merge: campaign was sharded " + std::to_string(k) +
+                             " ways but " + std::to_string(shards.size()) +
+                             " shard directories were given");
+  }
+  std::map<int, std::size_t> by_index;  // shard index -> position in `shards`
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!by_index.emplace(shards[i].shard_index, i).second) {
+      throw std::runtime_error("merge: duplicate shard " +
+                               std::to_string(shards[i].shard_index) + "/" +
+                               std::to_string(k) + " (" + dirs[i] + " and " +
+                               dirs[by_index[shards[i].shard_index]] + ")");
+    }
+  }
+
+  const std::vector<Cell> cells = expand(first.spec);
+  // Overlap detection: a journal holding a cell it does not own means two
+  // shard runs disagreed about the partition (e.g. a directory was copied
+  // and relabeled) — refuse rather than pick a winner.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    for (const auto& [key, record] : shards[i].records) {
+      (void)key;
+      if (record.cell.index >= cells.size() ||
+          !shard_owns(record.cell.index, shards[i].shard_index, k)) {
+        throw std::runtime_error(
+            "merge: overlapping shards — " + dirs[i] + " (shard " +
+            std::to_string(shards[i].shard_index) + "/" + std::to_string(k) +
+            ") holds cell " + std::to_string(record.cell.index) + ", which it does not own");
+      }
+    }
+  }
+
+  CampaignReport report;
+  report.spec = first.spec;
+  report.cells.resize(cells.size());
+  std::vector<std::string> missing;
+  for (const Cell& cell : cells) {
+    int owner = 1;
+    while (!shard_owns(cell.index, owner, k)) ++owner;
+    const Journal::ShardData& shard = shards[by_index.at(owner)];
+    const auto it = shard.records.find(cell_key(first.spec, cell));
+    if (it == shard.records.end()) {
+      missing.push_back(std::to_string(cell.index) + " (" + cell.algorithm + "/" +
+                        cell.scheduler + " n=" + std::to_string(cell.n) + ")");
+      continue;
+    }
+    report.cells[cell.index] = it->second;
+  }
+  if (!missing.empty()) {
+    std::string list;
+    for (std::size_t i = 0; i < missing.size() && i < 5; ++i) {
+      list += (i ? ", " : "") + missing[i];
+    }
+    if (missing.size() > 5) list += ", …";
+    throw std::runtime_error("merge: " + std::to_string(missing.size()) +
+                             " cells missing from their shard journals (" + list +
+                             ") — finish or resume the shard sweeps first");
+  }
+  return report;
+}
+
+}  // namespace melb::exp

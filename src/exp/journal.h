@@ -1,0 +1,144 @@
+// Durable append-only cell journal: the campaign service's crash-safety
+// primitive.
+//
+// A state directory holds one shard of one campaign:
+//
+//   DIR/campaign.meta   text key=value: meta schema, code-version salt,
+//                       campaign fingerprint, shard i/k, and the full
+//                       CampaignSpec (so `melb_cli merge` can rebuild the
+//                       report without re-specifying the sweep)
+//   DIR/seg-NNNNNNNN.melbj
+//                       one segment per committed batch: framed, checksummed
+//                       CellResult records
+//
+// Each record is keyed by a *content address* — util::Hasher over the
+// code-version salt, the result-affecting spec knobs (mode, max_steps,
+// lb_pipeline), and the cell coordinates (algorithm, scheduler, n, seed) —
+// so a lookup hit means "this exact experiment, computed by this version of
+// the code". Bumping kJournalCodeVersion changes every key, which is how a
+// semantics change turns a journal full of stale results into cache misses
+// instead of silent wrong answers.
+//
+// Durability protocol: commit() serializes the pending batch and hands it to
+// util::write_file_atomic — temp file, fsync, atomic rename, directory
+// fsync — so a kill -9 at ANY instant leaves the directory as a set of fully
+// valid segments plus at most one garbage .tmp. Recovery (the constructor)
+// deletes orphan temp files, scans segments in order, and truncates a
+// detectably-torn tail (bad magic, bad length, bad checksum) with a warning.
+// Anything recovered is a valid prefix of what was committed; everything
+// else is recomputed. The fault sites journal.append / journal.write /
+// journal.write.rename / journal.meta let tests kill the process at every
+// one of these boundaries.
+//
+// Thread-safety: none — the service serializes journal calls under its
+// on_cell mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/report.h"
+
+namespace melb::exp {
+
+// Bump whenever run_cell's observable results or the record serialization
+// change: the salt is folded into every record key, so records written by
+// any other version simply never match (and a mismatched meta makes merge
+// refuse the shard outright).
+inline constexpr char kJournalCodeVersion[] = "melb-journal-v1";
+
+// The record's content address (see file comment). Pure function of
+// (version salt, spec knobs, cell coordinates).
+std::uint64_t cell_key(const CampaignSpec& spec, const Cell& cell);
+
+// Digest of the *campaign identity* — every spec field, including the
+// dimension lists — used to refuse resuming a directory that belongs to a
+// different sweep. Deliberately excludes the code version: a version bump
+// recomputes cells in place rather than rejecting the directory.
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec);
+
+// The deterministic shard partition: shard i (1-based) of k owns cell
+// `index` iff index ≡ i-1 (mod k). A pure function of the expansion index,
+// so k hosts can each expand the spec locally and agree on the split.
+bool shard_owns(std::size_t index, int shard_index, int shard_count);
+
+struct JournalStats {
+  std::size_t records = 0;        // valid records recovered on open
+  std::size_t segments = 0;       // segment files scanned
+  std::size_t torn_segments = 0;  // segments truncated at a torn tail
+  std::size_t orphan_tmp = 0;     // abandoned .tmp files removed
+  bool version_stale = false;     // directory was written by another version
+};
+
+class Journal {
+ public:
+  // Opens (creating if needed) the state directory for this campaign shard,
+  // running recovery as described above. A directory written by a stale
+  // code version is discarded (warning on stderr) and re-initialized.
+  // Throws std::runtime_error when the directory belongs to a different
+  // campaign or a different shard, or on unrecoverable I/O failure.
+  Journal(std::string dir, const CampaignSpec& spec, int shard_index, int shard_count);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Serves a cell's cached result; returns false on miss (unknown, stale, or
+  // a key collision whose stored coordinates disagree — treated as a miss).
+  bool lookup(const Cell& cell, CellResult* out) const;
+
+  // Queues one completed cell; durable after the next commit(). Fault site
+  // "journal.append" (crash).
+  void append(const CellResult& result);
+
+  // Writes the pending batch as one new segment (fault sites "journal.write"
+  // and "journal.write.rename"). Throws std::runtime_error on I/O failure —
+  // e.g. a full disk — leaving the directory valid (the batch is simply not
+  // durable). No-op when nothing is pending.
+  void commit();
+
+  std::size_t pending() const { return pending_.size(); }
+  const JournalStats& stats() const { return stats_; }
+  int shard_index() const { return shard_index_; }
+  int shard_count() const { return shard_count_; }
+
+  // Parsed meta + recovered records of an existing shard directory, without
+  // taking ownership (no meta rewrite, no segment deletion; torn tails are
+  // ignored rather than truncated). What `merge_shards` reads. Throws
+  // std::runtime_error on a missing or malformed directory.
+  struct ShardData {
+    CampaignSpec spec;
+    std::string version;
+    std::uint64_t fingerprint = 0;
+    int shard_index = 1;
+    int shard_count = 1;
+    std::map<std::uint64_t, CellResult> records;
+  };
+  static ShardData load_shard(const std::string& dir);
+
+ private:
+  void load_or_init_meta(const CampaignSpec& spec);
+  void recover_segments();
+
+  std::string dir_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t key_salt_ = 0;  // spec-knob half of cell_key, precomputed
+  CampaignSpec spec_;
+  int shard_index_ = 1;
+  int shard_count_ = 1;
+  std::size_t next_segment_ = 0;
+  std::map<std::uint64_t, CellResult> records_;
+  std::vector<CellResult> pending_;
+  JournalStats stats_;
+};
+
+// Joins k shard directories of the same campaign into the full report,
+// byte-identical to an unsharded run. Throws std::runtime_error with a
+// specific message when the shard set is wrong: version or campaign
+// mismatch, duplicate or missing shard indices, disagreeing shard counts,
+// overlapping shards (a journal holding cells it does not own), or cells
+// missing from their owning shard.
+CampaignReport merge_shards(const std::vector<std::string>& dirs);
+
+}  // namespace melb::exp

@@ -47,7 +47,7 @@ const char* mode_name(sim::RunMode mode) {
 
 std::string to_json(const CampaignReport& report) {
   std::ostringstream out;
-  out << "{\n  \"schema\": \"melb-sweep-report-v1\",\n  \"spec\": {\n";
+  out << "{\n  \"schema\": \"melb-sweep-report-v2\",\n  \"spec\": {\n";
   out << "    \"seed\": " << report.spec.seed << ",\n";
   out << "    \"mode\": \"" << mode_name(report.spec.mode) << "\",\n";
   out << "    \"max_steps\": " << report.spec.max_steps << ",\n";
@@ -80,7 +80,8 @@ std::string to_json(const CampaignReport& report) {
         << ", \"dsm_cost\": " << r.dsm_cost << ", \"sc_max_process\": " << r.sc_max_process
         << ", \"cc_max_process\": " << r.cc_max_process << ", \"well_formed\": \""
         << escaped(r.well_formed) << "\", \"mutex\": \"" << escaped(r.mutex) << "\""
-        << ", \"all_in_remainder\": " << (r.all_in_remainder ? "true" : "false");
+        << ", \"all_in_remainder\": " << (r.all_in_remainder ? "true" : "false")
+        << ", \"retries\": " << r.retries;
     if (r.lb.attempted) {
       out << ", \"lb\": {\"roundtrip_ok\": " << (r.lb.roundtrip_ok ? "true" : "false")
           << ", \"metasteps\": " << r.lb.metasteps << ", \"insertions\": " << r.lb.insertions
@@ -99,7 +100,7 @@ std::string to_csv(const CampaignReport& report) {
   std::ostringstream out;
   out << "index,algorithm,scheduler,n,seed,status,completed,livelocked,steps,exec_size,"
          "sc_cost,total_accesses,reads,writes,rmws,crits,free_reads,cc_cost,dsm_cost,"
-         "sc_max_process,cc_max_process,well_formed_ok,mutex_ok,all_in_remainder,"
+         "sc_max_process,cc_max_process,well_formed_ok,mutex_ok,all_in_remainder,retries,"
          "lb_attempted,lb_roundtrip_ok,lb_metasteps,lb_insertions,lb_encoding_bytes,"
          "lb_binary_bits,lb_decode_iterations\n";
   for (const CellResult& r : report.cells) {
@@ -111,7 +112,7 @@ std::string to_csv(const CampaignReport& report) {
         << r.free_reads << ',' << r.cc_cost << ',' << r.dsm_cost << ',' << r.sc_max_process
         << ',' << r.cc_max_process << ',' << (r.well_formed.empty() ? 1 : 0) << ','
         << (r.mutex.empty() ? 1 : 0) << ',' << (r.all_in_remainder ? 1 : 0) << ','
-        << (r.lb.attempted ? 1 : 0) << ',' << (r.lb.roundtrip_ok ? 1 : 0) << ','
+        << r.retries << ',' << (r.lb.attempted ? 1 : 0) << ',' << (r.lb.roundtrip_ok ? 1 : 0) << ','
         << r.lb.metasteps << ',' << r.lb.insertions << ',' << r.lb.encoding_bytes << ','
         << r.lb.binary_bits << ',' << r.lb.decode_iterations << '\n';
   }

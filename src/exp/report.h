@@ -51,6 +51,10 @@ struct CellResult {
   std::string well_formed;  // validator message, empty = ok
   std::string mutex;        // validator message, empty = ok
   bool all_in_remainder = false;  // every process finished its cycle
+  // Transient-error retries this cell needed (see RunOptions::max_retries).
+  // Deterministic: injected transient faults are keyed by cell index, so the
+  // count is a function of the cell, not of worker scheduling.
+  std::uint64_t retries = 0;
   LbStats lb;
   // Timing: excluded from to_json/to_csv (see file comment).
   std::uint64_t wall_micros = 0;

@@ -13,6 +13,7 @@
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
+#include "util/faultpoint.h"
 #include "util/prng.h"
 
 namespace melb::exp {
@@ -70,6 +71,14 @@ CellResult run_cell(const CampaignSpec& spec, const Cell& cell) {
   CellResult result;
   result.cell = cell;
   const auto start = std::chrono::steady_clock::now();
+  // Keyed by cell index so an injected fault follows the cell, not the
+  // scheduling: cell 5 flakes (or crashes) no matter which worker draws it.
+  const util::FaultAction injected = util::fault_key("cell.run", cell.index);
+  if (injected == util::FaultAction::kCrash) util::fault_crash("cell.run");
+  if (injected != util::FaultAction::kNone) {
+    result.status = "error: transient injected fault";
+    return result;
+  }
   try {
     const auto& info = algo::algorithm_by_name(cell.algorithm);
     const auto& algorithm = *info.algorithm;
@@ -136,6 +145,24 @@ CellResult run_cell(const CampaignSpec& spec, const Cell& cell) {
   return result;
 }
 
+bool is_transient_error(const std::string& status) {
+  return status.rfind("error: transient", 0) == 0;
+}
+
+CellResult run_cell_with_retry(const CampaignSpec& spec, const Cell& cell, int max_retries) {
+  CellResult result = run_cell(spec, cell);
+  for (int attempt = 1; attempt <= max_retries && is_transient_error(result.status);
+       ++attempt) {
+    // Bounded backoff. The sleep never reaches the report (wall_micros is
+    // excluded from serialization), so retried reports stay byte-identical.
+    const int backoff_ms = attempt < 6 ? (1 << (attempt - 1)) : 32;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    result = run_cell(spec, cell);
+    result.retries = static_cast<std::uint64_t>(attempt);
+  }
+  return result;
+}
+
 void run_indexed_tasks(std::size_t count, int workers,
                        const std::function<void(std::size_t index, int worker)>& task,
                        std::atomic<bool>* cancel) {
@@ -168,7 +195,7 @@ CampaignReport run_campaign(const CampaignSpec& spec, const RunOptions& options)
   pool.run(
       cells.size(),
       [&](std::size_t idx, int) {
-        report.cells[idx] = run_cell(spec, cells[idx]);
+        report.cells[idx] = run_cell_with_retry(spec, cells[idx], options.max_retries);
         if (options.on_cell) {
           const std::lock_guard<std::mutex> lock(on_cell_mutex);
           options.on_cell(report.cells[idx]);

@@ -48,11 +48,27 @@ struct RunOptions {
   std::atomic<bool>* cancel = nullptr;
   // Invoked after each cell completes, serialized under an internal mutex.
   std::function<void(const CellResult&)> on_cell;
+  // Transient-error retry budget per cell (run_cell_with_retry). Retries use
+  // bounded exponential backoff and are counted in CellResult::retries.
+  int max_retries = 3;
 };
 
 // Run one cell in isolation (exposed for tests and debugging; the pool calls
 // exactly this). Never throws: failures are captured in CellResult::status.
+// The keyed fault point ("cell.run", cell.index) can inject a transient
+// failure or a crash for the crash-safety harness.
 CellResult run_cell(const CampaignSpec& spec, const Cell& cell);
+
+// True for statuses the retry loop treats as transient (and the campaign
+// service refuses to journal — a resume must retry them, not cache them).
+bool is_transient_error(const std::string& status);
+
+// run_cell, retried up to max_retries times while the status is transient,
+// sleeping min(2^attempt, 32) ms between attempts. The returned result is
+// the last attempt's, with CellResult::retries = attempts - 1. Keying the
+// injected faults by cell index (not hit order) keeps the retry counts — and
+// therefore the report bytes — identical across worker counts.
+CellResult run_cell_with_retry(const CampaignSpec& spec, const Cell& cell, int max_retries);
 
 // Expand the spec and run every cell on the pool. Throws only for spec
 // errors (propagated from expand()).

@@ -1,0 +1,115 @@
+#include "exp/service.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/pool.h"
+
+namespace melb::exp {
+
+ServiceReport run_campaign_service(const CampaignSpec& spec, const std::string& state_dir,
+                                   const ServiceOptions& options) {
+  if (options.shard_count < 1 || options.shard_index < 1 ||
+      options.shard_index > options.shard_count) {
+    throw std::runtime_error("shard index must be in [1, shard count], got " +
+                             std::to_string(options.shard_index) + "/" +
+                             std::to_string(options.shard_count));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<Cell> all_cells = expand(spec);
+  std::vector<Cell> cells;
+  cells.reserve(all_cells.size() / static_cast<std::size_t>(options.shard_count) + 1);
+  for (const Cell& cell : all_cells) {
+    if (shard_owns(cell.index, options.shard_index, options.shard_count)) {
+      cells.push_back(cell);
+    }
+  }
+
+  ServiceReport out;
+  out.report.spec = spec;
+  out.report.cells.resize(cells.size());
+
+  std::unique_ptr<Journal> journal;
+  if (!state_dir.empty()) {
+    journal = std::make_unique<Journal>(state_dir, spec, options.shard_index,
+                                        options.shard_count);
+    out.journal = journal->stats();
+  }
+
+  // Resolve what the journal already knows; everything else runs.
+  std::vector<std::size_t> todo;  // positions in `cells`
+  for (std::size_t pos = 0; pos < cells.size(); ++pos) {
+    if (journal != nullptr && journal->lookup(cells[pos], &out.report.cells[pos])) {
+      ++out.cached;
+    } else {
+      out.report.cells[pos].cell = cells[pos];
+      todo.push_back(pos);
+    }
+  }
+
+  int workers = options.run.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > todo.size() && !todo.empty()) {
+    workers = static_cast<int>(todo.size());
+  }
+  out.report.workers_used = workers;
+
+  if (!todo.empty()) {
+    const std::size_t batch = options.journal_batch < 1 ? 1 : options.journal_batch;
+    std::mutex mu;  // serializes journal access, counters, and on_cell
+    std::string journal_error;
+    std::atomic<bool> own_cancel{false};
+    std::atomic<bool>* cancel =
+        options.run.cancel != nullptr ? options.run.cancel : &own_cancel;
+    TaskPool pool(workers);
+    pool.run(
+        todo.size(),
+        [&](std::size_t i, int) {
+          const std::size_t pos = todo[i];
+          const CellResult result =
+              run_cell_with_retry(spec, cells[pos], options.run.max_retries);
+          out.report.cells[pos] = result;
+          const std::lock_guard<std::mutex> lock(mu);
+          ++out.executed;
+          out.retries += result.retries;
+          if (journal != nullptr && result.status != "cancelled" &&
+              !is_transient_error(result.status)) {
+            try {
+              journal->append(result);
+              if (journal->pending() >= batch) journal->commit();
+            } catch (const std::exception& e) {
+              // The journal is unusable (e.g. the disk filled up). Stop
+              // starting new cells; the service fails loudly below rather
+              // than returning a report that silently is not resumable.
+              if (journal_error.empty()) journal_error = e.what();
+              cancel->store(true);
+            }
+          }
+          if (options.run.on_cell) options.run.on_cell(result);
+        },
+        cancel);
+    if (journal != nullptr && journal_error.empty()) {
+      try {
+        journal->commit();
+      } catch (const std::exception& e) {
+        journal_error = e.what();
+      }
+    }
+    if (!journal_error.empty()) throw std::runtime_error(journal_error);
+  }
+
+  for (const CellResult& cell : out.report.cells) {
+    if (cell.status == "cancelled") out.report.cancelled = true;
+  }
+  out.report.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            start)
+          .count());
+  return out;
+}
+
+}  // namespace melb::exp

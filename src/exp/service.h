@@ -1,0 +1,59 @@
+// The campaign service: crash-safe, resumable, shardable sweeps.
+//
+// run_campaign_service is run_campaign with a durability plane bolted on:
+// cells already durable in the state directory's journal are served from it
+// (zero recompute), the rest run on the work-stealing pool and are appended
+// to the journal in committed batches. Because a cached cell's record stores
+// exactly the fields the report serializes — and the report is a pure
+// function of (spec, results) — a resumed, sharded, or fully-cached run
+// produces bytes identical to a from-scratch run at any worker count.
+//
+// Sharding: shard i of k owns the cells with index ≡ i-1 (mod k)
+// (exp/journal.h shard_owns). Each shard produces an independent journal;
+// merge_shards joins k of them back into the full report.
+//
+// Transient failures: cells whose status marks a transient error (injected
+// via the cell.run fault point, or any future genuinely-transient failure
+// mode) are retried with bounded exponential backoff (RunOptions::
+// max_retries) and — if still failing — reported but never journaled, so a
+// later resume retries them instead of caching the failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "exp/journal.h"
+#include "exp/runner.h"
+
+namespace melb::exp {
+
+struct ServiceOptions {
+  RunOptions run;
+  int shard_index = 1;  // 1-based, in [1, shard_count]
+  int shard_count = 1;
+  // Cells per journal commit. Small batches bound the recompute window after
+  // a crash; large batches amortize the fsync+rename. 1 = commit every cell.
+  std::size_t journal_batch = 32;
+};
+
+struct ServiceReport {
+  // This shard's cells only (all of them when unsharded), in expansion
+  // order, each carrying its global cell index.
+  CampaignReport report;
+  std::size_t cached = 0;     // cells served from the journal
+  std::size_t executed = 0;   // cells actually run by this invocation
+  std::uint64_t retries = 0;  // total transient-error retries this invocation
+  JournalStats journal;       // recovery statistics from opening the journal
+};
+
+// Runs (or resumes) one shard of the campaign. An empty state_dir runs
+// without a journal — pure compute, still shard-filtered — which is what
+// the determinism check compares a journal-backed run against. Throws
+// std::invalid_argument/std::out_of_range for spec errors (expand's
+// contract) and std::runtime_error when the state directory is unusable or
+// a journal commit fails (the report would not be resumable — fail loudly).
+ServiceReport run_campaign_service(const CampaignSpec& spec, const std::string& state_dir,
+                                   const ServiceOptions& options = {});
+
+}  // namespace melb::exp

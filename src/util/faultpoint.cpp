@@ -1,0 +1,174 @@
+#include "util/faultpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace melb::util {
+
+namespace {
+
+struct Rule {
+  std::string site;
+  std::uint64_t index = 0;  // hit index (counted sites) or key (keyed sites)
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t remaining = 1;  // matches left before the rule goes inert
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Rule> rules;
+  std::map<std::string, std::uint64_t> hits;  // per-site call counters
+  bool env_checked = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+// One relaxed load decides the common (disarmed) case; everything else is
+// behind the registry mutex.
+std::atomic<bool> g_armed{false};
+
+std::uint64_t parse_number(const std::string& text, const std::string& spec) {
+  if (text.empty()) throw std::invalid_argument("fault spec '" + spec + "': empty number");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("fault spec '" + spec + "': bad number '" + text + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+FaultAction parse_action(const std::string& name, const std::string& spec) {
+  if (name == "crash") return FaultAction::kCrash;
+  if (name == "enospc") return FaultAction::kEnospc;
+  if (name == "torn-write") return FaultAction::kTornWrite;
+  if (name == "flake") return FaultAction::kFlake;
+  throw std::invalid_argument("fault spec '" + spec + "': unknown action '" + name +
+                              "' (want crash|enospc|torn-write|flake)");
+}
+
+// One entry: <site>.<index>:<action>[*<count>].
+Rule parse_entry(const std::string& entry) {
+  const std::size_t colon = entry.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("fault spec '" + entry + "': expected <site>.<index>:<action>");
+  }
+  Rule rule;
+  std::string action = entry.substr(colon + 1);
+  const std::size_t star = action.rfind('*');
+  if (star != std::string::npos) {
+    rule.remaining = parse_number(action.substr(star + 1), entry);
+    if (rule.remaining == 0) {
+      throw std::invalid_argument("fault spec '" + entry + "': count must be >= 1");
+    }
+    action = action.substr(0, star);
+  }
+  rule.action = parse_action(action, entry);
+  const std::string target = entry.substr(0, colon);
+  const std::size_t dot = target.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == target.size()) {
+    throw std::invalid_argument("fault spec '" + entry + "': expected <site>.<index>:<action>");
+  }
+  rule.site = target.substr(0, dot);
+  rule.index = parse_number(target.substr(dot + 1), entry);
+  return rule;
+}
+
+std::vector<Rule> parse_spec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string entry = spec.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (!entry.empty()) rules.push_back(parse_entry(entry));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return rules;
+}
+
+// Lazily consume MELB_FAULT the first time any fault point is consulted (or
+// a spec is set). Called with the registry mutex held.
+void check_env_locked(Registry& reg) {
+  if (reg.env_checked) return;
+  reg.env_checked = true;
+  const char* env = std::getenv("MELB_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  const std::string spec(env);
+  try {
+    reg.rules = parse_spec(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "melb: ignoring malformed MELB_FAULT: %s\n", e.what());
+    reg.rules.clear();
+    return;
+  }
+  if (!reg.rules.empty()) g_armed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FaultAction fault_hit(const std::string& site) {
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    // Disarmed fast path — but MELB_FAULT may not have been read yet.
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    check_env_locked(reg);
+    if (reg.rules.empty()) return FaultAction::kNone;
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t hit = reg.hits[site]++;
+  for (Rule& rule : reg.rules) {
+    if (rule.remaining > 0 && rule.index == hit && rule.site == site) {
+      --rule.remaining;
+      return rule.action;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+FaultAction fault_key(const std::string& site, std::uint64_t key) {
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    check_env_locked(reg);
+    if (reg.rules.empty()) return FaultAction::kNone;
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (Rule& rule : reg.rules) {
+    if (rule.remaining > 0 && rule.index == key && rule.site == site) {
+      --rule.remaining;
+      return rule.action;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+void fault_crash(const std::string& site) {
+  std::fprintf(stderr, "melb: fault point '%s' armed with crash — simulating kill -9\n",
+               site.c_str());
+  std::_Exit(137);  // what a SIGKILLed process reports; nothing is flushed
+}
+
+void set_fault_spec(const std::string& spec) {
+  std::vector<Rule> rules = parse_spec(spec);  // throws before mutating
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_checked = true;  // an explicit spec overrides MELB_FAULT
+  reg.rules = std::move(rules);
+  reg.hits.clear();
+  g_armed.store(!reg.rules.empty(), std::memory_order_relaxed);
+}
+
+}  // namespace melb::util

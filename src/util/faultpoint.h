@@ -1,0 +1,74 @@
+// Deterministic fault injection for crash-safety tests.
+//
+// Durability code is only trustworthy if it has been killed at every one of
+// its commit boundaries — so the journal, the atomic file writer, and the
+// spill path each name their boundaries as *fault points* and consult this
+// registry before crossing them. A test (or the MELB_FAULT environment
+// variable) arms a site with an action, and the harness can then kill the
+// process at exactly that boundary, simulate a full disk, or leave a torn
+// half-written temp file, all deterministically and without platform tricks
+// like SIGKILL timers.
+//
+// Spec grammar (comma-separated entries):
+//
+//   <site>.<index>:<action>[*<count>]
+//
+//   journal.append.3:crash      crash on the 4th hit of site "journal.append"
+//                               (indices are 0-based hit counts)
+//   journal.write.0:enospc      the first segment write fails as if the disk
+//                               were full
+//   journal.write.0:torn-write  half the payload reaches the temp file, then
+//                               the process dies (kill -9 mid-write)
+//   cell.run.5:flake*2          keyed site: the cell whose key is 5 fails
+//                               with a transient error twice, then recovers
+//
+// Counted sites (fault_hit) interpret <index> as a per-site hit counter:
+// the action fires on exactly the <index>-th call, <count> times in a row
+// (default once). Keyed sites (fault_key) interpret <index> as an
+// identity — the action fires whenever that key is presented, <count> times
+// total — which is what makes injected per-cell faults independent of worker
+// scheduling: cell 5 flakes no matter which worker runs it or when.
+//
+// When no spec is armed the fast path is one relaxed atomic load, so fault
+// points stay compiled into release builds (CI's crash loop drives the real
+// binary, not a test build).
+//
+// Thread-safety: all functions are thread-safe; registry mutation takes a
+// mutex, which only matters while a spec is armed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace melb::util {
+
+enum class FaultAction {
+  kNone,
+  kCrash,      // die at this boundary as if kill -9 (no flushing, no unwind)
+  kEnospc,     // the I/O at this boundary fails as if the disk were full
+  kTornWrite,  // write a partial payload, then die (durable-write sites only)
+  kFlake,      // fail with a transient, retryable error
+};
+
+// Counted site: returns the action armed for this site's current hit index
+// (0-based, incremented on every call), or kNone.
+FaultAction fault_hit(const std::string& site);
+
+// Keyed site: returns the action armed for (site, key), or kNone. Each match
+// consumes one unit of the entry's count.
+FaultAction fault_key(const std::string& site, std::uint64_t key);
+
+// Simulates kill -9 at a fault point: writes one line to stderr and calls
+// std::_Exit(137) — no stdio flush, no static destructors, no atexit — so
+// whatever the process had not made durable is genuinely lost.
+[[noreturn]] void fault_crash(const std::string& site);
+
+// Arms `spec` (see grammar above), replacing any previous spec and resetting
+// all hit counters; the empty string disarms everything. Throws
+// std::invalid_argument on a malformed spec. Tests use this; processes use
+// MELB_FAULT, which is parsed on first use (malformed entries there warn on
+// stderr and are ignored — a typo must not turn the injection harness into
+// the failure).
+void set_fault_spec(const std::string& spec);
+
+}  // namespace melb::util

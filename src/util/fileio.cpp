@@ -1,0 +1,106 @@
+#include "util/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/faultpoint.h"
+
+namespace melb::util {
+
+namespace {
+
+std::string errno_text() {
+  return errno != 0 ? std::strerror(errno) : "unknown I/O error";
+}
+
+// fsync the directory holding `path` so the rename that just landed survives
+// a power cut. Best effort: a directory that cannot be opened (or a platform
+// without directory fds) degrades to rename-only atomicity.
+void sync_parent_dir(const std::string& path) {
+#if !defined(_WIN32)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+bool flush_and_sync(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if !defined(_WIN32)
+  if (::fsync(fileno(file)) != 0) return false;
+#endif
+  return true;
+}
+
+}  // namespace
+
+std::string write_file_atomic(const std::string& path, const void* data, std::size_t size,
+                              const std::string& fault_site) {
+  const std::string tmp = path + ".tmp";
+  const FaultAction fault = fault_hit(fault_site);
+  if (fault == FaultAction::kCrash) fault_crash(fault_site);
+
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return "cannot open " + tmp + ": " + errno_text();
+
+  if (fault == FaultAction::kTornWrite) {
+    // kill -9 mid-write: half the payload reaches the temp file, nothing is
+    // renamed. Recovery must treat the leftover .tmp as garbage.
+    std::fwrite(data, 1, size / 2, file);
+    std::fflush(file);
+    fault_crash(fault_site);
+  }
+
+  std::size_t wrote = 0;
+  if (fault == FaultAction::kEnospc) {
+    wrote = std::fwrite(data, 1, size / 2, file);  // the disk "filled up" here
+    errno = 0;
+  } else if (size > 0) {
+    wrote = std::fwrite(data, 1, size, file);
+  }
+  const bool write_ok = wrote == size && fault != FaultAction::kEnospc;
+  if (!write_ok || !flush_and_sync(file)) {
+    const std::string why =
+        fault == FaultAction::kEnospc ? "no space left on device (injected)" : errno_text();
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return "short write to " + tmp + ": " + why;
+  }
+  if (std::fclose(file) != 0) {
+    const std::string why = errno_text();
+    std::remove(tmp.c_str());
+    return "cannot close " + tmp + ": " + why;
+  }
+
+  if (fault_hit(fault_site + ".rename") == FaultAction::kCrash) {
+    // The temp file is durable but the rename never happens: the old file
+    // (if any) must still be what readers see.
+    fault_crash(fault_site + ".rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    std::remove(tmp.c_str());
+    return "cannot rename " + tmp + " to " + path + ": " + why;
+  }
+  sync_parent_dir(path);
+  return {};
+}
+
+std::string write_file_atomic(const std::string& path, const std::string& contents,
+                              const std::string& fault_site) {
+  return write_file_atomic(path, contents.data(), contents.size(), fault_site);
+}
+
+}  // namespace melb::util

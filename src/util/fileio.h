@@ -1,0 +1,29 @@
+// Atomic durable file writes.
+//
+// Report files are parsed by downstream tooling (CI byte-compares, the perf
+// gate, the merge subcommand), so a crash mid-write must never leave a
+// truncated file under the final name. write_file_atomic writes to
+// `<path>.tmp` in the same directory, flushes and fsyncs it, renames it over
+// `path` (atomic on POSIX), and fsyncs the parent directory so the rename
+// itself is durable. A reader therefore sees either the old bytes or the new
+// bytes, never a prefix.
+//
+// Every call crosses the named fault site (util/faultpoint.h) twice:
+// `<site>` before the temp write (actions: crash, enospc, torn-write) and
+// `<site>.rename` before the rename (action: crash) — which is how the crash
+// harness proves "old or new, never torn" for every report the CLI emits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace melb::util {
+
+// Returns the empty string on success, a ready-to-print diagnostic on
+// failure (the temp file is removed; `path` is untouched).
+std::string write_file_atomic(const std::string& path, const void* data, std::size_t size,
+                              const std::string& fault_site = "file.write");
+std::string write_file_atomic(const std::string& path, const std::string& contents,
+                              const std::string& fault_site = "file.write");
+
+}  // namespace melb::util

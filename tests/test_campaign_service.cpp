@@ -1,0 +1,605 @@
+// Crash-safety acceptance tests for the campaign service (exp/journal.h,
+// exp/service.h, util/faultpoint.h, util/fileio.h).
+//
+// The contract under test: for a fixed spec, the report is a pure function
+// of (spec, results) — so a fresh run, a resumed run after kill -9 at ANY
+// registered fault boundary, a fully-cached re-run, and a k-shard run joined
+// by merge_shards must all serialize to the same bytes as the journal-free
+// run_campaign golden, at every worker count.
+//
+// Crash tests fork(): the child arms a fault spec, runs the service, and is
+// expected to die with _Exit(137) at the armed boundary; the parent then
+// resumes fault-free in the same state directory and compares bytes. The
+// fault registry is process-global, so specs for crash actions are only ever
+// armed in the child; in-parent injections (enospc, flake) are disarmed by a
+// RAII guard even when an assertion fails mid-test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MELB_HAVE_FORK 1
+#endif
+
+#include "algo/registry.h"
+#include "check/model_checker.h"
+#include "exp/campaign.h"
+#include "exp/journal.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/service.h"
+#include "util/faultpoint.h"
+#include "util/fileio.h"
+
+namespace melb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Disarm the fault registry on scope exit, so a failing ASSERT inside a test
+// that armed an in-process fault cannot leak the spec into later tests.
+struct FaultGuard {
+  ~FaultGuard() { util::set_fault_spec(""); }
+};
+
+// A fresh directory under the system temp root. Tags are unique per test, so
+// concurrent ctest invocations of this binary never share a directory.
+std::string temp_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("melb_campaign_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The 8-cell campaign every test runs: small enough that the full suite runs
+// hundreds of sweeps in seconds, yet it crosses register and RMW algorithms,
+// deterministic and seeded schedulers, and exercises the lb pipeline.
+exp::CampaignSpec test_spec() {
+  exp::CampaignSpec spec;
+  spec.algorithms = {"peterson-tree", "ticket-rmw"};
+  spec.schedulers = {"round-robin", "random"};
+  spec.sizes = {2, 3};
+  spec.seed = 99;
+  return spec;
+}
+
+std::string golden_json(const exp::CampaignSpec& spec) {
+  exp::RunOptions options;
+  options.workers = 1;
+  return exp::to_json(exp::run_campaign(spec, options));
+}
+
+// ---------------------------------------------------------------------------
+// Content-address keys and the shard partition.
+// ---------------------------------------------------------------------------
+
+TEST(CellKey, SensitiveToEveryCoordinateAndKnob) {
+  const exp::CampaignSpec spec = test_spec();
+  exp::Cell cell;
+  cell.index = 3;
+  cell.algorithm = "peterson-tree";
+  cell.scheduler = "random";
+  cell.n = 3;
+  cell.seed = 123;
+  const std::uint64_t base = exp::cell_key(spec, cell);
+
+  exp::Cell other = cell;
+  other.algorithm = "ticket-rmw";
+  EXPECT_NE(base, exp::cell_key(spec, other));
+  other = cell;
+  other.scheduler = "round-robin";
+  EXPECT_NE(base, exp::cell_key(spec, other));
+  other = cell;
+  other.n = 2;
+  EXPECT_NE(base, exp::cell_key(spec, other));
+  other = cell;
+  other.seed = 124;
+  EXPECT_NE(base, exp::cell_key(spec, other));
+
+  // The expansion index is a row id, not part of the experiment's identity.
+  other = cell;
+  other.index = 7;
+  EXPECT_EQ(base, exp::cell_key(spec, other));
+
+  // Result-affecting spec knobs change the key; the dimension lists do not
+  // (a cell's result does not depend on which other cells were swept).
+  exp::CampaignSpec knob = spec;
+  knob.mode = sim::RunMode::kFaithful;
+  EXPECT_NE(base, exp::cell_key(knob, cell));
+  knob = spec;
+  knob.max_steps = 1000;
+  EXPECT_NE(base, exp::cell_key(knob, cell));
+  knob = spec;
+  knob.lb_pipeline = false;
+  EXPECT_NE(base, exp::cell_key(knob, cell));
+  knob = spec;
+  knob.algorithms.push_back("bakery");
+  EXPECT_EQ(base, exp::cell_key(knob, cell));
+}
+
+TEST(CellKey, FingerprintCoversDimensionLists) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::uint64_t base = exp::campaign_fingerprint(spec);
+  exp::CampaignSpec other = spec;
+  other.algorithms.pop_back();
+  EXPECT_NE(base, exp::campaign_fingerprint(other));
+  other = spec;
+  other.sizes = {2};
+  EXPECT_NE(base, exp::campaign_fingerprint(other));
+  other = spec;
+  other.seed = 100;
+  EXPECT_NE(base, exp::campaign_fingerprint(other));
+  EXPECT_EQ(base, exp::campaign_fingerprint(test_spec()));
+}
+
+TEST(ShardOwns, PartitionsEveryIndexExactlyOnce) {
+  for (int k = 1; k <= 5; ++k) {
+    for (std::size_t index = 0; index < 100; ++index) {
+      int owners = 0;
+      for (int i = 1; i <= k; ++i) owners += exp::shard_owns(index, i, k) ? 1 : 0;
+      EXPECT_EQ(owners, 1) << "index " << index << " of " << k << " shards";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal persistence, resume, and recovery.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignService, FreshRunThenFullyCachedResume) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("resume");
+  const std::string golden = golden_json(spec);
+
+  const exp::ServiceReport fresh = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(fresh.executed, 8u);
+  EXPECT_EQ(fresh.cached, 0u);
+  EXPECT_EQ(exp::to_json(fresh.report), golden);
+
+  // The unchanged re-run must do zero cell work and produce the same bytes.
+  const exp::ServiceReport cached = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(cached.executed, 0u);
+  EXPECT_EQ(cached.cached, 8u);
+  EXPECT_EQ(cached.journal.records, 8u);
+  EXPECT_EQ(exp::to_json(cached.report), golden);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignService, StatelessRunMatchesJournalled) {
+  const exp::CampaignSpec spec = test_spec();
+  const exp::ServiceReport pure = exp::run_campaign_service(spec, "");
+  EXPECT_EQ(pure.executed, 8u);
+  EXPECT_EQ(exp::to_json(pure.report), golden_json(spec));
+}
+
+TEST(CampaignService, TornTailIsTruncatedAndRecomputed) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("torn");
+  const std::string golden = golden_json(spec);
+  exp::ServiceOptions options;
+  options.journal_batch = 4;  // two segments for the 8 cells
+  exp::run_campaign_service(spec, dir, options);
+
+  // Garbage appended past the last valid record — what a torn batch write
+  // that got renamed anyway would look like.
+  std::string last_segment;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0 && name > last_segment) last_segment = name;
+  }
+  ASSERT_FALSE(last_segment.empty());
+  {
+    std::ofstream out(fs::path(dir) / last_segment, std::ios::binary | std::ios::app);
+    out << "\x6d\x62garbage tail";
+  }
+  exp::ServiceReport resumed = exp::run_campaign_service(spec, dir, options);
+  EXPECT_EQ(resumed.journal.torn_segments, 1u);
+  EXPECT_EQ(resumed.cached, 8u);  // every whole record survives the truncation
+  EXPECT_EQ(exp::to_json(resumed.report), golden);
+
+  // Corruption *inside* a record checksums as torn: the valid prefix is
+  // served, the rest recomputed, and the report bytes still converge.
+  std::fstream seg(fs::path(dir) / last_segment,
+                   std::ios::binary | std::ios::in | std::ios::out);
+  seg.seekp(40);
+  seg.put('\xff');
+  seg.close();
+  resumed = exp::run_campaign_service(spec, dir, options);
+  EXPECT_EQ(resumed.journal.torn_segments, 1u);
+  EXPECT_LT(resumed.cached, 8u);
+  EXPECT_GT(resumed.executed, 0u);
+  EXPECT_EQ(exp::to_json(resumed.report), golden);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignService, OrphanTempFilesAreRemoved) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("orphan");
+  exp::run_campaign_service(spec, dir);
+  { std::ofstream(fs::path(dir) / "seg-00000099.melbj.tmp") << "half a segment"; }
+  const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(resumed.journal.orphan_tmp, 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "seg-00000099.melbj.tmp"));
+  EXPECT_EQ(resumed.cached, 8u);
+  fs::remove_all(dir);
+}
+
+TEST(CampaignService, StaleCodeVersionDiscardsTheJournal) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("stale");
+  exp::run_campaign_service(spec, dir);
+
+  // Rewrite the meta as if an older build had produced this directory.
+  const fs::path meta = fs::path(dir) / "campaign.meta";
+  std::ifstream in(meta);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::string needle = exp::kJournalCodeVersion;
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "melb-journal-v0");
+  { std::ofstream(meta) << text; }
+
+  const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+  EXPECT_TRUE(resumed.journal.version_stale);
+  EXPECT_EQ(resumed.cached, 0u);
+  EXPECT_EQ(resumed.executed, 8u);
+  EXPECT_EQ(exp::to_json(resumed.report), golden_json(spec));
+  fs::remove_all(dir);
+}
+
+TEST(CampaignService, RejectsAStateDirOfADifferentCampaign) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("wrong");
+  exp::run_campaign_service(spec, dir);
+  exp::CampaignSpec other = spec;
+  other.seed = 100;
+  EXPECT_THROW(exp::run_campaign_service(other, dir), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding and merge.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> run_shards(const exp::CampaignSpec& spec, int k,
+                                    const std::string& tag) {
+  std::vector<std::string> dirs;
+  for (int i = 1; i <= k; ++i) {
+    const std::string dir = temp_dir(tag + "_s" + std::to_string(i));
+    exp::ServiceOptions options;
+    options.shard_index = i;
+    options.shard_count = k;
+    exp::run_campaign_service(spec, dir, options);
+    dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+TEST(Merge, ShardedRunsReproduceTheUnshardedBytes) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string golden = golden_json(spec);
+  for (int k : {2, 4}) {
+    const std::vector<std::string> dirs = run_shards(spec, k, "merge" + std::to_string(k));
+    // Merge must not depend on the order the shard dirs are listed in.
+    std::vector<std::string> reversed(dirs.rbegin(), dirs.rend());
+    EXPECT_EQ(exp::to_json(exp::merge_shards(dirs)), golden) << k << " shards";
+    EXPECT_EQ(exp::to_json(exp::merge_shards(reversed)), golden) << k << " shards reversed";
+    for (const auto& dir : dirs) fs::remove_all(dir);
+  }
+}
+
+TEST(Merge, RejectsBadShardSets) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::vector<std::string> dirs = run_shards(spec, 2, "reject");
+
+  EXPECT_THROW(exp::merge_shards({dirs[0], dirs[0]}), std::runtime_error);  // duplicate
+  EXPECT_THROW(exp::merge_shards({dirs[0]}), std::runtime_error);           // incomplete
+
+  // A shard of a different campaign: fingerprint mismatch.
+  exp::CampaignSpec other = spec;
+  other.seed = 100;
+  const std::vector<std::string> foreign = run_shards(other, 2, "reject_foreign");
+  EXPECT_THROW(exp::merge_shards({dirs[0], foreign[1]}), std::runtime_error);
+
+  // Disagreeing shard counts.
+  const std::vector<std::string> quarters = run_shards(spec, 4, "reject_mixed");
+  EXPECT_THROW(exp::merge_shards({dirs[0], quarters[1]}), std::runtime_error);
+
+  // A shard written by a different code version.
+  const fs::path meta = fs::path(dirs[1]) / "campaign.meta";
+  std::ifstream in(meta);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t at = text.find(exp::kJournalCodeVersion);
+  ASSERT_NE(at, std::string::npos);
+  std::string tampered = text;
+  tampered.replace(at, std::string(exp::kJournalCodeVersion).size(), "melb-journal-v0");
+  { std::ofstream(meta) << tampered; }
+  EXPECT_THROW(exp::merge_shards(dirs), std::runtime_error);
+  { std::ofstream(meta) << text; }
+
+  // Overlap: relabel shard 1's meta as shard 2, so its journal holds cells
+  // the claimed shard id does not own.
+  const fs::path meta0 = fs::path(dirs[0]) / "campaign.meta";
+  std::ifstream in0(meta0);
+  std::string text0((std::istreambuf_iterator<char>(in0)), std::istreambuf_iterator<char>());
+  in0.close();
+  const std::size_t shard_at = text0.find("shard=1/2");
+  ASSERT_NE(shard_at, std::string::npos);
+  text0.replace(shard_at, std::string("shard=1/2").size(), "shard=2/2");
+  { std::ofstream(meta0) << text0; }
+  EXPECT_THROW(exp::merge_shards({dirs[1], dirs[0]}), std::runtime_error);
+
+  for (const auto& dir : dirs) fs::remove_all(dir);
+  for (const auto& dir : foreign) fs::remove_all(dir);
+  for (const auto& dir : quarters) fs::remove_all(dir);
+}
+
+TEST(Merge, ReportsCellsMissingFromTheirShard) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::vector<std::string> dirs = run_shards(spec, 2, "missing");
+  // Drop shard 2's segments: its meta is fine but its cells are gone.
+  for (const auto& entry : fs::directory_iterator(dirs[1])) {
+    if (entry.path().filename().string().rfind("seg-", 0) == 0) fs::remove(entry.path());
+  }
+  try {
+    exp::merge_shards(dirs);
+    FAIL() << "merge accepted a shard with missing cells";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos) << e.what();
+  }
+  for (const auto& dir : dirs) fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Kill -9 at every journal boundary, then resume.
+// ---------------------------------------------------------------------------
+
+#if defined(MELB_HAVE_FORK)
+
+// Forks a child that arms `fault_spec` and runs the campaign into `dir`.
+// Returns the child's wait status exit/signal code: 137 means the fault
+// crashed it, 0 means the spec's boundary was never reached (the sweep
+// finished first).
+int run_in_forked_child(const exp::CampaignSpec& spec, const std::string& dir,
+                        const std::string& fault_spec) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    util::set_fault_spec(fault_spec);
+    exp::ServiceOptions options;
+    options.journal_batch = 2;  // several commit boundaries per run
+    try {
+      exp::run_campaign_service(spec, dir, options);
+    } catch (...) {
+      ::_exit(3);  // a fault surfaced as an exception instead of a crash
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+TEST(CrashHarness, KillAtEveryBoundaryThenResumeConverges) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string golden = golden_json(spec);
+  for (const std::string site : {"journal.append", "journal.write", "journal.write.rename"}) {
+    bool exhausted = false;
+    for (int k = 0; k < 40 && !exhausted; ++k) {
+      const std::string dir = temp_dir("kill");
+      const std::string fault = site + "." + std::to_string(k) + ":crash";
+      const int code = run_in_forked_child(spec, dir, fault);
+      switch (code) {
+        case 137:
+          break;  // killed at the armed boundary: the interesting case
+        case 0:
+          exhausted = true;  // boundary k was never reached: site is covered
+          break;
+        default:
+          FAIL() << fault << " child exited " << code;
+      }
+      // Whatever the crash left behind, a fault-free resume must converge to
+      // the golden bytes (recovery + recompute of the non-durable cells).
+      const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+      EXPECT_EQ(exp::to_json(resumed.report), golden) << "resume after " << fault;
+      fs::remove_all(dir);
+    }
+    EXPECT_TRUE(exhausted) << site << " still firing after 40 boundaries";
+  }
+}
+
+TEST(CrashHarness, TornCommitLeavesARecoverableDirectory) {
+  const exp::CampaignSpec spec = test_spec();
+  const std::string golden = golden_json(spec);
+  const std::string dir = temp_dir("tornwrite");
+  const int code = run_in_forked_child(spec, dir, "journal.write.0:torn-write");
+  ASSERT_EQ(code, 137);
+  const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+  // The torn temp file was never renamed, so recovery sees it as an orphan.
+  EXPECT_EQ(resumed.journal.orphan_tmp, 1u);
+  EXPECT_EQ(exp::to_json(resumed.report), golden);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, TornWriteNeverClobbersTheTarget) {
+  const std::string dir = temp_dir("atomic");
+  const std::string path = (fs::path(dir) / "report.json").string();
+  ASSERT_EQ(util::write_file_atomic(path, "old contents"), "");
+  const pid_t pid = fork();
+  if (pid == 0) {
+    util::set_fault_spec("file.write.0:torn-write");
+    util::write_file_atomic(path, "new contents that must not land");
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 137);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "old contents");
+  fs::remove_all(dir);
+}
+
+#endif  // MELB_HAVE_FORK
+
+// ---------------------------------------------------------------------------
+// Injected transient errors and the retry loop.
+// ---------------------------------------------------------------------------
+
+TEST(Retry, InjectedFlakesRetryDeterministicallyAcrossWorkerCounts) {
+  FaultGuard guard;
+  const exp::CampaignSpec spec = test_spec();
+  // Cell 5 fails twice then recovers, no matter which worker runs it.
+  util::set_fault_spec("cell.run.5:flake*2");
+  exp::ServiceOptions serial;
+  serial.run.workers = 1;
+  const exp::ServiceReport one = exp::run_campaign_service(spec, "", serial);
+  EXPECT_EQ(one.retries, 2u);
+  EXPECT_EQ(one.report.cells[5].retries, 2u);
+  EXPECT_EQ(one.report.cells[5].status, "ok");
+
+  util::set_fault_spec("cell.run.5:flake*2");
+  exp::ServiceOptions wide;
+  wide.run.workers = 4;
+  const exp::ServiceReport four = exp::run_campaign_service(spec, "", wide);
+  EXPECT_EQ(exp::to_json(one.report), exp::to_json(four.report));
+}
+
+TEST(Retry, ExhaustedRetriesAreReportedButNeverJournaled) {
+  FaultGuard guard;
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("flaky");
+  util::set_fault_spec("cell.run.5:flake*9");  // outlives the 3-retry budget
+  const exp::ServiceReport failed = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(failed.report.cells[5].retries, 3u);
+  EXPECT_TRUE(exp::is_transient_error(failed.report.cells[5].status))
+      << failed.report.cells[5].status;
+
+  // The failure must not be cached: the fault-free resume retries exactly
+  // that cell and converges to the golden report.
+  util::set_fault_spec("");
+  const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(resumed.cached, 7u);
+  EXPECT_EQ(resumed.executed, 1u);
+  EXPECT_EQ(exp::to_json(resumed.report), golden_json(spec));
+  fs::remove_all(dir);
+}
+
+TEST(Retry, RetryCountsAppearInBothReportFormats) {
+  FaultGuard guard;
+  const exp::CampaignSpec spec = test_spec();
+  util::set_fault_spec("cell.run.2:flake*1");
+  const exp::ServiceReport report = exp::run_campaign_service(spec, "");
+  EXPECT_NE(exp::to_json(report.report).find("\"retries\": 1"), std::string::npos);
+  EXPECT_NE(exp::to_csv(report.report).find(",retries,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-point registry and the atomic writer's error paths.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPoint, MalformedSpecsAreRejected) {
+  EXPECT_THROW(util::set_fault_spec("no-colon"), std::invalid_argument);
+  EXPECT_THROW(util::set_fault_spec("noindex:crash"), std::invalid_argument);
+  EXPECT_THROW(util::set_fault_spec("site.x:crash"), std::invalid_argument);
+  EXPECT_THROW(util::set_fault_spec("site.3:explode"), std::invalid_argument);
+  EXPECT_THROW(util::set_fault_spec("site.3:crash*zero"), std::invalid_argument);
+  EXPECT_THROW(util::set_fault_spec("site.3:crash*0"), std::invalid_argument);
+}
+
+TEST(FaultPoint, CountedSitesFireOnTheArmedHitOnly) {
+  FaultGuard guard;
+  util::set_fault_spec("t.hit.2:enospc");
+  EXPECT_EQ(util::fault_hit("t.hit"), util::FaultAction::kNone);   // hit 0
+  EXPECT_EQ(util::fault_hit("t.hit"), util::FaultAction::kNone);   // hit 1
+  EXPECT_EQ(util::fault_hit("t.hit"), util::FaultAction::kEnospc); // hit 2
+  EXPECT_EQ(util::fault_hit("t.hit"), util::FaultAction::kNone);   // count spent
+}
+
+TEST(FaultPoint, KeyedSitesMatchIdentityNotOrder) {
+  FaultGuard guard;
+  util::set_fault_spec("t.key.7:flake*2");
+  EXPECT_EQ(util::fault_key("t.key", 3), util::FaultAction::kNone);
+  EXPECT_EQ(util::fault_key("t.key", 7), util::FaultAction::kFlake);
+  EXPECT_EQ(util::fault_key("t.key", 7), util::FaultAction::kFlake);
+  EXPECT_EQ(util::fault_key("t.key", 7), util::FaultAction::kNone);  // count spent
+}
+
+TEST(FaultPoint, DisarmingResetsCounters) {
+  FaultGuard guard;
+  util::set_fault_spec("t.reset.0:enospc");
+  EXPECT_EQ(util::fault_hit("t.reset"), util::FaultAction::kEnospc);
+  util::set_fault_spec("t.reset.0:enospc");
+  EXPECT_EQ(util::fault_hit("t.reset"), util::FaultAction::kEnospc);
+  util::set_fault_spec("");
+  EXPECT_EQ(util::fault_hit("t.reset"), util::FaultAction::kNone);
+}
+
+TEST(AtomicWrite, InjectedEnospcReportsAndPreservesTheTarget) {
+  FaultGuard guard;
+  const std::string dir = temp_dir("enospc");
+  const std::string path = (fs::path(dir) / "report.json").string();
+  ASSERT_EQ(util::write_file_atomic(path, "old contents"), "");
+  util::set_fault_spec("file.write.0:enospc");
+  const std::string err = util::write_file_atomic(path, "doomed");
+  EXPECT_NE(err.find("no space left"), std::string::npos) << err;
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "old contents");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // the failed temp file is cleaned up
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, JournalCommitSurfacesEnospcAsAnError) {
+  FaultGuard guard;
+  const exp::CampaignSpec spec = test_spec();
+  const std::string dir = temp_dir("commit_enospc");
+  util::set_fault_spec("journal.write.0:enospc");
+  EXPECT_THROW(exp::run_campaign_service(spec, dir), std::runtime_error);
+  // The directory is still a valid (empty) journal: the fault-free rerun
+  // recomputes everything and succeeds.
+  util::set_fault_spec("");
+  const exp::ServiceReport resumed = exp::run_campaign_service(spec, dir);
+  EXPECT_EQ(exp::to_json(resumed.report), golden_json(spec));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Spill-path failure surfacing (satellite b): an injected ENOSPC on the
+// checker's spill file must keep the verdict and statistics identical to a
+// clean run — the chunks stay in RAM — while CheckResult::io_error carries
+// the diagnostic the CLI turns into a nonzero exit.
+// ---------------------------------------------------------------------------
+
+TEST(SpillFailure, EnospcSurfacesIoErrorWithoutChangingResults) {
+  FaultGuard guard;
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  check::CheckOptions options;
+  options.memory_limit_mb = 1;  // forces spilling on this ~3 MiB space
+
+  const check::CheckResult clean = check::check_algorithm(*info.algorithm, 3, options);
+  ASSERT_TRUE(clean.ok);
+  ASSERT_TRUE(clean.io_error.empty());
+
+  util::set_fault_spec("spill.append.0:enospc");
+  const check::CheckResult faulted = check::check_algorithm(*info.algorithm, 3, options);
+  EXPECT_TRUE(faulted.ok);
+  EXPECT_NE(faulted.io_error.find("no space left"), std::string::npos) << faulted.io_error;
+  EXPECT_EQ(faulted.states, clean.states);
+  EXPECT_EQ(faulted.transitions, clean.transitions);
+}
+
+}  // namespace
+}  // namespace melb

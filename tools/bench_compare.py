@@ -59,7 +59,14 @@ def load_medians(path, metric):
         name = bench.get("name")
         if name is None or metric not in bench:
             continue
-        samples.setdefault(name, []).append(float(bench[metric]))
+        try:
+            value = float(bench[metric])
+        except (TypeError, ValueError):
+            # A malformed gated counter (null, a string, an object) is bad
+            # input, not a crash: name the row so the fix is obvious.
+            fail_input(f"{path}: benchmark {name!r} has malformed "
+                       f"{metric}: {bench[metric]!r}")
+        samples.setdefault(name, []).append(value)
     return {name: statistics.median(values) for name, values in samples.items()}
 
 
@@ -95,6 +102,10 @@ def self_test():
          "metric present on one side only is not gated"),
         ([("a", 100.0, 1000.0), ("b", 50.0)], [("a", 101.0, 990.0), ("b", 51.0)], 0,
          "counter-carrying and timing-only benchmarks coexist"),
+        ([("a", None)], [("a", 101.0)], 2,
+         "malformed gated counter in the baseline is bad input, not a crash"),
+        ([("a", 100.0, 1000.0)], [("a", 101.0, "oops")], 2,
+         "non-numeric counter in the current run is bad input, not a crash"),
     ]
     failures = 0
     with tempfile.TemporaryDirectory(prefix="bench_compare_selftest_") as tmpdir:
@@ -108,10 +119,12 @@ def self_test():
             proc = subprocess.run(
                 [sys.executable, __file__, base_path, cur_path, "--threshold", "0.25"],
                 capture_output=True, text=True)
-            status = "ok" if proc.returncode == expected else "FAIL"
-            if proc.returncode != expected:
+            passed = proc.returncode == expected and "Traceback" not in proc.stderr
+            status = "ok" if passed else "FAIL"
+            if not passed:
                 failures += 1
                 print(proc.stdout)
+                print(proc.stderr, file=sys.stderr)
             print(f"self-test [{status}] {description}: exit {proc.returncode} "
                   f"(expected {expected})")
         # Malformed input must exit 2, not crash.

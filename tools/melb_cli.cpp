@@ -15,9 +15,14 @@
 //   melb_cli sweep [--algs SEL] [--scheds LIST] [--n RANGE] [--seed S]
 //                  [--workers W] [--faithful] [--no-lb] [--max-steps K]
 //                  [--json FILE] [--csv FILE] [--check-determinism] [--progress]
+//                  [--state DIR] [--shard I/K] [--journal-batch B]
+//                  [--max-retries R]
+//   melb_cli merge <state-dir>... [--json FILE] [--csv FILE]
 //
 // Every subcommand exits nonzero on a property violation, so the tool can be
-// scripted as a validity oracle.
+// scripted as a validity oracle. `sweep --state` makes the sweep crash-safe
+// and resumable (docs/campaign-service.md); `merge` joins shard journals
+// into the byte-identical unsharded report.
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -38,8 +43,10 @@
 #include "check/model_checker.h"
 #include "cost/cost_model.h"
 #include "exp/campaign.h"
+#include "exp/journal.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "exp/service.h"
 #include "lb/construct.h"
 #include "lb/decode.h"
 #include "lb/encode.h"
@@ -48,6 +55,7 @@
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
+#include "util/fileio.h"
 #include "util/table.h"
 
 using namespace melb;
@@ -129,6 +137,18 @@ util::Permutation make_pi(const std::string& kind, int n, std::uint64_t seed) {
   return util::Permutation(n);
 }
 
+// Every file the CLI emits (reports, traces, encodings) goes through the
+// atomic writer: a crash mid-write must never leave a truncated file under
+// the final name for downstream tooling to parse as garbage.
+bool write_file(const std::string& path, const std::string& contents) {
+  const std::string err = util::write_file_atomic(path, contents, "report.write");
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_list() {
   util::Table table({"name", "livelock-free", "mutex", "primitives", "cost profile"});
   for (const auto& info : algo::all_algorithms()) {
@@ -160,12 +180,9 @@ int cmd_run(const Args& args) {
   std::printf("well-formed: %s; mutual exclusion: %s\n", wf.empty() ? "ok" : wf.c_str(),
               me.empty() ? "ok" : me.c_str());
   if (args.has("trace")) {
-    std::ofstream out(args.get("trace", ""));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open %s\n", args.get("trace", "").c_str());
+    if (!write_file(args.get("trace", ""), trace::to_text({info.algorithm->name(), n}, run.exec))) {
       return 1;
     }
-    out << trace::to_text({info.algorithm->name(), n}, run.exec);
     std::printf("trace written to %s\n", args.get("trace", "").c_str());
   }
   return (wf.empty() && me.empty()) ? 0 : 1;
@@ -192,12 +209,7 @@ int cmd_construct(const Args& args) {
   const auto structural = lb::verify_linearization(c, steps);
   std::printf("structural check: %s\n", structural.empty() ? "ok" : structural.c_str());
   if (args.has("encode")) {
-    std::ofstream out(args.get("encode", ""));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open %s\n", args.get("encode", "").c_str());
-      return 1;
-    }
-    out << encoding.text;
+    if (!write_file(args.get("encode", ""), encoding.text)) return 1;
     std::printf("E_pi written to %s\n", args.get("encode", "").c_str());
   }
   if (args.has("dump")) {
@@ -282,6 +294,11 @@ void print_check_result(const std::string& name, int n, const check::CheckResult
   if (result.symmetry_group != 0) {
     std::printf("symmetry: canonicalized under a %llu-element pid group\n",
                 static_cast<unsigned long long>(result.symmetry_group));
+  }
+  if (!result.io_error.empty()) {
+    std::printf("io error: %s (results were computed fully in RAM, but the "
+                "--memory-limit-mb budget could not be honored)\n",
+                result.io_error.c_str());
   }
   for (const auto& pr : result.property_reports) {
     const char* verdict = !pr.evaluated
@@ -407,7 +424,7 @@ int cmd_check(const Args& args) {
   }
 
   print_check_result(info.algorithm->name(), n, result);
-  return (result.ok && !determinism_failed) ? 0 : 1;
+  return (result.ok && !determinism_failed && result.io_error.empty()) ? 0 : 1;
 }
 
 int cmd_cost(const Args& args) {
@@ -427,16 +444,6 @@ int cmd_cost(const Args& args) {
   }
   std::printf("%s", table.to_string().c_str());
   return 0;
-}
-
-bool write_file(const std::string& path, const std::string& contents) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    return false;
-  }
-  out << contents;
-  return true;
 }
 
 // Summarize a finished campaign; returns the number of not-ok cells.
@@ -488,49 +495,99 @@ int cmd_sweep(const Args& args) {
   if (args.has("no-lb")) spec.lb_pipeline = false;
   spec.max_steps = parse_uint(args.get("max-steps", "50000000"), "--max-steps", 1);
 
-  exp::RunOptions options;
-  options.workers = parse_int(args.get("workers", "0"), "--workers", 0, 1024);
+  exp::ServiceOptions options;
+  options.run.workers = parse_int(args.get("workers", "0"), "--workers", 0, 1024);
+  options.run.max_retries = parse_int(args.get("max-retries", "3"), "--max-retries", 0, 100);
+  options.journal_batch = parse_uint(args.get("journal-batch", "32"), "--journal-batch", 1);
+  const std::string state_dir = args.get("state", "");
+  if (args.has("state") && state_dir.empty()) {
+    throw UsageError("error: --state expects a directory path");
+  }
+  if (args.has("shard")) {
+    const std::string shard = args.get("shard", "");
+    const std::size_t slash = shard.find('/');
+    if (slash == std::string::npos) {
+      throw UsageError("error: --shard expects I/K (e.g. --shard 1/4), got '" + shard + "'");
+    }
+    options.shard_count = parse_int(shard.substr(slash + 1), "--shard count", 1, 1000000);
+    options.shard_index =
+        parse_int(shard.substr(0, slash), "--shard index", 1, options.shard_count);
+  }
   if (args.has("progress")) {
-    options.on_cell = [](const exp::CellResult& cell) {
+    options.run.on_cell = [](const exp::CellResult& cell) {
       std::fprintf(stderr, "[%zu] %s/%s n=%d: %s (%.1f ms)\n", cell.cell.index,
                    cell.cell.algorithm.c_str(), cell.cell.scheduler.c_str(), cell.cell.n,
                    cell.status.c_str(), static_cast<double>(cell.wall_micros) / 1000.0);
     };
   }
 
-  exp::CampaignReport report;
+  exp::ServiceReport service;
   bool determinism_failed = false;
   if (args.has("check-determinism")) {
     // The acceptance check: a 1-worker run and an N-worker run of the same
     // campaign must serialize to the same bytes; report the parallel speedup.
-    exp::RunOptions serial = options;
-    serial.workers = 1;
-    const auto baseline = exp::run_campaign(spec, serial);
-    report = exp::run_campaign(spec, options);
-    const std::string json_serial = exp::to_json(baseline);
-    const std::string json_parallel = exp::to_json(report);
-    const double speedup = report.wall_micros > 0
-                               ? static_cast<double>(baseline.wall_micros) /
-                                     static_cast<double>(report.wall_micros)
-                               : 0.0;
+    // The baseline deliberately runs WITHOUT the state directory, so with
+    // --state this also proves journal-served bytes == freshly-computed bytes.
+    exp::ServiceOptions serial = options;
+    serial.run.workers = 1;
+    const auto baseline = exp::run_campaign_service(spec, "", serial);
+    service = exp::run_campaign_service(spec, state_dir, options);
+    const std::string json_serial = exp::to_json(baseline.report);
+    const std::string json_parallel = exp::to_json(service.report);
+    const double speedup =
+        service.report.wall_micros > 0
+            ? static_cast<double>(baseline.report.wall_micros) /
+                  static_cast<double>(service.report.wall_micros)
+            : 0.0;
     std::printf("determinism: 1-worker vs %d-worker report %s (hash %s)\n",
-                report.workers_used,
+                service.report.workers_used,
                 json_serial == json_parallel ? "byte-identical" : "MISMATCH",
-                exp::report_hash(report).c_str());
+                exp::report_hash(service.report).c_str());
     std::printf("speedup: %.2fx (%.1f ms serial, %.1f ms on %d workers)\n", speedup,
-                static_cast<double>(baseline.wall_micros) / 1000.0,
-                static_cast<double>(report.wall_micros) / 1000.0, report.workers_used);
+                static_cast<double>(baseline.report.wall_micros) / 1000.0,
+                static_cast<double>(service.report.wall_micros) / 1000.0,
+                service.report.workers_used);
     determinism_failed = json_serial != json_parallel;
   } else {
-    report = exp::run_campaign(spec, options);
+    service = exp::run_campaign_service(spec, state_dir, options);
   }
+  const exp::CampaignReport& report = service.report;
 
   // Always emit the summary and the requested report files — on a
   // determinism mismatch they are exactly the diagnostics CI must upload.
   const std::size_t not_ok = print_sweep_summary(report);
+  if (options.shard_count > 1) {
+    std::printf("shard %d/%d: %zu of the campaign's cells\n", options.shard_index,
+                options.shard_count, report.cells.size());
+  }
+  if (!state_dir.empty()) {
+    std::printf("journal %s: %zu cached, %zu executed, %llu retried "
+                "(recovered %zu records from %zu segments%s%s)\n",
+                state_dir.c_str(), service.cached, service.executed,
+                static_cast<unsigned long long>(service.retries), service.journal.records,
+                service.journal.segments,
+                service.journal.torn_segments ? ", torn tail truncated" : "",
+                service.journal.orphan_tmp ? ", orphan tmp removed" : "");
+  }
+  std::printf("report hash: %s\n", exp::report_hash(report).c_str());
   if (args.has("json") && !write_file(args.get("json", ""), exp::to_json(report))) return 1;
   if (args.has("csv") && !write_file(args.get("csv", ""), exp::to_csv(report))) return 1;
   return (not_ok == 0 && !determinism_failed) ? 0 : 1;
+}
+
+// Join shard state directories into the full campaign report. The spec is
+// reconstructed from the shard metas, so merge needs no sweep flags.
+int cmd_merge(const Args& args) {
+  if (args.positional.empty()) {
+    throw UsageError("error: merge expects one state directory per shard");
+  }
+  const exp::CampaignReport report = exp::merge_shards(args.positional);
+  const std::size_t not_ok = print_sweep_summary(report);
+  std::printf("merged %zu shards: %zu cells\n", args.positional.size(), report.cells.size());
+  std::printf("report hash: %s\n", exp::report_hash(report).c_str());
+  if (args.has("json") && !write_file(args.get("json", ""), exp::to_json(report))) return 1;
+  if (args.has("csv") && !write_file(args.get("csv", ""), exp::to_csv(report))) return 1;
+  return not_ok == 0 ? 0 : 1;
 }
 
 void usage() {
@@ -549,7 +606,9 @@ void usage() {
       "  cost <alg> <n>\n"
       "  sweep [--algs all|correct|registers|a,b] [--scheds s1,s2] [--n 2..8]\n"
       "        [--seed K] [--workers W] [--faithful] [--no-lb] [--max-steps K]\n"
-      "        [--json FILE] [--csv FILE] [--check-determinism] [--progress]\n");
+      "        [--json FILE] [--csv FILE] [--check-determinism] [--progress]\n"
+      "        [--state DIR] [--shard I/K] [--journal-batch B] [--max-retries R]\n"
+      "  merge <state-dir>... [--json FILE] [--csv FILE]\n");
 }
 
 }  // namespace
@@ -569,6 +628,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "cost") return cmd_cost(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "merge") return cmd_merge(args);
     usage();
     return 2;
   } catch (const UsageError& e) {
