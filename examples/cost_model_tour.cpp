@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::uint64_t>> per_model;
   for (const auto& model : models) per_model.push_back(model->per_process_cost(run.exec, n));
   for (int p = 0; p < n; ++p) {
-    std::vector<std::string> row{"p" + std::to_string(p)};
+    // std::string("p") + … instead of "p" + std::to_string(p): the rvalue
+    // operator+(const char*, string&&) overload trips gcc 12's -Wrestrict
+    // false positive at -O3 (-Werror Release builds).
+    std::vector<std::string> row{std::string("p").append(std::to_string(p))};
     for (const auto& costs : per_model)
       row.push_back(std::to_string(costs[static_cast<std::size_t>(p)]));
     table.add_row(std::move(row));

@@ -1,0 +1,334 @@
+#include "adv/adversary.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "check/closed_store.h"
+#include "check/model_checker.h"
+#include "check/property.h"
+#include "cost/cost_model.h"
+#include "sim/execution.h"
+#include "sim/simulator.h"
+
+namespace melb::adv {
+
+namespace {
+
+using sim::CritKind;
+using sim::Pid;
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+// What the property hands back to find_worst_schedule. check() owns the
+// property instances and may destroy them before the caller reads results,
+// so everything lands in this caller-owned struct instead.
+struct Extraction {
+  bool evaluated = false;
+  bool unbounded = false;
+  std::uint64_t bound = 0;
+  std::uint64_t sweeps = 0;
+  Pid victim = -1;
+  std::vector<Pid> pids;
+  std::string detail;
+};
+
+// rmr-bound's longest-path fixpoint (check/property.cpp) extended with
+// predecessor pointers and the engine's BFS first-discovery chain, so the
+// maximizing path can be read back out. Plain exploration only: per-state
+// pid payloads are not quotient-invariant under symmetry reduction.
+class AdversaryProperty final : public check::Property {
+ public:
+  AdversaryProperty(const cost::CostModel* model, int n, Extraction* out)
+      : model_(model), n_(n), out_(out) {}
+
+  std::string name() const override { return "adversary:" + model_->name(); }
+  bool needs_edges() const override { return true; }
+  bool wants_transitions() const override { return true; }
+  bool wants_self_loops() const override { return true; }
+  bool supports_symmetry() const override { return false; }
+
+  void on_begin(const check::EngineView& view) override {
+    (void)view;
+    entered_.push_back(0);  // root: nobody has entered
+    parents_.push_back(kNone);
+    parent_pids_.push_back(0);
+  }
+
+  void on_transition(const check::TransitionView& t) override {
+    const std::uint8_t cost =
+        t.memory_access
+            ? static_cast<std::uint8_t>(model_->step_cost(t.pid, t.reg, t.local_change) != 0)
+            : 0;
+    const bool enter = t.is_crit && t.crit == CritKind::kEnter;
+    if (t.self_loop) {
+      // Zero-progress spins are not edges. A positive-cost spin before the
+      // spinner's CS entry makes the bound infinite (rmr-bound's rule).
+      if (cost != 0 && ((entered_[t.parent] >> t.pid) & 1) == 0) {
+        spin_unbounded_ = true;
+      }
+      return;
+    }
+    if (t.is_new) {
+      // New states are sequenced in index order; the first-discovery edge is
+      // the engine's own BFS parent chain, reused as the zero-cost prefix.
+      if (entered_.size() != t.target) {
+        throw std::logic_error("adversary: transition sequencing out of order");
+      }
+      entered_.push_back(entered_[t.parent] |
+                         (enter ? (std::uint64_t{1} << t.pid) : 0));
+      parents_.push_back(t.parent);
+      parent_pids_.push_back(static_cast<std::uint8_t>(t.pid));
+    }
+    // Side bytes zip 1:1 with the engine's edge stream, rmr-bound's layout:
+    // bits 0-5 pid, bit 6 unit cost, bit 7 enter step.
+    side_.push_back(static_cast<std::uint8_t>(t.pid) |
+                    static_cast<std::uint8_t>(cost << 6) |
+                    static_cast<std::uint8_t>(enter ? 0x80 : 0));
+  }
+
+  std::optional<check::PropertyViolation> finish(check::EngineView& view) override;
+
+  check::PropertyReport report() const override {
+    check::PropertyReport r;
+    r.property = name();
+    r.holds = true;  // a measurement, never a violation
+    r.evaluated = out_->evaluated;
+    r.detail = out_->detail;
+    r.bound = out_->bound;
+    r.has_bound = out_->evaluated && !out_->unbounded;
+    return r;
+  }
+
+  std::uint64_t memory_bytes() const override {
+    return side_.capacity() + entered_.capacity() * sizeof(std::uint64_t) +
+           parents_.capacity() * sizeof(std::uint32_t) + parent_pids_.capacity() +
+           pass_bytes_;
+  }
+
+ private:
+  const cost::CostModel* model_;
+  const int n_;
+  Extraction* out_;
+  std::vector<std::uint8_t> side_;          // per engine edge: pid | cost | enter
+  std::vector<std::uint64_t> entered_;      // per state: bitmask of pids past enter
+  std::vector<std::uint32_t> parents_;      // per state: BFS first-discovery parent
+  std::vector<std::uint8_t> parent_pids_;   // per state: acting pid of that edge
+  std::uint64_t pass_bytes_ = 0;
+  bool spin_unbounded_ = false;
+};
+
+std::optional<check::PropertyViolation> AdversaryProperty::finish(
+    check::EngineView& view) {
+  out_->evaluated = true;
+  const std::uint64_t states = view.num_states();
+  const auto width = static_cast<std::size_t>(n_);
+  if (spin_unbounded_) {
+    out_->unbounded = true;
+    out_->detail = "unbounded under " + model_->name() +
+                   ": a process can busy-wait at positive cost before entering";
+    return std::nullopt;
+  }
+
+  // D[s * n + q]: max cost accumulated by pid q over all paths to state s.
+  // pred_from/pred_step remember the edge of each accumulator's last
+  // improvement; at convergence D[t][q] == D[pred][q] + contribution (any
+  // later source increase would have re-relaxed the edge), so following the
+  // pointers while D > 0 reads the maximizing path backwards.
+  std::vector<std::uint32_t> accum(static_cast<std::size_t>(states) * width, 0);
+  std::vector<std::uint32_t> pred_from(accum.size(), kNone);
+  std::vector<std::uint8_t> pred_step(accum.size(), 0);  // pid | cost << 7
+  pass_bytes_ = accum.capacity() * sizeof(std::uint32_t) +
+                pred_from.capacity() * sizeof(std::uint32_t) + pred_step.capacity();
+  const auto limit = static_cast<std::uint32_t>(states);
+  const check::EdgeStore& edges = *view.edge_store();
+  bool overflow = false;
+  bool changed = true;
+  while (changed && !overflow) {
+    changed = false;
+    ++out_->sweeps;
+    std::size_t ei = 0;
+    edges.for_each([&](std::uint32_t from, std::uint32_t to) {
+      const std::uint8_t b = side_[ei++];
+      const Pid pid = b & 63;
+      const std::uint32_t cost = (b >> 6) & 1;
+      const std::uint32_t* src = accum.data() + static_cast<std::size_t>(from) * width;
+      std::uint32_t* dst = accum.data() + static_cast<std::size_t>(to) * width;
+      for (std::size_t q = 0; q < width; ++q) {
+        const std::uint32_t v = src[q] + (static_cast<Pid>(q) == pid ? cost : 0);
+        if (v > dst[q]) {
+          dst[q] = v;
+          const std::size_t slot = static_cast<std::size_t>(to) * width + q;
+          pred_from[slot] = from;
+          pred_step[slot] =
+              static_cast<std::uint8_t>(pid) | static_cast<std::uint8_t>(cost << 7);
+          changed = true;
+          if (v >= limit) overflow = true;
+        }
+      }
+    });
+  }
+
+  if (overflow) {
+    out_->unbounded = true;
+    out_->detail = "unbounded under " + model_->name() +
+                   ": a reachable cycle accumulates positive cost before the CS";
+    view.note_pass_bytes(pass_bytes_);
+    pass_bytes_ = 0;
+    return std::nullopt;
+  }
+
+  // The certified bound: max accumulator of the acting pid at the source of
+  // every enter edge. First edge in stream order wins ties — the stream
+  // order is worker-invariant, so the witness is too.
+  std::uint64_t bound = 0;
+  std::uint32_t best_from = kNone;
+  Pid victim = -1;
+  std::size_t ei = 0;
+  edges.for_each([&](std::uint32_t from, std::uint32_t to) {
+    (void)to;
+    const std::uint8_t b = side_[ei++];
+    if ((b & 0x80) == 0) return;
+    const Pid pid = b & 63;
+    const std::uint64_t d = accum[static_cast<std::size_t>(from) * width +
+                                  static_cast<std::size_t>(pid)];
+    if (best_from == kNone || d > bound) {
+      bound = d;
+      best_from = from;
+      victim = pid;
+    }
+  });
+  if (best_from == kNone) {
+    throw std::runtime_error("adversary: no enter step in the explored graph");
+  }
+  out_->bound = bound;
+  out_->victim = victim;
+
+  // Walk the predecessor chain from the chosen enter edge's source back to
+  // the zero-cost plateau, re-verifying each hop, then prepend the BFS
+  // first-discovery chain to the root (every path to a D == 0 state costs
+  // the victim nothing, so the prefix choice cannot change the measure).
+  std::vector<Pid> suffix;  // reversed: enter-edge source back to plateau
+  std::uint32_t cur = best_from;
+  std::uint64_t guard = 0;
+  while (accum[static_cast<std::size_t>(cur) * width + static_cast<std::size_t>(victim)] >
+         0) {
+    const std::size_t slot =
+        static_cast<std::size_t>(cur) * width + static_cast<std::size_t>(victim);
+    const std::uint32_t from = pred_from[slot];
+    if (from == kNone) {
+      throw std::runtime_error("adversary: positive accumulator without predecessor");
+    }
+    const Pid p = pred_step[slot] & 63;
+    const std::uint32_t c = (pred_step[slot] >> 7) & 1;
+    const std::uint32_t expected =
+        accum[static_cast<std::size_t>(from) * width + static_cast<std::size_t>(victim)] +
+        (p == victim ? c : 0);
+    if (expected != accum[slot]) {
+      throw std::runtime_error(
+          "adversary: predecessor chain contradicts the converged fixpoint");
+    }
+    suffix.push_back(p);
+    cur = from;
+    if (++guard > states + 1) {
+      throw std::runtime_error(
+          "adversary: witness chain longer than the state count (zero-cost cycle)");
+    }
+  }
+  std::vector<Pid> prefix;  // reversed: plateau state back to the root
+  while (parents_[cur] != kNone) {
+    prefix.push_back(static_cast<Pid>(parent_pids_[cur]));
+    cur = parents_[cur];
+    if (++guard > 2 * states + 2) {
+      throw std::runtime_error("adversary: BFS parent chain does not reach the root");
+    }
+  }
+
+  out_->pids.assign(prefix.rbegin(), prefix.rend());
+  out_->pids.insert(out_->pids.end(), suffix.rbegin(), suffix.rend());
+  out_->pids.push_back(victim);  // the enter step itself
+  out_->detail = "max " + model_->name() + " cost to enter the CS = " +
+                 std::to_string(bound) + " (victim pid " + std::to_string(victim) +
+                 ", " + std::to_string(out_->pids.size()) + "-step witness, " +
+                 std::to_string(out_->sweeps) + " fixpoint sweeps)";
+  view.note_pass_bytes(pass_bytes_);
+  pass_bytes_ = 0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+AdversaryResult find_worst_schedule(const sim::Algorithm& algorithm, int n,
+                                    const std::string& cost_model,
+                                    const AdversaryOptions& options) {
+  const auto model = cost::make_cost_model(cost_model, algorithm, n);
+  if (!model->supports_step_cost()) {
+    throw std::invalid_argument(
+        "adversary does not support cost model '" + cost_model +
+        "' (its per-access cost depends on execution history, not on the reached "
+        "state)");
+  }
+
+  Extraction ex;
+  check::PropertyList properties;
+  properties.push_back(std::make_unique<AdversaryProperty>(model.get(), n, &ex));
+  check::CheckOptions copts;
+  copts.max_states = options.max_states;
+  copts.workers = options.workers;
+  copts.memory_limit_mb = options.memory_limit_mb;
+  const check::CheckResult cr = check::check(algorithm, n, std::move(properties), copts);
+
+  AdversaryResult result;
+  result.states = cr.states;
+  result.transitions = cr.transitions;
+  if (cr.exhausted_limit || !ex.evaluated) {
+    result.detail = "state space exceeds max-states=" + std::to_string(options.max_states) +
+                    " — the truncated graph certifies nothing; raise the cap";
+    return result;
+  }
+  result.evaluated = true;
+  result.unbounded = ex.unbounded;
+  result.bound = ex.bound;
+  result.victim = ex.victim;
+  result.sweeps = ex.sweeps;
+  result.detail = ex.detail;
+  if (ex.unbounded) return result;
+
+  result.schedule.algorithm = algorithm.name();
+  result.schedule.n = n;
+  result.schedule.mode = sim::RunMode::kProductiveOnly;
+  result.schedule.source = "adversary cost=" + cost_model + " bound=" +
+                           std::to_string(ex.bound) + " victim=" +
+                           std::to_string(ex.victim);
+  result.schedule.pids = std::move(ex.pids);
+
+  // Confirm the witness by construction-independent re-simulation: run the
+  // pid sequence on a fresh Simulator and re-measure with the offline cost
+  // model. Any mismatch is a checker/adversary bug and must be loud.
+  sim::Simulator simulator(algorithm, n);
+  for (std::size_t i = 0; i < result.schedule.pids.size(); ++i) {
+    const Pid pid = result.schedule.pids[i];
+    if (pid < 0 || pid >= n || simulator.process_done(pid)) {
+      throw std::runtime_error("adversary: witness step " + std::to_string(i) +
+                               " schedules pid " + std::to_string(pid) +
+                               ", which cannot move");
+    }
+    simulator.step(pid);
+  }
+  const sim::Execution& exec = simulator.execution();
+  const std::string wf = sim::check_well_formed(exec, n);
+  if (!wf.empty()) throw std::runtime_error("adversary: witness not well-formed: " + wf);
+  const std::string mx = sim::check_mutual_exclusion(exec, n);
+  if (!mx.empty()) throw std::runtime_error("adversary: witness violates mutex: " + mx);
+  const auto costs = model->per_process_cost(exec, n);
+  result.measured_cost = costs[static_cast<std::size_t>(result.victim)];
+  result.confirmed = result.measured_cost == result.bound;
+  if (!result.confirmed) {
+    result.detail += "; RE-SIMULATION MISMATCH: measured " +
+                     std::to_string(result.measured_cost);
+  }
+  return result;
+}
+
+}  // namespace melb::adv

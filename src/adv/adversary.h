@@ -1,0 +1,89 @@
+// Greedy RMR-maximizing adversary: extract the worst reachable schedule.
+//
+// The paper's lower bound is an adversary argument — the cost of mutual
+// exclusion is *witnessed* by a schedule. PR 7's rmr-bound property certifies
+// the worst-case cost to enter the critical section as a number; this module
+// closes the loop by producing the schedule that achieves it. It reruns the
+// rmr-bound longest-path fixpoint over the checker's recorded state graph
+// (check::check's EngineView/EdgeStore plumbing, cost::make_cost_model
+// per-step costing) while additionally threading predecessor pointers
+// through every relaxation, then:
+//
+//   1. picks the enter edge whose source maximizes the acting pid's
+//      accumulator — that pid is the victim, the accumulator the bound;
+//   2. backtracks the predecessor chain while the victim's accumulator is
+//      positive, re-verifying D[t][q] == D[pred][q] + contribution at every
+//      hop (a defensive check against zero-cost-cycle pathologies: the chain
+//      is also length-capped, and a cap hit raises instead of looping);
+//   3. prepends the engine's BFS first-discovery chain from the root to the
+//      zero-cost plateau (sound because D[u][victim] == 0 means *every* path
+//      to u costs the victim nothing);
+//   4. re-simulates the assembled pid sequence on a fresh Simulator and
+//      re-measures the victim's cost with the cost model's
+//      per_process_cost — the measured value must equal the certified bound
+//      (AdversaryResult::confirmed).
+//
+// The schedule is emitted in sim/schedule.h's replay format (productive
+// mode: checker edges change the acting process's local state, so each step
+// is eligible under the canonical runner's productive-only filter), making
+// the certified bound an executable, committable artifact — e.g.
+// tests/fixtures/ya4-adversary-state-change.sched witnesses the pinned
+// rmr-bound of 20 for yang-anderson at n=4.
+//
+// Determinism: exploration order, edge stream, fixpoint, and tie-breaks
+// (first enter edge in stream order wins) are all worker-invariant, so the
+// emitted schedule is byte-identical for every worker count.
+//
+// Cost models: exactly the rmr-bound set — any cost::make_cost_model name
+// with supports_step_cost() (state-change, total-accesses, dsm);
+// cache-coherent is rejected with std::invalid_argument. "Unbounded"
+// verdicts (positive-cost reachable cycle or pre-CS spin — the expected
+// outcome for total-accesses on any busy-waiting algorithm) carry no
+// schedule: no finite witness exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/automaton.h"
+#include "sim/schedule.h"
+#include "sim/types.h"
+
+namespace melb::adv {
+
+struct AdversaryOptions {
+  // State-space cap forwarded to the checker. Exceeding it aborts the
+  // analysis (evaluated = false) — a truncated graph certifies nothing.
+  std::uint64_t max_states = 20'000'000;
+  int workers = 1;            // exploration workers; results worker-invariant
+  std::uint64_t memory_limit_mb = 0;  // checker spill ceiling, 0 = none
+};
+
+struct AdversaryResult {
+  bool evaluated = false;   // full exploration + fixpoint ran
+  bool unbounded = false;   // positive-cost cycle or pre-CS spin: no witness
+  std::uint64_t bound = 0;  // certified worst cost to enter the CS
+  sim::Pid victim = -1;     // the process achieving the bound
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t sweeps = 0;  // fixpoint sweeps until convergence
+  std::string detail;        // human-readable verdict / diagnostic
+  // The witness (empty pids when unbounded or not evaluated). The final pid
+  // is the victim taking its enter step.
+  sim::Schedule schedule;
+  // Re-simulation of `schedule` on a fresh Simulator, measured with the cost
+  // model's per_process_cost. confirmed <=> measured_cost == bound.
+  std::uint64_t measured_cost = 0;
+  bool confirmed = false;
+};
+
+// Runs the analysis for one (algorithm, n, cost model). Throws
+// std::invalid_argument for unknown or history-dependent cost models
+// (cache-coherent), std::runtime_error if witness extraction or
+// re-simulation contradicts the certified fixpoint (a bug, not an input
+// error — the cross-check is the point).
+AdversaryResult find_worst_schedule(const sim::Algorithm& algorithm, int n,
+                                    const std::string& cost_model,
+                                    const AdversaryOptions& options = {});
+
+}  // namespace melb::adv

@@ -21,11 +21,12 @@ std::vector<Cell> expand(const CampaignSpec& spec) {
   if (spec.algorithms.empty() || spec.schedulers.empty() || spec.sizes.empty()) {
     throw std::invalid_argument("campaign has an empty dimension");
   }
-  const auto& known_scheds = sim::scheduler_names();
   for (const auto& sched : spec.schedulers) {
-    if (std::find(known_scheds.begin(), known_scheds.end(), sched) == known_scheds.end()) {
-      throw std::invalid_argument("unknown scheduler: " + sched);
-    }
+    // Try-construct instead of matching scheduler_names(): parameterized
+    // schedulers ("rr-quantum:5", "priority:1+3+2") are valid sweep
+    // dimension values without being enrolled in the canonical list.
+    // Throws std::invalid_argument on unknown names or bad parameters.
+    (void)sim::make_scheduler(sched, 2, 0);
   }
   for (const auto& name : spec.algorithms) {
     (void)algo::algorithm_by_name(name);  // throws std::out_of_range if unknown

@@ -96,6 +96,25 @@ std::string to_json(const CampaignReport& report) {
   return out.str();
 }
 
+namespace {
+
+// RFC 4180 quoting for the free-text columns. Plain names (every enrolled
+// scheduler uses '+' as its parameter separator, never ',') pass through
+// byte-identical; a comma, quote, or newline triggers quoting so e.g. an
+// API-built sweep over "rr-weighted:1,2" still yields parseable CSV.
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 std::string to_csv(const CampaignReport& report) {
   std::ostringstream out;
   out << "index,algorithm,scheduler,n,seed,status,completed,livelocked,steps,exec_size,"
@@ -104,7 +123,8 @@ std::string to_csv(const CampaignReport& report) {
          "lb_attempted,lb_roundtrip_ok,lb_metasteps,lb_insertions,lb_encoding_bytes,"
          "lb_binary_bits,lb_decode_iterations\n";
   for (const CellResult& r : report.cells) {
-    out << r.cell.index << ',' << r.cell.algorithm << ',' << r.cell.scheduler << ','
+    out << r.cell.index << ',' << csv_field(r.cell.algorithm) << ','
+        << csv_field(r.cell.scheduler) << ','
         << r.cell.n << ',' << r.cell.seed << ',' << r.status.substr(0, r.status.find(':'))
         << ',' << (r.completed ? 1 : 0) << ',' << (r.livelocked ? 1 : 0) << ',' << r.steps
         << ',' << r.exec_size << ',' << r.sc_cost << ',' << r.total_accesses << ','

@@ -1,0 +1,164 @@
+#include "sim/schedule.h"
+
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+
+namespace melb::sim {
+
+namespace {
+
+constexpr int kMaxN = 64;  // engine-wide pid-width limit (see model_checker.h)
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ScheduleParseError("schedule line " + std::to_string(line) + ": " + what);
+}
+
+// Full-token unsigned parse; rejects signs, spaces, trailing junk.
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  const char* last = first + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+// Reads lines without requiring a trailing newline on the last one; returns
+// false at end of input. CR is not stripped: the format is LF-only and a
+// stray '\r' shows up as a malformed token, which is the strictness we want.
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+  if (pos >= text.size()) return false;
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) {
+    line.assign(text, pos, text.size() - pos);
+    pos = text.size();
+  } else {
+    line.assign(text, pos, nl - pos);
+    pos = nl + 1;
+  }
+  return true;
+}
+
+// Splits "key value..." at the first space; the header keys take the rest of
+// the line verbatim as the value (algorithm names and source strings may not
+// contain '\n' but may contain spaces).
+bool split_keyword(const std::string& line, const std::string& key, std::string& value) {
+  if (line.compare(0, key.size(), key) != 0) return false;
+  if (line.size() == key.size()) {
+    value.clear();
+    return true;
+  }
+  if (line[key.size()] != ' ') return false;
+  value.assign(line, key.size() + 1, line.size() - key.size() - 1);
+  return true;
+}
+
+}  // namespace
+
+std::string schedule_to_text(const Schedule& schedule) {
+  if (schedule.source.find('\n') != std::string::npos) {
+    throw std::invalid_argument("schedule source must be a single line");
+  }
+  std::ostringstream out;
+  out << "melb-schedule v1\n";
+  out << "algorithm " << schedule.algorithm << "\n";
+  out << "n " << schedule.n << "\n";
+  out << "mode " << (schedule.mode == RunMode::kFaithful ? "faithful" : "productive")
+      << "\n";
+  out << "source " << schedule.source << "\n";
+  out << "steps " << schedule.pids.size() << "\n";
+  // 20 pids per line keeps long schedules diffable without bloating short ones.
+  for (std::size_t i = 0; i < schedule.pids.size(); ++i) {
+    out << schedule.pids[i];
+    out << ((i + 1 == schedule.pids.size() || (i + 1) % 20 == 0) ? '\n' : ' ');
+  }
+  out << "end melb-schedule\n";
+  return out.str();
+}
+
+Schedule parse_schedule(const std::string& text) {
+  Schedule schedule;
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  std::string line;
+  std::string value;
+
+  auto require_line = [&](const char* expected) {
+    if (!next_line(text, pos, line)) {
+      fail(lineno + 1, std::string("unexpected end of file (expected ") + expected + ")");
+    }
+    ++lineno;
+  };
+
+  require_line("'melb-schedule v1'");
+  if (line != "melb-schedule v1") fail(lineno, "bad magic (expected 'melb-schedule v1')");
+
+  require_line("'algorithm NAME'");
+  if (!split_keyword(line, "algorithm", value) || value.empty()) {
+    fail(lineno, "expected 'algorithm NAME'");
+  }
+  schedule.algorithm = value;
+
+  require_line("'n COUNT'");
+  std::uint64_t n = 0;
+  if (!split_keyword(line, "n", value) || !parse_u64(value, n) || n < 1 || n > kMaxN) {
+    fail(lineno, "expected 'n COUNT' with COUNT in 1..64");
+  }
+  schedule.n = static_cast<int>(n);
+
+  require_line("'mode productive|faithful'");
+  if (!split_keyword(line, "mode", value) ||
+      (value != "productive" && value != "faithful")) {
+    fail(lineno, "expected 'mode productive' or 'mode faithful'");
+  }
+  schedule.mode = value == "faithful" ? RunMode::kFaithful : RunMode::kProductiveOnly;
+
+  require_line("'source TEXT'");
+  if (!split_keyword(line, "source", value)) fail(lineno, "expected 'source TEXT'");
+  schedule.source = value;
+
+  require_line("'steps COUNT'");
+  std::uint64_t steps = 0;
+  if (!split_keyword(line, "steps", value) || !parse_u64(value, steps)) {
+    fail(lineno, "expected 'steps COUNT'");
+  }
+  if (steps > (std::uint64_t{1} << 32)) fail(lineno, "step count implausibly large");
+  schedule.pids.reserve(static_cast<std::size_t>(steps));
+
+  // Pid list: whitespace-separated tokens across however many lines it takes.
+  while (schedule.pids.size() < steps) {
+    require_line("more pids");
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size()) break;
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ') ++i;
+      const std::string token = line.substr(start, i - start);
+      if (schedule.pids.size() >= steps) {
+        fail(lineno, "more pids than the declared step count");
+      }
+      std::uint64_t pid = 0;
+      if (!parse_u64(token, pid) || pid >= static_cast<std::uint64_t>(schedule.n)) {
+        fail(lineno, "bad pid '" + token + "' (expected 0.." +
+                         std::to_string(schedule.n - 1) + ")");
+      }
+      schedule.pids.push_back(static_cast<Pid>(pid));
+    }
+  }
+
+  require_line("'end melb-schedule'");
+  if (line != "end melb-schedule") {
+    fail(lineno, "expected trailer 'end melb-schedule' (truncated or overlong pid list?)");
+  }
+  // Nothing but whitespace-only lines may follow the trailer.
+  while (next_line(text, pos, line)) {
+    ++lineno;
+    if (!line.empty() && line.find_first_not_of(' ') != std::string::npos) {
+      fail(lineno, "trailing content after 'end melb-schedule'");
+    }
+  }
+  return schedule;
+}
+
+}  // namespace melb::sim

@@ -1,0 +1,61 @@
+// Schedule files: committable, replayable records of scheduler decisions.
+//
+// A canonical run is fully determined by (algorithm, n, mode, pid sequence):
+// the simulator is deterministic, so replaying the recorded pid choices
+// reproduces the execution byte-for-byte — reads observe the same values,
+// the same SC marks are set, traces and reports are identical. That turns
+// any sweep or fuzz finding into a repro fixture (tests/fixtures/*.sched)
+// and lets the adversary (src/adv/) emit its worst-case schedule as an
+// artifact a later run can re-execute and re-measure.
+//
+// Text format (versioned, line-oriented, LF-separated):
+//
+//   melb-schedule v1
+//   algorithm <registry name>
+//   n <processes>
+//   mode <productive|faithful>
+//   source <free-form provenance, single line>
+//   steps <count>
+//   <count pids, whitespace-separated, any line breaking>
+//   end melb-schedule
+//
+// The trailer line guards against truncation: a file that ends early —
+// mid-header, mid-pid-list, or missing the trailer — is rejected, as is any
+// content after the trailer, any pid outside [0, n), and any malformed
+// number (std::from_chars, full-token match). parse_schedule throws
+// ScheduleParseError with a line-numbered diagnostic on every malformed
+// input and never exhibits UB on arbitrary bytes (fuzzed in
+// tests/test_schedule_replay.cpp with the test_decode_fuzz idiom).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/canonical.h"
+#include "sim/types.h"
+
+namespace melb::sim {
+
+class ScheduleParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Schedule {
+  std::string algorithm;
+  int n = 0;
+  RunMode mode = RunMode::kProductiveOnly;
+  std::string source;  // provenance, e.g. "record:random-replay seed=7"
+  std::vector<Pid> pids;
+};
+
+// Serialize to the text format above. The source string must be a single
+// line (no '\n'); throws std::invalid_argument otherwise.
+std::string schedule_to_text(const Schedule& schedule);
+
+// Strict parse of the text format; throws ScheduleParseError (with the
+// offending line number) on any deviation.
+Schedule parse_schedule(const std::string& text);
+
+}  // namespace melb::sim

@@ -1,9 +1,66 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <stdexcept>
 
 namespace melb::sim {
+
+namespace {
+
+constexpr std::uint32_t kMaxParam = 1'000'000;  // quantum / weight / rank ceiling
+constexpr std::size_t kMaxParamList = 64;       // one value per pid is plenty
+
+// Full-token parse of one scheduler parameter in 1..kMaxParam. Shared error
+// shape for every parameterized family, so "rr-quantum:0" and
+// "rr-weighted:2+0" fail with the same vocabulary.
+std::uint32_t parse_param(const std::string& family, const std::string& token) {
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = first + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (token.empty() || ec != std::errc() || ptr != last || value < 1 ||
+      value > kMaxParam) {
+    throw std::invalid_argument("scheduler '" + family + "' parameter '" + token +
+                                "' must be an integer in 1.." +
+                                std::to_string(kMaxParam));
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+// Parameter lists use '+' canonically ("rr-weighted:2+1") so scheduler names
+// survive comma-separated --scheds lists and unquoted CSV cells; ',' is
+// accepted as a courtesy in single-name contexts.
+std::vector<std::uint32_t> parse_param_list(const std::string& family,
+                                            const std::string& spec) {
+  std::vector<std::uint32_t> values;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t sep = spec.find_first_of("+,", start);
+    const std::string token =
+        sep == std::string::npos ? spec.substr(start) : spec.substr(start, sep - start);
+    values.push_back(parse_param(family, token));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  if (values.size() > kMaxParamList) {
+    throw std::invalid_argument("scheduler '" + family + "' takes at most " +
+                                std::to_string(kMaxParamList) + " parameters");
+  }
+  return values;
+}
+
+std::string join_params(const std::vector<std::uint32_t>& values) {
+  std::string out;
+  for (std::uint32_t v : values) {
+    if (!out.empty()) out += '+';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
 
 Pid RoundRobinScheduler::pick(const std::vector<Pid>& enabled) {
   // First enabled pid strictly greater than last_, else wrap to the smallest.
@@ -29,9 +86,136 @@ Pid ConvoyScheduler::pick(const std::vector<Pid>& enabled) {
   });
 }
 
+QuantumRoundRobinScheduler::QuantumRoundRobinScheduler(std::uint32_t quantum)
+    : quantum_(quantum) {
+  if (quantum < 1 || quantum > kMaxParam) {
+    throw std::invalid_argument("rr-quantum: quantum must be in 1.." +
+                                std::to_string(kMaxParam));
+  }
+}
+
+std::string QuantumRoundRobinScheduler::name() const {
+  return "rr-quantum:" + std::to_string(quantum_);
+}
+
+Pid QuantumRoundRobinScheduler::pick(const std::vector<Pid>& enabled) {
+  if (used_ < quantum_ &&
+      std::binary_search(enabled.begin(), enabled.end(), current_)) {
+    ++used_;
+    return current_;
+  }
+  // Quantum spent or holder blocked/done: round-robin advance past current_.
+  for (Pid pid : enabled) {
+    if (pid > current_) {
+      current_ = pid;
+      used_ = 1;
+      return pid;
+    }
+  }
+  current_ = enabled.front();
+  used_ = 1;
+  return current_;
+}
+
+WeightedRoundRobinScheduler::WeightedRoundRobinScheduler(std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) throw std::invalid_argument("rr-weighted: empty weight list");
+  for (std::uint32_t w : weights_) {
+    if (w < 1 || w > kMaxParam) {
+      throw std::invalid_argument("rr-weighted: weights must be in 1.." +
+                                  std::to_string(kMaxParam));
+    }
+  }
+}
+
+std::string WeightedRoundRobinScheduler::name() const {
+  return "rr-weighted:" + join_params(weights_);
+}
+
+Pid WeightedRoundRobinScheduler::pick(const std::vector<Pid>& enabled) {
+  const auto budget = [this](Pid pid) {
+    return weights_[static_cast<std::size_t>(pid) % weights_.size()];
+  };
+  if (current_ >= 0 && used_ < budget(current_) &&
+      std::binary_search(enabled.begin(), enabled.end(), current_)) {
+    ++used_;
+    return current_;
+  }
+  for (Pid pid : enabled) {
+    if (pid > current_) {
+      current_ = pid;
+      used_ = 1;
+      return pid;
+    }
+  }
+  current_ = enabled.front();
+  used_ = 1;
+  return current_;
+}
+
+PriorityScheduler::PriorityScheduler() = default;
+
+PriorityScheduler::PriorityScheduler(std::vector<std::uint32_t> ranks)
+    : ranks_(std::move(ranks)) {
+  if (ranks_.empty()) throw std::invalid_argument("priority: empty rank list");
+}
+
+std::string PriorityScheduler::name() const {
+  return ranks_.empty() ? "priority" : "priority:" + join_params(ranks_);
+}
+
+Pid PriorityScheduler::pick(const std::vector<Pid>& enabled) {
+  if (ranks_.empty()) return enabled.back();  // highest pid first (default)
+  Pid best = enabled.front();
+  std::uint32_t best_rank = std::numeric_limits<std::uint32_t>::max();
+  for (Pid pid : enabled) {
+    const std::uint32_t rank = ranks_[static_cast<std::size_t>(pid) % ranks_.size()];
+    if (rank < best_rank) {  // strict: ties keep the earlier (lower) pid
+      best = pid;
+      best_rank = rank;
+    }
+  }
+  return best;
+}
+
+RecordingScheduler::RecordingScheduler(std::unique_ptr<Scheduler> inner,
+                                       std::string display_name)
+    : inner_(std::move(inner)), display_name_(std::move(display_name)) {
+  if (!inner_) throw std::invalid_argument("RecordingScheduler: null inner scheduler");
+}
+
+std::string RecordingScheduler::name() const {
+  return display_name_.empty() ? inner_->name() : display_name_;
+}
+
+Pid RecordingScheduler::pick(const std::vector<Pid>& enabled) {
+  const Pid pid = inner_->pick(enabled);
+  picks_.push_back(pid);
+  return pid;
+}
+
+Pid ReplayScheduler::pick(const std::vector<Pid>& enabled) {
+  if (cursor_ >= pids_.size()) {
+    throw ScheduleDivergedError(
+        "replay: schedule exhausted after " + std::to_string(pids_.size()) +
+        " steps but the run wants more (was max_steps set to the schedule length?)");
+  }
+  const Pid pid = pids_[cursor_];
+  if (!std::binary_search(enabled.begin(), enabled.end(), pid)) {
+    throw ScheduleDivergedError(
+        "replay: step " + std::to_string(cursor_) + " schedules pid " +
+        std::to_string(pid) +
+        ", which is not eligible here (wrong algorithm, n, or mode for this "
+        "schedule?)");
+  }
+  ++cursor_;
+  return pid;
+}
+
 const std::vector<std::string>& scheduler_names() {
-  static const std::vector<std::string> names = {"round-robin", "sequential", "random",
-                                                 "convoy"};
+  static const std::vector<std::string> names = {
+      "round-robin", "sequential",      "random",   "convoy",
+      "rr-quantum:2", "rr-weighted:2+1", "priority", "random-replay"};
   return names;
 }
 
@@ -42,6 +226,36 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name, int n,
   if (name == "random") return std::make_unique<RandomScheduler>(seed);
   if (name == "convoy")
     return std::make_unique<ConvoyScheduler>(util::Permutation::reversed(n));
+  if (name == "priority") return std::make_unique<PriorityScheduler>();
+  if (name == "random-replay") {
+    // Same pick sequence as "random" at the same seed, but every choice is
+    // recorded so the run can be exported as a schedule file.
+    return std::make_unique<RecordingScheduler>(std::make_unique<RandomScheduler>(seed),
+                                                "random-replay");
+  }
+  constexpr const char* kQuantumPrefix = "rr-quantum:";
+  if (name.rfind(kQuantumPrefix, 0) == 0) {
+    return std::make_unique<QuantumRoundRobinScheduler>(
+        parse_param("rr-quantum", name.substr(std::string(kQuantumPrefix).size())));
+  }
+  constexpr const char* kWeightedPrefix = "rr-weighted:";
+  if (name.rfind(kWeightedPrefix, 0) == 0) {
+    return std::make_unique<WeightedRoundRobinScheduler>(
+        parse_param_list("rr-weighted", name.substr(std::string(kWeightedPrefix).size())));
+  }
+  constexpr const char* kPriorityPrefix = "priority:";
+  if (name.rfind(kPriorityPrefix, 0) == 0) {
+    return std::make_unique<PriorityScheduler>(
+        parse_param_list("priority", name.substr(std::string(kPriorityPrefix).size())));
+  }
+  if (name == "rr-quantum" || name == "rr-weighted") {
+    throw std::invalid_argument("scheduler '" + name + "' needs parameters, e.g. '" +
+                                name + (name == "rr-quantum" ? ":2'" : ":2+1'"));
+  }
+  if (name == "replay") {
+    throw std::invalid_argument(
+        "scheduler 'replay' needs a schedule file: use `run ... --schedule-in FILE`");
+  }
   throw std::invalid_argument("unknown scheduler: " + name);
 }
 

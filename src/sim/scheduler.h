@@ -8,13 +8,30 @@
 // prescribed permutation order to approximate the adversarial arrival
 // patterns the lower-bound construction formalizes.
 //
+// The zoo (docs/scheduler-zoo.md has the full table):
+//  * parameterized quantum/weighted round-robin — "rr-quantum:Q" keeps the
+//    current process running for up to Q consecutive picks, "rr-weighted:LIST"
+//    gives pid p a per-turn budget of LIST[p mod |LIST|] (weights joined with
+//    '+' so names survive comma-separated scheduler lists and CSV cells);
+//  * "priority[:LIST]" — strict static priorities, starvation-prone by
+//    design: the highest-ranked enabled process always wins, so low-ranked
+//    processes only move when everyone above them is blocked or done (the
+//    live analogue of the checker's lockout counterexamples);
+//  * "random-replay" — the random scheduler wrapped in a recorder, so every
+//    run can be exported as a schedule file (sim/schedule.h) and replayed;
+//  * "replay" — re-executes a recorded pid sequence byte-identically. Not
+//    constructible by name alone (it needs a schedule), hence absent from
+//    scheduler_names(); the CLI builds it from --schedule-in.
+//
 // Thread-safety: schedulers are stateful (round-robin cursor, PRNG state) and
 // therefore NOT shareable across concurrent runs. Every run — and every cell
 // of a parallel sweep — must own its own instance; make_scheduler() is the
 // one-stop factory the CLI, benches, and the exp/ campaign runner all use.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -76,13 +93,111 @@ class ConvoyScheduler final : public Scheduler {
   util::Permutation order_;
 };
 
-// The names make_scheduler accepts, in canonical (reporting) order.
+// Round-robin with a quantum: the process picked last keeps running for up
+// to `quantum` consecutive picks while it stays enabled, then the cursor
+// advances. rr-quantum:1 reproduces round-robin exactly.
+class QuantumRoundRobinScheduler final : public Scheduler {
+ public:
+  explicit QuantumRoundRobinScheduler(std::uint32_t quantum);
+  std::string name() const override;
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  std::uint32_t quantum_;
+  Pid current_ = -1;
+  std::uint32_t used_ = 0;
+};
+
+// Weighted round-robin: pid p's per-turn budget is weights[p mod |weights|],
+// so a 2-element weight list alternates favoritism across the pid range at
+// any n. A single weight w reproduces rr-quantum:w.
+class WeightedRoundRobinScheduler final : public Scheduler {
+ public:
+  explicit WeightedRoundRobinScheduler(std::vector<std::uint32_t> weights);
+  std::string name() const override;
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  Pid current_ = -1;
+  std::uint32_t used_ = 0;
+};
+
+// Strict static priorities: the enabled pid with the best (lowest) rank
+// always moves; ties break toward the lower pid. Starvation-prone by
+// construction — a low-priority process runs only when everything above it
+// is blocked or done, so it is always served last under contention (the live
+// counterpart of the checker's lockout counterexamples; see
+// docs/scheduler-zoo.md). The default ranking prefers the highest pid.
+// rank(p) = ranks[p mod |ranks|].
+class PriorityScheduler final : public Scheduler {
+ public:
+  PriorityScheduler();  // highest pid first ("priority")
+  explicit PriorityScheduler(std::vector<std::uint32_t> ranks);
+  std::string name() const override;
+  Pid pick(const std::vector<Pid>& enabled) override;
+
+ private:
+  std::vector<std::uint32_t> ranks_;  // empty = highest pid first
+};
+
+// Decorator that records every pick. random-replay is
+// RecordingScheduler(RandomScheduler); the CLI wraps any scheduler in one
+// for --schedule-out. `display_name` overrides the inner scheduler's name
+// (empty = transparent).
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(std::unique_ptr<Scheduler> inner,
+                              std::string display_name = "");
+  std::string name() const override;
+  Pid pick(const std::vector<Pid>& enabled) override;
+  const std::vector<Pid>& picks() const { return picks_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::string display_name_;
+  std::vector<Pid> picks_;
+};
+
+// Thrown by ReplayScheduler when the scripted pid is not enabled at its step
+// (the schedule does not describe a legal run of this algorithm/n/mode).
+class ScheduleDivergedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Replays a recorded pid sequence. The run must be capped at exactly
+// pids.size() steps (run_canonical's max_steps); picking past the end or a
+// scripted pid that is not currently enabled throws ScheduleDivergedError
+// with the step index.
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<Pid> pids) : pids_(std::move(pids)) {}
+  std::string name() const override { return "replay"; }
+  Pid pick(const std::vector<Pid>& enabled) override;
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  std::vector<Pid> pids_;
+  std::size_t cursor_ = 0;
+};
+
+// The names make_scheduler accepts, in canonical (reporting) order. The
+// parameterized families appear once each with canonical parameters
+// ("rr-quantum:2", "rr-weighted:2+1", "priority") — this is the enrollment
+// list the conformance matrix and the CLI's default sweep iterate, so a new
+// family lands in both by being added here.
 const std::vector<std::string>& scheduler_names();
 
-// Fresh scheduler instance by name. `seed` feeds the random scheduler; the
-// convoy scheduler releases processes in reverse pid order (the adversarial
-// arrival pattern used throughout the harness). Throws std::invalid_argument
-// for unknown names — callers must not silently fall back.
+// Fresh scheduler instance by name. `seed` feeds the random and
+// random-replay schedulers; the convoy scheduler releases processes in
+// reverse pid order (the adversarial arrival pattern used throughout the
+// harness). Parameterized forms: "rr-quantum:Q" (Q in 1..1000000),
+// "rr-weighted:W1+W2+..." and "priority:R1+R2+..." (1..64 values, each in
+// 1..1000000; ',' is accepted in place of '+' in contexts that do not split
+// on commas). Throws std::invalid_argument for unknown names or bad
+// parameters — callers must not silently fall back. "replay" is rejected
+// here: it cannot be built without a schedule (see sim/schedule.h).
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name, int n, std::uint64_t seed);
 
 }  // namespace melb::sim

@@ -1,0 +1,357 @@
+// Schedule files: round-trip fidelity, fixture corpus, and byte-level fuzz.
+//
+// The parser's contract mirrors the decoder's (test_decode_fuzz.cpp): for
+// any input bytes it either returns a Schedule whose every field is in range
+// or throws ScheduleParseError with a line-numbered diagnostic — never UB,
+// never a crash, never a partially-validated result. Accepted schedules must
+// additionally be safe to *replay*: the replay scheduler either executes the
+// pid sequence or raises ScheduleDivergedError, so a damaged-but-parseable
+// file still cannot corrupt a run. The fixture corpus under tests/fixtures/
+// pins the on-disk format: recorded runs replay to their original traces,
+// the committed adversary witness re-measures to its certified bound, and
+// the malformed samples keep producing their diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "cost/cost_model.h"
+#include "sim/canonical.h"
+#include "sim/schedule.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+#include "util/prng.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MELB_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << fixture_path(name);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// A real recorded schedule to damage: random-replay on peterson-tree keeps
+// the pid list long enough for interesting corruption while staying fast.
+sim::Schedule record_run(const std::string& algorithm_name, int n, std::uint64_t seed) {
+  const auto& info = algo::algorithm_by_name(algorithm_name);
+  sim::RecordingScheduler recorder(sim::make_scheduler("random", n, seed));
+  const auto run = sim::run_canonical(*info.algorithm, n, recorder);
+  EXPECT_TRUE(run.completed);
+  sim::Schedule schedule;
+  schedule.algorithm = algorithm_name;
+  schedule.n = n;
+  schedule.mode = sim::RunMode::kProductiveOnly;
+  schedule.source = "record random seed=" + std::to_string(seed);
+  schedule.pids = recorder.picks();
+  return schedule;
+}
+
+// The fuzz contract: parse either throws ScheduleParseError or yields a
+// schedule safe to hand to the replay machinery (which may itself report
+// divergence, but must not misbehave).
+struct FuzzOutcome {
+  int rejected = 0;
+  int accepted = 0;
+};
+
+FuzzOutcome feed(const std::string& text) {
+  FuzzOutcome outcome;
+  try {
+    const auto schedule = sim::parse_schedule(text);
+    ++outcome.accepted;
+    EXPECT_GE(schedule.n, 1);
+    EXPECT_LE(schedule.n, 64);
+    for (const auto pid : schedule.pids) {
+      EXPECT_GE(pid, 0);
+      EXPECT_LT(pid, schedule.n);
+    }
+    // An accepted schedule replays or diverges cleanly — corruption that
+    // survives parsing must surface as a diagnostic, not as UB downstream.
+    try {
+      const auto& info = algo::algorithm_by_name(schedule.algorithm);
+      sim::ReplayScheduler replayer(schedule.pids);
+      (void)sim::run_canonical(*info.algorithm, schedule.n, replayer, schedule.mode,
+                               schedule.pids.size());
+    } catch (const sim::ScheduleDivergedError&) {
+    } catch (const std::out_of_range&) {
+      // Damaged algorithm name: the registry rejects it.
+    }
+  } catch (const sim::ScheduleParseError& e) {
+    ++outcome.rejected;
+    EXPECT_NE(std::string(e.what()).find("schedule line"), std::string::npos)
+        << "diagnostic without a line number: " << e.what();
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Round trip and writer validation.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleFormat, RoundTripsAllFields) {
+  sim::Schedule schedule;
+  schedule.algorithm = "yang-anderson";
+  schedule.n = 4;
+  schedule.mode = sim::RunMode::kFaithful;
+  schedule.source = "adversary cost=state-change bound=20 victim=1";
+  for (int i = 0; i < 47; ++i) schedule.pids.push_back(static_cast<sim::Pid>(i % 4));
+
+  const auto text = sim::schedule_to_text(schedule);
+  const auto parsed = sim::parse_schedule(text);
+  EXPECT_EQ(parsed.algorithm, schedule.algorithm);
+  EXPECT_EQ(parsed.n, schedule.n);
+  EXPECT_EQ(parsed.mode, schedule.mode);
+  EXPECT_EQ(parsed.source, schedule.source);
+  EXPECT_EQ(parsed.pids, schedule.pids);
+  // Writer output is canonical: re-serializing the parse is byte-identical.
+  EXPECT_EQ(sim::schedule_to_text(parsed), text);
+}
+
+TEST(ScheduleFormat, EmptyScheduleRoundTrips) {
+  sim::Schedule schedule;
+  schedule.algorithm = "bakery";
+  schedule.n = 2;
+  schedule.source = "empty";
+  const auto parsed = sim::parse_schedule(sim::schedule_to_text(schedule));
+  EXPECT_TRUE(parsed.pids.empty());
+  EXPECT_EQ(parsed.mode, sim::RunMode::kProductiveOnly);
+}
+
+TEST(ScheduleFormat, WriterRejectsMultilineSource) {
+  sim::Schedule schedule;
+  schedule.algorithm = "bakery";
+  schedule.n = 2;
+  schedule.source = "line one\nline two";
+  EXPECT_THROW((void)sim::schedule_to_text(schedule), std::invalid_argument);
+}
+
+TEST(ScheduleFormat, MalformedInputsGetLineNumberedDiagnostics) {
+  const auto base = sim::schedule_to_text(record_run("peterson-tree", 2, 7));
+  struct Case {
+    const char* label;
+    std::string text;
+    const char* expect;  // substring of the diagnostic
+  };
+  const Case cases[] = {
+      {"empty input", "", "unexpected end of file"},
+      {"bad magic", "melb-schedule v2\n", "bad magic"},
+      {"missing header", "melb-schedule v1\nn 2\n", "expected 'algorithm NAME'"},
+      {"bad n", "melb-schedule v1\nalgorithm bakery\nn zero\n", "COUNT in 1..64"},
+      {"n too large", "melb-schedule v1\nalgorithm bakery\nn 65\n", "COUNT in 1..64"},
+      {"bad mode",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode eager\n",
+       "'mode productive' or 'mode faithful'"},
+      {"bad steps",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode productive\nsource s\nsteps -1\n",
+       "expected 'steps COUNT'"},
+      {"huge steps",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode productive\nsource s\n"
+       "steps 99999999999\n",
+       "implausibly large"},
+      {"pid out of range",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode productive\nsource s\nsteps 2\n"
+       "0 2\nend melb-schedule\n",
+       "bad pid '2'"},
+      {"negative pid",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode productive\nsource s\nsteps 1\n"
+       "-1\nend melb-schedule\n",
+       "bad pid '-1'"},
+      {"too many pids",
+       "melb-schedule v1\nalgorithm bakery\nn 2\nmode productive\nsource s\nsteps 1\n"
+       "0 1\nend melb-schedule\n",
+       "more pids than the declared step count"},
+      {"missing trailer", base.substr(0, base.size() - std::string("end melb-schedule\n").size()),
+       "unexpected end of file"},
+      {"trailing content", base + "extra\n", "trailing content"},
+      {"CRLF line endings",
+       "melb-schedule v1\r\nalgorithm bakery\r\nn 2\r\n",
+       ""},  // LF-only format: '\r' must make *some* line malformed
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.label);
+    try {
+      (void)sim::parse_schedule(c.text);
+      FAIL() << "expected ScheduleParseError";
+    } catch (const sim::ScheduleParseError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("schedule line"), std::string::npos) << what;
+      EXPECT_NE(what.find(c.expect), std::string::npos) << what;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleFixtures, RecordedFixtureReplaysToItsOriginalTrace) {
+  const auto schedule = sim::parse_schedule(read_fixture("peterson-tree-n2-random-seed7.sched"));
+  EXPECT_EQ(schedule.algorithm, "peterson-tree");
+  EXPECT_EQ(schedule.n, 2);
+
+  // The fixture was recorded with random seed 7; re-recording today must
+  // agree (scheduler determinism), and replaying the file must reproduce the
+  // re-recorded execution byte-for-byte.
+  const auto fresh = record_run("peterson-tree", 2, 7);
+  EXPECT_EQ(schedule.pids, fresh.pids);
+
+  const auto& info = algo::algorithm_by_name(schedule.algorithm);
+  sim::ReplayScheduler replayer(schedule.pids);
+  const auto replayed = sim::run_canonical(*info.algorithm, schedule.n, replayer,
+                                           schedule.mode, schedule.pids.size());
+  EXPECT_EQ(replayer.cursor(), schedule.pids.size());
+
+  sim::RecordingScheduler recorder(sim::make_scheduler("random", 2, 7));
+  const auto original = sim::run_canonical(*info.algorithm, 2, recorder);
+  EXPECT_EQ(trace::to_text({schedule.algorithm, schedule.n}, replayed.exec),
+            trace::to_text({schedule.algorithm, schedule.n}, original.exec));
+}
+
+TEST(ScheduleFixtures, AdversaryWitnessReMeasuresToTheCertifiedBound) {
+  // The committed yang-anderson n=4 witness replays to a per-process
+  // state-change cost of exactly 20 for the victim — the paper-facing pinned
+  // constant, checked here without re-running the 5.9M-state exploration.
+  const auto schedule = sim::parse_schedule(read_fixture("ya4-adversary-state-change.sched"));
+  EXPECT_EQ(schedule.algorithm, "yang-anderson");
+  EXPECT_EQ(schedule.n, 4);
+  EXPECT_NE(schedule.source.find("bound=20"), std::string::npos) << schedule.source;
+
+  const auto& info = algo::algorithm_by_name(schedule.algorithm);
+  sim::ReplayScheduler replayer(schedule.pids);
+  const auto run = sim::run_canonical(*info.algorithm, schedule.n, replayer,
+                                      schedule.mode, schedule.pids.size());
+  EXPECT_EQ(replayer.cursor(), schedule.pids.size());
+  EXPECT_EQ(sim::check_well_formed(run.exec, schedule.n), "");
+  EXPECT_EQ(sim::check_mutual_exclusion(run.exec, schedule.n), "");
+  const auto costs = cost::StateChangeCost().per_process_cost(run.exec, schedule.n);
+  std::uint64_t max_cost = 0;
+  for (const auto c : costs) max_cost = std::max(max_cost, c);
+  EXPECT_EQ(max_cost, 20u);
+  EXPECT_EQ(costs[1], 20u) << "victim pid 1 per the adversary's certificate";
+}
+
+TEST(ScheduleFixtures, MalformedFixturesKeepTheirDiagnostics) {
+  for (const char* name :
+       {"malformed-truncated.sched", "malformed-bad-pid.sched"}) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW((void)sim::parse_schedule(read_fixture(name)), sim::ScheduleParseError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level fuzz (test_decode_fuzz idiom).
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleFuzz, TruncationAtEveryByteNeverCrashes) {
+  const auto text = sim::schedule_to_text(record_run("peterson-tree", 2, 7));
+  ASSERT_FALSE(text.empty());
+  FuzzOutcome total;
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    const auto outcome = feed(text.substr(0, len));
+    total.rejected += outcome.rejected;
+    total.accepted += outcome.accepted;
+  }
+  // The trailer line makes every proper prefix invalid — except the one that
+  // merely drops the final newline (the last line needs no trailing LF).
+  EXPECT_LE(total.accepted, 1) << "a truncated schedule parsed cleanly";
+  EXPECT_GE(total.rejected, static_cast<int>(text.size()) - 1);
+}
+
+TEST(ScheduleFuzz, SingleBitFlipsNeverCrash) {
+  const auto text = sim::schedule_to_text(record_run("yang-anderson", 3, 11));
+  ASSERT_FALSE(text.empty());
+  util::Xoshiro256StarStar rng(0xF11BULL);
+  FuzzOutcome total;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::string damaged = text;
+    const auto pos = rng.below(damaged.size());
+    const auto bit = rng.below(8);
+    damaged[pos] =
+        static_cast<char>(static_cast<unsigned char>(damaged[pos]) ^ (1u << bit));
+    SCOPED_TRACE("flip bit " + std::to_string(bit) + " at byte " + std::to_string(pos));
+    const auto outcome = feed(damaged);
+    total.rejected += outcome.rejected;
+    total.accepted += outcome.accepted;
+  }
+  // Flips inside pid digits or the free-form source line can stay parseable
+  // (and then replay or diverge cleanly); the structured majority must be
+  // rejected outright.
+  EXPECT_GE(total.rejected * 2, trials)
+      << "accepted " << total.accepted << "/" << trials << " bit-flipped files";
+}
+
+TEST(ScheduleFuzz, SplicedSchedulesNeverCrash) {
+  // Headers from one real schedule, pid lines from another (different n and
+  // algorithm): every fragment is locally plausible; the cross-field checks
+  // must reject or the replay layer must contain the damage.
+  const auto a = sim::schedule_to_text(record_run("peterson-tree", 2, 7));
+  const auto b = sim::schedule_to_text(record_run("yang-anderson", 4, 9));
+  std::vector<std::string> a_lines, b_lines;
+  std::istringstream sa(a), sb(b);
+  for (std::string line; std::getline(sa, line);) a_lines.push_back(line);
+  for (std::string line; std::getline(sb, line);) b_lines.push_back(line);
+
+  util::Xoshiro256StarStar rng(0x5311CEULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string spliced;
+    const auto rows = std::max(a_lines.size(), b_lines.size());
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto& source = (rng.below(2) == 0) ? a_lines : b_lines;
+      if (row < source.size()) {
+        spliced += source[row];
+        spliced += '\n';
+      }
+    }
+    SCOPED_TRACE("splice trial " + std::to_string(trial));
+    feed(spliced);  // contract assertions live inside feed()
+  }
+}
+
+TEST(ScheduleFuzz, RandomLineSoupNeverCrashes) {
+  const std::string alphabet = "melb-schdu vproigtfan 0123456789\n";
+  util::Xoshiro256StarStar rng(0x50D5ULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto length = rng.below(160);
+    std::string soup;
+    for (std::uint64_t i = 0; i < length; ++i) {
+      soup += alphabet[rng.below(alphabet.size())];
+    }
+    SCOPED_TRACE("soup trial " + std::to_string(trial));
+    feed(soup);
+  }
+}
+
+// A schedule that parses but does not describe a legal run of its algorithm
+// must surface as ScheduleDivergedError from the replay layer.
+TEST(ScheduleFuzz, IllegalButWellFormedScheduleDiverges) {
+  auto schedule = record_run("yang-anderson", 2, 3);
+  ASSERT_GE(schedule.pids.size(), 4u);
+  // Truncating the pid list under-runs the run (benign); scripting a pid
+  // that is done/not-eligible at its step diverges. Repeat one pid far past
+  // its cycle to guarantee ineligibility.
+  schedule.pids.assign(schedule.pids.size(), schedule.pids.front());
+  const auto parsed = sim::parse_schedule(sim::schedule_to_text(schedule));
+  const auto& info = algo::algorithm_by_name(parsed.algorithm);
+  sim::ReplayScheduler replayer(parsed.pids);
+  EXPECT_THROW((void)sim::run_canonical(*info.algorithm, parsed.n, replayer,
+                                        parsed.mode, parsed.pids.size()),
+               sim::ScheduleDivergedError);
+}
+
+}  // namespace
+}  // namespace melb

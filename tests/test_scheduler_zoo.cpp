@@ -1,0 +1,324 @@
+// The scheduler zoo: unit semantics, factory validation, and enrollment.
+//
+// Three layers:
+//  * pick()-level semantics on synthetic enabled sets — rr-quantum:1 is
+//    round-robin, a quantum holds the cursor for exactly Q picks, weighted
+//    budgets follow ranks[p mod |ranks|], priority always serves the
+//    best-ranked enabled pid (starvation by construction);
+//  * make_scheduler contract — every scheduler_names() entry constructs,
+//    parameterized forms accept '+' and ',' separators, and every malformed
+//    parameter is an std::invalid_argument, never a fallback;
+//  * enrollment matrix — every registry algorithm runs under every new
+//    scheduler (enrolled names plus off-list parameterizations) at
+//    n ∈ {2,3,4} with the canonical-run / well-formedness / mutex / trace
+//    round-trip checks, and a recorded run replays byte-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "sim/canonical.h"
+#include "sim/schedule.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+#include "testing_util.h"
+
+namespace melb {
+namespace {
+
+std::vector<sim::Pid> pids(std::initializer_list<int> values) {
+  std::vector<sim::Pid> out;
+  for (const int v : values) out.push_back(static_cast<sim::Pid>(v));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// pick()-level semantics.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerZoo, QuantumOneIsRoundRobin) {
+  // Identical pick sequences on an adversarial enabled-set script, including
+  // sets that drop the current pid mid-quantum.
+  const std::vector<std::vector<sim::Pid>> script = {
+      pids({0, 1, 2}), pids({0, 1, 2}), pids({1, 2}), pids({0, 2}),
+      pids({0}),       pids({0, 1, 2}), pids({2}),    pids({0, 1}),
+  };
+  sim::RoundRobinScheduler rr;
+  sim::QuantumRoundRobinScheduler q1(1);
+  for (const auto& enabled : script) {
+    EXPECT_EQ(q1.pick(enabled), rr.pick(enabled));
+  }
+}
+
+TEST(SchedulerZoo, QuantumHoldsTheCursorForQPicks) {
+  sim::QuantumRoundRobinScheduler sched(3);
+  const auto all = pids({0, 1, 2});
+  // Three consecutive picks of pid 0, then the cursor advances to pid 1.
+  EXPECT_EQ(sched.pick(all), 0);
+  EXPECT_EQ(sched.pick(all), 0);
+  EXPECT_EQ(sched.pick(all), 0);
+  EXPECT_EQ(sched.pick(all), 1);
+  EXPECT_EQ(sched.pick(all), 1);
+  // The current pid disappearing mid-quantum forfeits the rest of it.
+  EXPECT_EQ(sched.pick(pids({0, 2})), 2);
+  EXPECT_EQ(sched.pick(all), 2);
+}
+
+TEST(SchedulerZoo, SingleWeightMatchesQuantum) {
+  const std::vector<std::vector<sim::Pid>> script = {
+      pids({0, 1, 2}), pids({0, 1, 2}), pids({0, 1, 2}), pids({1, 2}),
+      pids({0, 1, 2}), pids({0, 2}),    pids({0, 1, 2}), pids({0, 1, 2}),
+  };
+  sim::QuantumRoundRobinScheduler quantum(2);
+  sim::WeightedRoundRobinScheduler weighted({2});
+  for (const auto& enabled : script) {
+    EXPECT_EQ(weighted.pick(enabled), quantum.pick(enabled));
+  }
+}
+
+TEST(SchedulerZoo, WeightsFollowPidModuloLength) {
+  // weights {3, 1} at n = 3: pid 0 gets 3 picks, pid 1 gets 1, pid 2 (2 mod
+  // 2 = 0) gets 3 again.
+  sim::WeightedRoundRobinScheduler sched({3, 1});
+  const auto all = pids({0, 1, 2});
+  std::vector<sim::Pid> seen;
+  for (int i = 0; i < 7; ++i) seen.push_back(sched.pick(all));
+  EXPECT_EQ(seen, pids({0, 0, 0, 1, 2, 2, 2}));
+}
+
+TEST(SchedulerZoo, DefaultPriorityServesTheHighestPid) {
+  sim::PriorityScheduler sched;
+  EXPECT_EQ(sched.pick(pids({0, 1, 2})), 2);
+  EXPECT_EQ(sched.pick(pids({0, 1, 2})), 2);  // no rotation: starvation-prone
+  EXPECT_EQ(sched.pick(pids({0, 1})), 1);
+  EXPECT_EQ(sched.pick(pids({0})), 0);
+}
+
+TEST(SchedulerZoo, RankedPriorityPicksLowestRankThenLowestPid) {
+  // rank(p) = ranks[p mod 3] with ranks {2, 1, 2}: pid 1 is the favorite,
+  // pids 0/2/3 tie at rank 2 (pid 3 -> ranks[0]) and break toward pid 0.
+  sim::PriorityScheduler sched({2, 1, 2});
+  EXPECT_EQ(sched.pick(pids({0, 1, 2, 3})), 1);
+  EXPECT_EQ(sched.pick(pids({0, 2, 3})), 0);
+  EXPECT_EQ(sched.pick(pids({2, 3})), 2);
+}
+
+TEST(SchedulerZoo, PriorityStarvesTheLowestPidUnderContention) {
+  // Live starvation: until pid 1 finishes its whole cycle, pid 0 never moves
+  // when both are eligible — so pid 1 always enters the critical section
+  // first (the scheduler-level analogue of the checker's lockout findings).
+  const auto& info = algo::algorithm_by_name("yang-anderson");
+  sim::PriorityScheduler scheduler;
+  const auto run = sim::run_canonical(*info.algorithm, 2, scheduler);
+  ASSERT_TRUE(run.completed);
+  const auto order = testing_util::enter_order(run.exec);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order.front(), 1);
+}
+
+TEST(SchedulerZoo, RecordingSchedulerIsTransparentAndComplete) {
+  auto inner = std::make_unique<sim::RoundRobinScheduler>();
+  sim::RoundRobinScheduler reference;
+  sim::RecordingScheduler recorder(std::move(inner));
+  EXPECT_EQ(recorder.name(), "round-robin");  // empty display name = transparent
+  const std::vector<std::vector<sim::Pid>> script = {
+      pids({0, 1}), pids({0, 1}), pids({1}), pids({0, 1})};
+  std::vector<sim::Pid> expected;
+  for (const auto& enabled : script) {
+    const auto pick = recorder.pick(enabled);
+    EXPECT_EQ(pick, reference.pick(enabled));
+    expected.push_back(pick);
+  }
+  EXPECT_EQ(recorder.picks(), expected);
+}
+
+TEST(SchedulerZoo, ReplayFollowsTheScriptAndDiagnosesDivergence) {
+  sim::ReplayScheduler sched(pids({1, 0, 1}));
+  EXPECT_EQ(sched.pick(pids({0, 1})), 1);
+  EXPECT_EQ(sched.pick(pids({0, 1})), 0);
+  EXPECT_EQ(sched.cursor(), 2u);
+  // Scripted pid not enabled: diverged, with the step index in the message.
+  try {
+    (void)sched.pick(pids({0}));
+    FAIL() << "expected ScheduleDivergedError";
+  } catch (const sim::ScheduleDivergedError& e) {
+    EXPECT_NE(std::string(e.what()).find("step 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SchedulerZoo, ReplayPastTheEndIsDivergence) {
+  sim::ReplayScheduler sched(pids({0}));
+  EXPECT_EQ(sched.pick(pids({0})), 0);
+  EXPECT_THROW((void)sched.pick(pids({0})), sim::ScheduleDivergedError);
+}
+
+// ---------------------------------------------------------------------------
+// Factory contract.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerZoo, EveryEnrolledNameConstructs) {
+  const auto& names = sim::scheduler_names();
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    auto sched = sim::make_scheduler(name, 3, 42);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(sched->name(), name);
+    // A fresh instance must be usable immediately.
+    const auto pick = sched->pick(pids({0, 1, 2}));
+    EXPECT_GE(pick, 0);
+    EXPECT_LT(pick, 3);
+  }
+  // The zoo additions are enrolled (and thus swept by the conformance
+  // matrix and `melb_cli sweep` without further registration).
+  for (const char* expected :
+       {"rr-quantum:2", "rr-weighted:2+1", "priority", "random-replay"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from scheduler_names()";
+  }
+}
+
+TEST(SchedulerZoo, ParameterSeparatorsPlusAndComma) {
+  // '+' is canonical (survives comma-split --scheds lists); ',' is accepted
+  // in single-name contexts. Both spell the same scheduler.
+  auto plus = sim::make_scheduler("rr-weighted:3+1+2", 3, 0);
+  auto comma = sim::make_scheduler("rr-weighted:3,1,2", 3, 0);
+  EXPECT_EQ(plus->name(), "rr-weighted:3+1+2");
+  EXPECT_EQ(comma->name(), "rr-weighted:3+1+2");  // canonicalized
+  const auto all = pids({0, 1, 2});
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(plus->pick(all), comma->pick(all));
+  }
+}
+
+TEST(SchedulerZoo, MalformedNamesAndParametersAreInvalidArgument) {
+  const char* bad[] = {
+      "",                      // empty name
+      "no-such-scheduler",     // unknown family
+      "rr-quantum",            // family without its required parameter
+      "rr-quantum:",           // empty parameter
+      "rr-quantum:0",          // quantum must be >= 1
+      "rr-quantum:x",          // not a number
+      "rr-quantum:3x",         // trailing junk
+      "rr-quantum:1000001",    // above the documented cap
+      "rr-quantum:2+3",        // quantum takes exactly one value
+      "rr-weighted",           // family without its list
+      "rr-weighted:",          // empty list
+      "rr-weighted:2+",        // trailing separator
+      "rr-weighted:2+0",       // zero weight
+      "rr-weighted:+2",        // leading separator
+      "priority:",             // empty rank list
+      "priority:0",            // ranks start at 1
+      "replay",                // needs a schedule file, not a bare name
+  };
+  for (const char* name : bad) {
+    SCOPED_TRACE(std::string("name='") + name + "'");
+    EXPECT_THROW((void)sim::make_scheduler(name, 3, 0), std::invalid_argument);
+  }
+}
+
+TEST(SchedulerZoo, ParameterListLengthIsCapped) {
+  std::string name = "rr-weighted:1";
+  for (int i = 0; i < 64; ++i) name += "+1";  // 65 values: one past the cap
+  EXPECT_THROW((void)sim::make_scheduler(name, 3, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Enrollment matrix: every registry algorithm under every new scheduler.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> all_algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& info : algo::all_algorithms()) {
+    names.push_back(info.algorithm->name());
+  }
+  return names;
+}
+
+// The enrolled canonical parameterizations plus off-list variants — the
+// matrix must hold for the whole family, not just the enrolled exemplar.
+const std::vector<std::string>& zoo_schedulers() {
+  static const std::vector<std::string> names = {
+      "rr-quantum:2",      "rr-quantum:5",     "rr-weighted:2+1",
+      "rr-weighted:3+1+2", "priority",         "priority:1+3+2",
+      "random-replay",
+  };
+  return names;
+}
+
+class SchedulerZooMatrixTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerZooMatrixTest, CanonicalRunsAcrossZooSchedulers) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  const auto& algorithm = *info.algorithm;
+  for (const auto& sched_name : zoo_schedulers()) {
+    for (const int n : {2, 3, 4}) {
+      SCOPED_TRACE(GetParam() + " n=" + std::to_string(n) + " under " + sched_name);
+      auto scheduler = sim::make_scheduler(sched_name, n, 0xC0FFEE);
+      const auto run = sim::run_canonical(algorithm, n, *scheduler);
+      if (info.livelock_free) {
+        ASSERT_TRUE(run.completed) << (run.livelocked ? "livelocked" : "step cap hit");
+      } else {
+        ASSERT_TRUE(run.completed || run.livelocked) << "step cap hit";
+      }
+      EXPECT_EQ(sim::check_well_formed(run.exec, n), "");
+      if (info.mutex_correct) {
+        EXPECT_EQ(sim::check_mutual_exclusion(run.exec, n), "");
+      }
+      if (!run.completed) continue;
+      // Trace round-trip: the recorded execution survives to_text/from_text.
+      const auto text = trace::to_text({algorithm.name(), n}, run.exec);
+      const auto parsed = trace::from_text(text);
+      std::string detail;
+      EXPECT_FALSE(
+          trace::first_divergence(run.exec, parsed.exec, &detail).has_value())
+          << detail;
+    }
+  }
+}
+
+// Record -> replay round trip: wrap each zoo scheduler in a recorder, export
+// the pick sequence through the schedule-file text format, replay it, and
+// require the traces to be byte-identical.
+TEST_P(SchedulerZooMatrixTest, RecordedRunsReplayByteIdentically) {
+  const auto& info = algo::algorithm_by_name(GetParam());
+  const auto& algorithm = *info.algorithm;
+  if (!info.livelock_free) GTEST_SKIP() << "no completed run guaranteed";
+  for (const auto& sched_name : zoo_schedulers()) {
+    for (const int n : {2, 3, 4}) {
+      SCOPED_TRACE(GetParam() + " n=" + std::to_string(n) + " under " + sched_name);
+      sim::RecordingScheduler recorder(sim::make_scheduler(sched_name, n, 7));
+      const auto original = sim::run_canonical(algorithm, n, recorder);
+      ASSERT_TRUE(original.completed);
+
+      sim::Schedule schedule;
+      schedule.algorithm = algorithm.name();
+      schedule.n = n;
+      schedule.mode = sim::RunMode::kProductiveOnly;
+      schedule.source = "record " + sched_name + " seed=7";
+      schedule.pids = recorder.picks();
+      const auto parsed = sim::parse_schedule(sim::schedule_to_text(schedule));
+      ASSERT_EQ(parsed.pids, schedule.pids);
+
+      sim::ReplayScheduler replayer(parsed.pids);
+      const auto replayed = sim::run_canonical(algorithm, n, replayer, parsed.mode,
+                                               parsed.pids.size());
+      EXPECT_EQ(replayer.cursor(), parsed.pids.size());
+      EXPECT_EQ(trace::to_text({algorithm.name(), n}, replayed.exec),
+                trace::to_text({algorithm.name(), n}, original.exec));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SchedulerZooMatrixTest,
+                         ::testing::ValuesIn(all_algorithm_names()),
+                         testing_util::AlgorithmNameGenerator());
+
+}  // namespace
+}  // namespace melb

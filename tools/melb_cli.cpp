@@ -1,8 +1,10 @@
 // melb_cli — command-line front end to the library.
 //
 //   melb_cli list
-//   melb_cli run <algorithm> <n> [--sched round-robin|sequential|random|convoy]
-//                [--seed S] [--faithful] [--trace FILE]
+//   melb_cli run <algorithm> <n> [--sched NAME] [--seed S] [--faithful]
+//                [--trace FILE] [--schedule-out FILE] [--schedule-in FILE]
+//   melb_cli adversary <algorithm> <n> [--cost MODEL] [--schedule-out FILE]
+//                [--max-states K] [--workers W] [--memory-limit-mb M]
 //   melb_cli construct <algorithm> <n> [--pi identity|reverse|random] [--seed S]
 //                [--encode FILE] [--dump]
 //   melb_cli decode <algorithm> <E-file>
@@ -23,6 +25,7 @@
 // scripted as a validity oracle. `sweep --state` makes the sweep crash-safe
 // and resumable (docs/campaign-service.md); `merge` joins shard journals
 // into the byte-identical unsharded report.
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -39,6 +42,7 @@
 #include <system_error>
 #include <vector>
 
+#include "adv/adversary.h"
 #include "algo/registry.h"
 #include "check/model_checker.h"
 #include "cost/cost_model.h"
@@ -52,6 +56,7 @@
 #include "lb/encode.h"
 #include "lb/verify.h"
 #include "sim/canonical.h"
+#include "sim/schedule.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -160,32 +165,215 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_run(const Args& args) {
-  const auto& info = algo::algorithm_by_name(args.positional.at(0));
-  const int n = parse_int(args.positional.at(1), "n", 1, 64);
-  const auto seed = parse_uint(args.get("seed", "42"), "--seed", 0);
-  auto scheduler = sim::make_scheduler(args.get("sched", "round-robin"), n, seed);
-  const auto mode = args.has("faithful") ? sim::RunMode::kFaithful
-                                         : sim::RunMode::kProductiveOnly;
-  const auto run = sim::run_canonical(*info.algorithm, n, *scheduler, mode);
-  if (!run.completed) {
-    std::printf("FAILED: %s\n", run.livelocked ? "livelock detected" : "step cap hit");
-    return 1;
-  }
-  const auto wf = sim::check_well_formed(run.exec, n);
-  const auto me = sim::check_mutual_exclusion(run.exec, n);
-  const auto stats = trace::compute_stats(run.exec, n, info.algorithm->num_registers(n));
+// Shared tail of cmd_run / run_replay: validators, stats line, --trace file.
+// Returns the exit code contribution of the validators (0 = both hold).
+int report_run_execution(const Args& args, const algo::AlgorithmInfo& info, int n,
+                         const sim::Execution& exec, const std::string& sched_name) {
+  const auto wf = sim::check_well_formed(exec, n);
+  const auto me = sim::check_mutual_exclusion(exec, n);
+  const auto stats = trace::compute_stats(exec, n, info.algorithm->num_registers(n));
   std::printf("%s n=%d under %s: %s\n", info.algorithm->name().c_str(), n,
-              scheduler->name().c_str(), trace::stats_to_string(stats).c_str());
+              sched_name.c_str(), trace::stats_to_string(stats).c_str());
   std::printf("well-formed: %s; mutual exclusion: %s\n", wf.empty() ? "ok" : wf.c_str(),
               me.empty() ? "ok" : me.c_str());
   if (args.has("trace")) {
-    if (!write_file(args.get("trace", ""), trace::to_text({info.algorithm->name(), n}, run.exec))) {
+    if (!write_file(args.get("trace", ""), trace::to_text({info.algorithm->name(), n}, exec))) {
       return 1;
     }
     std::printf("trace written to %s\n", args.get("trace", "").c_str());
   }
   return (wf.empty() && me.empty()) ? 0 : 1;
+}
+
+// run --schedule-in: re-execute a recorded schedule byte-identically. The
+// run is capped at exactly the schedule length, so a partial schedule (an
+// adversary witness ending at its victim's CS entry) replays cleanly; a
+// schedule for the wrong algorithm/n/mode fails with a diverged step index.
+int run_replay(const Args& args, const algo::AlgorithmInfo& info, int n) {
+  const std::string path = args.get("schedule-in", "");
+  std::ifstream in(path);
+  if (!in) throw UsageError("error: --schedule-in: cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  sim::Schedule schedule;
+  try {
+    schedule = sim::parse_schedule(buffer.str());
+  } catch (const sim::ScheduleParseError& e) {
+    throw UsageError("error: --schedule-in " + path + ": " + e.what());
+  }
+  if (schedule.algorithm != info.algorithm->name()) {
+    throw UsageError("error: --schedule-in " + path + " is for algorithm '" +
+                     schedule.algorithm + "', not '" + info.algorithm->name() + "'");
+  }
+  if (schedule.n != n) {
+    throw UsageError("error: --schedule-in " + path + " is for n=" +
+                     std::to_string(schedule.n) + ", not n=" + std::to_string(n));
+  }
+  sim::ReplayScheduler scheduler(schedule.pids);
+  sim::CanonicalRun run;
+  try {
+    run = sim::run_canonical(*info.algorithm, n, scheduler, schedule.mode,
+                             schedule.pids.size());
+  } catch (const sim::ScheduleDivergedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (run.steps != schedule.pids.size()) {
+    std::fprintf(stderr,
+                 "error: replay stalled after %llu of %zu scheduled steps (%s)\n",
+                 static_cast<unsigned long long>(run.steps), schedule.pids.size(),
+                 run.livelocked ? "no process eligible" : "run finished early");
+    return 1;
+  }
+  // The step cap equals the schedule length, so the runner never reaches its
+  // completion re-check; read completion off the recorded critical steps.
+  std::vector<char> cycled(static_cast<std::size_t>(n), 0);
+  for (const auto& rs : run.exec.steps()) {
+    if (rs.step.type == sim::StepType::kCrit && rs.step.crit == sim::CritKind::kRem) {
+      cycled[static_cast<std::size_t>(rs.step.pid)] = 1;
+    }
+  }
+  const bool complete =
+      std::all_of(cycled.begin(), cycled.end(), [](char c) { return c != 0; });
+  std::printf("replay: %zu/%zu scheduled steps executed (%s)\n", schedule.pids.size(),
+              schedule.pids.size(), complete ? "run complete" : "partial prefix");
+  if (!schedule.source.empty()) {
+    std::printf("schedule source: %s\n", schedule.source.c_str());
+  }
+  const auto sc = cost::StateChangeCost().per_process_cost(run.exec, n);
+  std::printf("max per-process state-change cost = %llu\n",
+              static_cast<unsigned long long>(
+                  *std::max_element(sc.begin(), sc.end())));
+  return report_run_execution(args, info, n, run.exec, "replay");
+}
+
+int cmd_run(const Args& args) {
+  const auto& info = algo::algorithm_by_name(args.positional.at(0));
+  const int n = parse_int(args.positional.at(1), "n", 1, 64);
+  const std::string sched_name = args.get("sched", "round-robin");
+  if (args.has("schedule-in")) {
+    // Contradictory combinations are rejected up front: a schedule file
+    // already fixes the seed, the mode, and (obviously) the schedule.
+    if (args.has("seed")) {
+      throw UsageError(
+          "error: --schedule-in contradicts --seed (the schedule fixes every choice)");
+    }
+    if (args.has("faithful")) {
+      throw UsageError(
+          "error: --schedule-in contradicts --faithful (the schedule file records its "
+          "mode)");
+    }
+    if (args.has("schedule-out")) {
+      throw UsageError("error: --schedule-in contradicts --schedule-out");
+    }
+    if (args.has("sched") && sched_name != "replay") {
+      throw UsageError("error: --schedule-in requires --sched replay (or no --sched), "
+                       "got '" + sched_name + "'");
+    }
+    if (args.get("schedule-in", "").empty()) {
+      throw UsageError("error: --schedule-in expects a file path");
+    }
+    return run_replay(args, info, n);
+  }
+  if (sched_name == "replay") {
+    throw UsageError("error: --sched replay requires --schedule-in FILE");
+  }
+  if (args.has("schedule-out") && args.get("schedule-out", "").empty()) {
+    throw UsageError("error: --schedule-out expects a file path");
+  }
+  const auto seed = parse_uint(args.get("seed", "42"), "--seed", 0);
+  std::unique_ptr<sim::Scheduler> scheduler;
+  try {
+    scheduler = sim::make_scheduler(sched_name, n, seed);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError("error: --sched: " + std::string(e.what()));
+  }
+  const std::string display_name = scheduler->name();
+  if (args.has("schedule-out") &&
+      dynamic_cast<sim::RecordingScheduler*>(scheduler.get()) == nullptr) {
+    scheduler = std::make_unique<sim::RecordingScheduler>(std::move(scheduler));
+  }
+  const auto mode = args.has("faithful") ? sim::RunMode::kFaithful
+                                         : sim::RunMode::kProductiveOnly;
+  const auto run = sim::run_canonical(*info.algorithm, n, *scheduler, mode);
+  if (args.has("schedule-out")) {
+    // Written even for failed runs — a livelocked or capped run's schedule
+    // is exactly the repro one wants to commit.
+    sim::Schedule schedule;
+    schedule.algorithm = info.algorithm->name();
+    schedule.n = n;
+    schedule.mode = mode;
+    schedule.source = "record " + display_name + " seed=" + std::to_string(seed);
+    schedule.pids = dynamic_cast<sim::RecordingScheduler&>(*scheduler).picks();
+    if (!write_file(args.get("schedule-out", ""), sim::schedule_to_text(schedule))) {
+      return 1;
+    }
+    std::printf("schedule written to %s (%zu steps)\n",
+                args.get("schedule-out", "").c_str(), schedule.pids.size());
+  }
+  if (!run.completed) {
+    std::printf("FAILED: %s\n", run.livelocked ? "livelock detected" : "step cap hit");
+    return 1;
+  }
+  return report_run_execution(args, info, n, run.exec, display_name);
+}
+
+int cmd_adversary(const Args& args) {
+  // Algorithm and n may come positionally (like run/check) or as --alg/--n.
+  const std::string alg_name =
+      args.get("alg", args.positional.size() > 0 ? args.positional[0] : "");
+  const std::string n_text =
+      args.get("n", args.positional.size() > 1 ? args.positional[1] : "");
+  if (alg_name.empty() || n_text.empty()) {
+    throw UsageError("error: adversary needs an algorithm and n "
+                     "(positional or --alg NAME --n N)");
+  }
+  const auto& info = algo::algorithm_by_name(alg_name);
+  const int n = parse_int(n_text, "n", 1, 64);
+  const std::string model = args.get("cost", "state-change");
+  if (args.has("schedule-out") && args.get("schedule-out", "").empty()) {
+    throw UsageError("error: --schedule-out expects a file path");
+  }
+  adv::AdversaryOptions options;
+  options.max_states =
+      parse_uint(args.get("max-states", "20000000"), "--max-states", 1);
+  options.workers = parse_int(args.get("workers", "1"), "--workers", 1, 1024);
+  options.memory_limit_mb =
+      parse_uint(args.get("memory-limit-mb", "0"), "--memory-limit-mb", 0);
+
+  adv::AdversaryResult result;
+  try {
+    result = adv::find_worst_schedule(*info.algorithm, n, model, options);
+  } catch (const std::invalid_argument& e) {
+    // Unknown or history-dependent cost model: a usage error, caught before
+    // any exploration starts.
+    throw UsageError("error: " + std::string(e.what()));
+  }
+  std::printf("adversary(%s, n=%d, %s): explored %llu states, %llu transitions\n",
+              info.algorithm->name().c_str(), n, model.c_str(),
+              static_cast<unsigned long long>(result.states),
+              static_cast<unsigned long long>(result.transitions));
+  if (!result.evaluated || result.unbounded) {
+    std::printf("%s\n", result.detail.c_str());
+    return 1;
+  }
+  std::printf("certified worst-case %s cost to enter the CS = %llu "
+              "(victim pid %d, %zu-step schedule, %llu fixpoint sweeps)\n",
+              model.c_str(), static_cast<unsigned long long>(result.bound),
+              result.victim, result.schedule.pids.size(),
+              static_cast<unsigned long long>(result.sweeps));
+  std::printf("witness re-simulated: measured %s cost for pid %d = %llu — %s\n",
+              model.c_str(), result.victim,
+              static_cast<unsigned long long>(result.measured_cost),
+              result.confirmed ? "matches the certified bound"
+                               : "MISMATCH with the certified bound");
+  if (args.has("schedule-out")) {
+    const std::string path = args.get("schedule-out", "");
+    if (!write_file(path, sim::schedule_to_text(result.schedule))) return 1;
+    std::printf("schedule written to %s (%zu steps)\n", path.c_str(),
+                result.schedule.pids.size());
+  }
+  return result.confirmed ? 0 : 1;
 }
 
 int cmd_construct(const Args& args) {
@@ -489,6 +677,16 @@ int cmd_sweep(const Args& args) {
   spec.algorithms = exp::resolve_algorithms(args.get("algs", "all"));
   const std::string scheds = args.get("scheds", "");
   spec.schedulers = scheds.empty() ? sim::scheduler_names() : exp::split_list(scheds);
+  for (const auto& sched : spec.schedulers) {
+    // Up-front validation so a typo'd or unparameterized scheduler (or
+    // "replay", which needs a schedule file) is a usage error before any
+    // cell runs. expand() would also throw, but mid-setup instead of here.
+    try {
+      (void)sim::make_scheduler(sched, 2, 0);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError("error: --scheds: " + std::string(e.what()));
+    }
+  }
   spec.sizes = exp::parse_sizes(args.get("n", "2..8"));
   spec.seed = parse_uint(args.get("seed", "2026"), "--seed", 0);
   if (args.has("faithful")) spec.mode = sim::RunMode::kFaithful;
@@ -595,6 +793,10 @@ void usage() {
       "usage: melb_cli <command> ...\n"
       "  list                                  algorithm registry\n"
       "  run <alg> <n> [--sched S] [--seed K] [--faithful] [--trace FILE]\n"
+      "      [--schedule-out FILE]             record the schedule for replay\n"
+      "      [--schedule-in FILE]              replay a recorded schedule\n"
+      "  adversary <alg> <n> [--cost MODEL] [--schedule-out FILE]\n"
+      "            [--max-states K] [--workers W] [--memory-limit-mb M]\n"
       "  construct <alg> <n> [--pi identity|reverse|random] [--seed K]\n"
       "            [--encode FILE] [--dump]\n"
       "  decode <alg> <E-file>\n"
@@ -623,6 +825,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
+    if (command == "adversary") return cmd_adversary(args);
     if (command == "construct") return cmd_construct(args);
     if (command == "decode") return cmd_decode(args);
     if (command == "check") return cmd_check(args);
